@@ -1,0 +1,162 @@
+// Command bgpsim runs one C-event churn experiment on a generated (or
+// loaded) topology and prints the per-node-type update counts, the Eq.-1
+// factor decomposition, and convergence times (§4 of the paper).
+//
+// Usage:
+//
+//	bgpsim -scenario BASELINE -n 2000 -origins 100
+//	bgpsim -scenario DENSE-CORE -n 5000 -wrate
+//	bgpsim -load topo.txt -mrai 15s -scope per-prefix
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bgpchurn"
+	"bgpchurn/internal/des"
+	"bgpchurn/internal/report"
+)
+
+func main() {
+	var (
+		scenarioName = flag.String("scenario", "BASELINE", "growth scenario")
+		n            = flag.Int("n", 1000, "network size")
+		seed         = flag.Uint64("seed", 1, "seed for topology and protocol randomness")
+		load         = flag.String("load", "", "load a topology file instead of generating")
+		origins      = flag.Int("origins", 100, "number of C-event originators")
+		wrate        = flag.Bool("wrate", false, "rate-limit explicit withdrawals (RFC 4271) instead of NO-WRATE (RFC 1771)")
+		mrai         = flag.Duration("mrai", 30*time.Second, "MRAI timer (0 disables rate limiting)")
+		scope        = flag.String("scope", "per-interface", "MRAI timer scope: per-interface or per-prefix")
+		procDelay    = flag.Duration("proc", 100*time.Millisecond, "max per-update processing delay")
+		parallel     = flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
+		kind         = flag.String("kind", "c-event", "routing event: c-event (withdraw+reannounce) or link (fail+restore primary transit link)")
+		dampening    = flag.Bool("dampening", false, "enable RFC 2439 route flap dampening")
+	)
+	flag.Parse()
+
+	topo, name, err := loadOrGenerate(*load, *scenarioName, *n, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := bgpchurn.DefaultExperiment(*seed)
+	cfg.Origins = *origins
+	cfg.Parallelism = *parallel
+	cfg.BGP.RateLimitWithdrawals = *wrate
+	cfg.BGP.MRAI = des.Time(mrai.Nanoseconds())
+	cfg.BGP.MaxProcessingDelay = des.Time(procDelay.Nanoseconds())
+	switch *scope {
+	case "per-interface":
+		cfg.BGP.Scope = bgpchurn.PerInterface
+	case "per-prefix":
+		cfg.BGP.Scope = bgpchurn.PerPrefix
+	default:
+		fatal(fmt.Errorf("unknown MRAI scope %q", *scope))
+	}
+	switch *kind {
+	case "c-event":
+		cfg.Kind = bgpchurn.CEventKind
+	case "link":
+		cfg.Kind = bgpchurn.LinkEventKind
+	default:
+		fatal(fmt.Errorf("unknown event kind %q", *kind))
+	}
+	if *dampening {
+		cfg.BGP.Dampening = bgpchurn.DefaultDampening()
+	}
+
+	mode := "NO-WRATE"
+	if *wrate {
+		mode = "WRATE"
+	}
+	fmt.Printf("topology %s n=%d, %d %vs, MRAI=%v (%s, %s)\n\n",
+		name, topo.N(), min(*origins, topo.CountByType()[bgpchurn.C]), cfg.Kind, *mrai, cfg.BGP.Scope, mode)
+
+	start := time.Now()
+	res, err := bgpchurn.RunCEvents(topo, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	t := report.NewTable("Updates received per C-event (mean over origins and nodes)",
+		"type", "nodes", "U", "±95%", "Uc", "Up", "Ud")
+	for _, typ := range []bgpchurn.NodeType{bgpchurn.T, bgpchurn.M, bgpchurn.CP, bgpchurn.C} {
+		tr := res.ByType[typ]
+		t.AddRow(typ.String(), fmt.Sprint(tr.Nodes),
+			report.Float(tr.U, 3), report.Float(tr.CI95, 3),
+			report.Float(tr.ByRel[bgpchurn.Customer].U, 3),
+			report.Float(tr.ByRel[bgpchurn.Peer].U, 3),
+			report.Float(tr.ByRel[bgpchurn.Provider].U, 3))
+	}
+	_ = t.Fprint(os.Stdout)
+
+	fmt.Println()
+	ft := report.NewTable("Eq.-1 factor decomposition U = m*q*e",
+		"type", "relation", "m", "q", "e", "U")
+	for _, typ := range []bgpchurn.NodeType{bgpchurn.T, bgpchurn.M, bgpchurn.CP, bgpchurn.C} {
+		for _, rel := range []bgpchurn.Relation{bgpchurn.Customer, bgpchurn.Peer, bgpchurn.Provider} {
+			rf := res.ByType[typ].ByRel[rel]
+			if rf.M == 0 {
+				continue
+			}
+			ft.AddRow(typ.String(), rel.String(),
+				report.Float(rf.M, 3), report.Float(rf.Q, 4), report.Float(rf.E, 3), report.Float(rf.U, 3))
+		}
+	}
+	_ = ft.Fprint(os.Stdout)
+
+	fmt.Println()
+	et := report.NewTable("Event dynamics and per-node spread",
+		"type", "route changes/event", "median U", "p90 U", "max U")
+	for _, typ := range []bgpchurn.NodeType{bgpchurn.T, bgpchurn.M, bgpchurn.CP, bgpchurn.C} {
+		sp := res.Spread[typ]
+		et.AddRow(typ.String(), report.Float(res.PathExploration[typ], 3),
+			report.Float(sp.Median, 2), report.Float(sp.P90, 2), report.Float(sp.Max, 2))
+	}
+	_ = et.Fprint(os.Stdout)
+
+	fmt.Printf("\nnetwork-wide updates per event: %s (peak %s updates in one virtual second)\n",
+		report.Float(res.TotalUpdates, 1), report.Float(res.PeakRate, 1))
+	fmt.Printf("convergence: DOWN %ss, UP %ss (virtual)\n",
+		report.Float(res.DownSeconds, 2), report.Float(res.UpSeconds, 2))
+	fmt.Printf("wall clock: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func loadOrGenerate(load, scenarioName string, n int, seed uint64) (*bgpchurn.Topology, string, error) {
+	if load != "" {
+		f, err := os.Open(load)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		topo, err := bgpchurn.ReadTopology(f)
+		if err != nil {
+			return nil, "", err
+		}
+		return topo, load, nil
+	}
+	sc, err := bgpchurn.ScenarioByName(scenarioName)
+	if err != nil {
+		return nil, "", err
+	}
+	topo, err := sc.Generate(n, seed)
+	if err != nil {
+		return nil, "", err
+	}
+	return topo, sc.Name, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bgpsim:", err)
+	os.Exit(1)
+}

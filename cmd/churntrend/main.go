@@ -1,0 +1,196 @@
+// Command churntrend reproduces the paper's Fig. 1 analysis: estimate the
+// growth trend of a BGP monitor's daily update counts with the
+// Mann-Kendall test and Sen's slope.
+//
+// By default it synthesizes a monitor series (a documented substitution for
+// the proprietary RIPE RIS feed; see DESIGN.md). It can also analyze a real
+// series from a file with one daily count per line.
+//
+// Usage:
+//
+//	churntrend                       # synthetic 3-year series
+//	churntrend -days 730 -growth 2.5 -csv trace.csv
+//	churntrend -in mymonitor.txt     # analyze your own daily counts
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"bgpchurn"
+	"bgpchurn/internal/report"
+	"bgpchurn/internal/stats"
+)
+
+func main() {
+	var (
+		days   = flag.Int("days", 1096, "series length in days (synthetic mode)")
+		growth = flag.Float64("growth", 3.0, "embedded total growth factor (synthetic mode)")
+		seed   = flag.Uint64("seed", 1, "seed (synthetic mode)")
+		in     = flag.String("in", "", "read daily counts from this file instead of synthesizing")
+		csvOut = flag.String("csv", "", "write the daily series to this CSV file")
+		plot   = flag.Bool("plot", true, "print an ASCII plot of the series")
+	)
+	flag.Parse()
+
+	var series []float64
+	var source string
+	if *in != "" {
+		var err error
+		series, err = readSeries(*in)
+		if err != nil {
+			fatal(err)
+		}
+		source = *in
+	} else {
+		p := bgpchurn.DefaultMonitorTrace(*seed)
+		p.Days = *days
+		p.TotalGrowth = *growth
+		var err error
+		series, err = bgpchurn.GenerateMonitorTrace(p)
+		if err != nil {
+			fatal(err)
+		}
+		source = fmt.Sprintf("synthetic monitor (%d days, embedded growth %.1fx)", *days, *growth)
+	}
+
+	trend, err := bgpchurn.MannKendall(series)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("source: %s\n", source)
+	fmt.Printf("days: %d  mean: %s  min: %s  max: %s\n",
+		len(series), report.Float(stats.Mean(series), 0),
+		report.Float(minOf(series), 0), report.Float(maxOf(series), 0))
+
+	if *plot {
+		xs := make([]float64, len(series))
+		for i := range xs {
+			xs[i] = float64(i)
+		}
+		fmt.Println()
+		if err := report.AsciiPlot(os.Stdout, 12, xs, report.Series{Name: "updates/day", Values: monthly(series)}); err == nil {
+			fmt.Println()
+		}
+	}
+
+	direction := "no significant trend"
+	if trend.Increasing {
+		direction = "INCREASING"
+	} else if trend.Decreasing {
+		direction = "DECREASING"
+	}
+	t := report.NewTable("Mann-Kendall trend analysis", "statistic", "value")
+	t.AddRow("S", fmt.Sprint(trend.S))
+	t.AddRow("Z", report.Float(trend.Z, 3))
+	t.AddRow("p-value (two-sided)", report.Float(trend.PValue, 6))
+	t.AddRow("trend", direction)
+	t.AddRow("Sen slope (updates/day per day)", report.Float(trend.Slope, 2))
+	first := stats.Mean(series[:minInt(30, len(series))])
+	if first > 0 {
+		totalGrowthPct := trend.Slope * float64(len(series)) / first * 100
+		t.AddRow("implied growth over series", report.Float(totalGrowthPct, 1)+"%")
+	}
+	_ = t.Fprint(os.Stdout)
+	fmt.Println("\npaper reference: ~200% growth over 2005-2007 at the France Telecom monitor")
+
+	if *csvOut != "" {
+		if err := writeCSV(*csvOut, series); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *csvOut)
+	}
+}
+
+// monthly smooths the series into 30-day bins for plotting (the raw daily
+// series is too bursty for a terminal plot to be legible).
+func monthly(series []float64) []float64 {
+	out := make([]float64, len(series))
+	for i := range series {
+		lo := maxInt(0, i-15)
+		hi := minInt(len(series), i+15)
+		out[i] = stats.Mean(series[lo:hi])
+	}
+	return out
+}
+
+func readSeries(path string) ([]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []float64
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %v", path, line, err)
+		}
+		out = append(out, v)
+	}
+	return out, sc.Err()
+}
+
+func writeCSV(path string, series []float64) error {
+	t := report.NewTable("", "day", "updates")
+	for i, v := range series {
+		t.AddRow(fmt.Sprint(i), report.Float(v, 0))
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.WriteCSV(f)
+}
+
+func minOf(xs []float64) float64 {
+	m := xs[0]
+	for _, v := range xs {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, v := range xs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "churntrend:", err)
+	os.Exit(1)
+}

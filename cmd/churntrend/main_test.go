@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestReadSeries(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "series.txt")
+	content := "# monitor feed\n100\n200.5\n\n300\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readSeries(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{100, 200.5, 300}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestReadSeriesRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(path, []byte("100\nnot-a-number\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readSeries(path); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := readSeries(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.csv")
+	if err := writeCSV(path, []float64{1, 2.6}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "day,updates\n0,1\n1,2.6\n" // report.Float(_, 0) keeps full precision
+	if string(data) != want {
+		t.Fatalf("csv = %q, want %q", string(data), want)
+	}
+}
+
+func TestMonthlySmoothing(t *testing.T) {
+	series := make([]float64, 60)
+	for i := range series {
+		series[i] = float64(i % 2 * 100) // alternating 0/100
+	}
+	smooth := monthly(series)
+	if len(smooth) != len(series) {
+		t.Fatalf("length changed: %d", len(smooth))
+	}
+	// A 30-day window over an alternating series is ~50 everywhere.
+	for i := 15; i < 45; i++ {
+		if smooth[i] < 40 || smooth[i] > 60 {
+			t.Fatalf("smooth[%d] = %v", i, smooth[i])
+		}
+	}
+}
+
+func TestMinMaxHelpers(t *testing.T) {
+	if minOf([]float64{3, 1, 2}) != 1 || maxOf([]float64{3, 1, 2}) != 3 {
+		t.Fatal("minOf/maxOf broken")
+	}
+	if minInt(2, 3) != 2 || maxInt(2, 3) != 3 {
+		t.Fatal("int helpers broken")
+	}
+}

@@ -1,0 +1,508 @@
+// Command experiments regenerates every figure of the paper's evaluation
+// (Figs. 1 and 4–12) as printed series tables, ASCII trend plots, and
+// optional CSV files.
+//
+// Usage:
+//
+//	experiments -fig all -fast          # reduced sweep, minutes
+//	experiments -fig 4,6,12             # selected figures
+//	experiments -fig all -out results/  # full paper-scale sweep + CSVs
+//
+// Full mode uses the paper's parameters (n = 1000..10000, 100 C-event
+// originators per point) and takes tens of minutes; -fast cuts both.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"bgpchurn"
+	"bgpchurn/internal/report"
+	"bgpchurn/internal/stats"
+)
+
+func main() {
+	var (
+		figs     = flag.String("fig", "all", "comma-separated figure numbers (1,4,...,12) or 'all'")
+		fast     = flag.Bool("fast", false, "reduced sizes and origins (for a quick look)")
+		outDir   = flag.String("out", "", "directory for CSV output (created if missing)")
+		seed     = flag.Uint64("seed", 1, "master seed")
+		origins  = flag.Int("origins", 0, "override the number of C-event originators")
+		parallel = flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	r := &runner{
+		seed:     *seed,
+		fast:     *fast,
+		outDir:   *outDir,
+		origins:  *origins,
+		parallel: *parallel,
+		sweeps:   map[string]*bgpchurn.SweepResult{},
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	wanted := map[string]bool{}
+	if *figs == "all" {
+		for _, f := range []string{"1", "4", "5", "6", "7", "8", "9", "10", "11", "12", "ext"} {
+			wanted[f] = true
+		}
+	} else {
+		for _, f := range strings.Split(*figs, ",") {
+			wanted[strings.TrimSpace(f)] = true
+		}
+	}
+
+	type figure struct {
+		id  string
+		fn  func(*runner) error
+		des string
+	}
+	figures := []figure{
+		{"1", (*runner).fig1, "churn growth at a monitor (Mann-Kendall)"},
+		{"4", (*runner).fig4, "U(X) per node type vs n"},
+		{"5", (*runner).fig5, "per-relation split at T and M nodes"},
+		{"6", (*runner).fig6, "relative increase of Uc(T), Up(T), Ud(M)"},
+		{"7", (*runner).fig7, "m/e/q factor growth"},
+		{"8", (*runner).fig8, "AS population mix deviations"},
+		{"9", (*runner).fig9, "multihoming degree deviations"},
+		{"10", (*runner).fig10, "peering deviations"},
+		{"11", (*runner).fig11, "provider preference deviations"},
+		{"12", (*runner).fig12, "WRATE vs NO-WRATE"},
+		{"ext", (*runner).extensions, "extensions: L-events, exploration, burstiness"},
+	}
+	start := time.Now()
+	for _, f := range figures {
+		if !wanted[f.id] {
+			continue
+		}
+		fmt.Printf("=== Figure %s: %s ===\n", f.id, f.des)
+		if err := f.fn(r); err != nil {
+			fatal(fmt.Errorf("figure %s: %w", f.id, err))
+		}
+		fmt.Println()
+	}
+	fmt.Printf("done in %v\n", time.Since(start).Round(time.Second))
+}
+
+type runner struct {
+	seed     uint64
+	fast     bool
+	outDir   string
+	origins  int
+	parallel int
+	// sweeps caches sweep results by "SCENARIO/wrate" so figures 4–7 share
+	// the Baseline NO-WRATE sweep.
+	sweeps map[string]*bgpchurn.SweepResult
+}
+
+func (r *runner) sizes() []int {
+	if r.fast {
+		return []int{1000, 2000, 3000}
+	}
+	return bgpchurn.PaperSizes()
+}
+
+func (r *runner) experiment(wrate bool) bgpchurn.Experiment {
+	cfg := bgpchurn.DefaultExperiment(r.seed)
+	if wrate {
+		cfg.BGP = bgpchurn.WRATEProtocol(r.seed)
+	}
+	if r.fast {
+		cfg.Origins = 20
+	}
+	if r.origins > 0 {
+		cfg.Origins = r.origins
+	}
+	cfg.Parallelism = r.parallel
+	return cfg
+}
+
+func (r *runner) sweep(sc bgpchurn.Scenario, wrate bool) (*bgpchurn.SweepResult, error) {
+	key := fmt.Sprintf("%s/%v", sc.Name, wrate)
+	if sw, ok := r.sweeps[key]; ok {
+		return sw, nil
+	}
+	sw, err := bgpchurn.Sweep(sc, bgpchurn.SweepConfig{
+		Sizes:        r.sizes(),
+		TopologySeed: r.seed,
+		Event:        r.experiment(wrate),
+		Progress: func(name string, n int) {
+			fmt.Printf("  running %s n=%d...\n", name, n)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.sweeps[key] = sw
+	return sw, nil
+}
+
+// emit prints the table (plus plot) and writes the CSV if requested.
+func (r *runner) emit(name string, t *report.Table, xs []float64, series ...report.Series) error {
+	if err := t.Fprint(os.Stdout); err != nil {
+		return err
+	}
+	if len(series) > 0 {
+		fmt.Println()
+		if err := report.AsciiPlot(os.Stdout, 10, xs, series...); err != nil {
+			return err
+		}
+	}
+	if r.outDir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(r.outDir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.WriteCSV(f)
+}
+
+func floats(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// fig1 regenerates the monitor churn-growth analysis on the synthetic RIS
+// trace (substitution documented in DESIGN.md).
+func (r *runner) fig1() error { return r.runFig1() }
+
+func (r *runner) runFig1() error {
+	p := bgpchurn.DefaultMonitorTrace(r.seed)
+	series, err := bgpchurn.GenerateMonitorTrace(p)
+	if err != nil {
+		return err
+	}
+	trend, err := bgpchurn.MannKendall(series)
+	if err != nil {
+		return err
+	}
+	days := make([]float64, len(series))
+	for i := range days {
+		days[i] = float64(i)
+	}
+	// Monthly means keep the table readable; the CSV gets daily values.
+	t := report.NewTable("Fig 1: daily updates at a synthetic monitor (monthly means)", "day", "updates")
+	for d := 0; d+30 <= len(series); d += 30 {
+		t.AddRow(fmt.Sprint(d), report.Float(stats.Mean(series[d:d+30]), 0))
+	}
+	if err := r.emit("fig1", t, days, report.Series{Name: "updates", Values: series}); err != nil {
+		return err
+	}
+	growth := trend.Slope * float64(len(series)) / stats.Mean(series[:30]) * 100
+	fmt.Printf("\nMann-Kendall: S=%d Z=%s p=%s; Sen slope %s updates/day"+
+		" => total growth ~%s%% over %d days (paper: ~200%% over 2005-2007)\n",
+		trend.S, report.Float(trend.Z, 2), report.Float(trend.PValue, 4),
+		report.Float(trend.Slope, 1), report.Float(growth, 0), len(series))
+	return nil
+}
+
+func (r *runner) fig4() error {
+	sw, err := r.sweep(bgpchurn.Baseline, false)
+	if err != nil {
+		return err
+	}
+	xs := floats(r.sizes())
+	series := []report.Series{
+		{Name: "T", Values: sw.SeriesU(bgpchurn.T)},
+		{Name: "M", Values: sw.SeriesU(bgpchurn.M)},
+		{Name: "CP", Values: sw.SeriesU(bgpchurn.CP)},
+		{Name: "C", Values: sw.SeriesU(bgpchurn.C)},
+	}
+	t := report.SeriesTable("Fig 4: updates per C-event by node type (Baseline, NO-WRATE)", "n", xs, series...)
+	return r.emit("fig4", t, xs, series...)
+}
+
+func (r *runner) fig5() error {
+	sw, err := r.sweep(bgpchurn.Baseline, false)
+	if err != nil {
+		return err
+	}
+	xs := floats(r.sizes())
+	top := []report.Series{
+		{Name: "Uc(T)", Values: sw.SeriesURel(bgpchurn.T, bgpchurn.Customer)},
+		{Name: "Up(T)", Values: sw.SeriesURel(bgpchurn.T, bgpchurn.Peer)},
+	}
+	bottom := []report.Series{
+		{Name: "Ud(M)", Values: sw.SeriesURel(bgpchurn.M, bgpchurn.Provider)},
+		{Name: "Up(M)", Values: sw.SeriesURel(bgpchurn.M, bgpchurn.Peer)},
+		{Name: "Uc(M)", Values: sw.SeriesURel(bgpchurn.M, bgpchurn.Customer)},
+	}
+	t1 := report.SeriesTable("Fig 5 (top): T-node updates by sender relation", "n", xs, top...)
+	if err := r.emit("fig5_top", t1, xs, top...); err != nil {
+		return err
+	}
+	fmt.Println()
+	t2 := report.SeriesTable("Fig 5 (bottom): M-node updates by sender relation", "n", xs, bottom...)
+	return r.emit("fig5_bottom", t2, xs, bottom...)
+}
+
+func (r *runner) fig6() error {
+	sw, err := r.sweep(bgpchurn.Baseline, false)
+	if err != nil {
+		return err
+	}
+	xs := floats(r.sizes())
+	series := []report.Series{
+		{Name: "Uc(T)", Values: stats.RelativeSeries(sw.SeriesURel(bgpchurn.T, bgpchurn.Customer))},
+		{Name: "Up(T)", Values: stats.RelativeSeries(sw.SeriesURel(bgpchurn.T, bgpchurn.Peer))},
+		{Name: "Ud(M)", Values: stats.RelativeSeries(sw.SeriesURel(bgpchurn.M, bgpchurn.Provider))},
+	}
+	t := report.SeriesTable("Fig 6: relative increase (normalized at first size)", "n", xs, series...)
+	if err := r.emit("fig6", t, xs, series...); err != nil {
+		return err
+	}
+	// The paper's regression claims: Uc(T) quadratic, Up(T) linear.
+	ucT := sw.SeriesURel(bgpchurn.T, bgpchurn.Customer)
+	upT := sw.SeriesURel(bgpchurn.T, bgpchurn.Peer)
+	if quad, err := bgpchurn.QuadraticFit(xs, ucT); err == nil {
+		fmt.Printf("\nUc(T) quadratic fit R2 = %s (paper: 0.92)\n", report.Float(quad.R2, 3))
+	}
+	if lin, err := bgpchurn.LinearFit(xs, upT); err == nil {
+		fmt.Printf("Up(T) linear fit R2 = %s (paper: 0.95)\n", report.Float(lin.R2, 3))
+	}
+	return nil
+}
+
+func (r *runner) fig7() error {
+	sw, err := r.sweep(bgpchurn.Baseline, false)
+	if err != nil {
+		return err
+	}
+	xs := floats(r.sizes())
+	mSeries := []report.Series{
+		{Name: "mc,T", Values: stats.RelativeSeries(sw.SeriesM(bgpchurn.T, bgpchurn.Customer))},
+		{Name: "md,M", Values: stats.RelativeSeries(sw.SeriesM(bgpchurn.M, bgpchurn.Provider))},
+		{Name: "mp,T", Values: stats.RelativeSeries(sw.SeriesM(bgpchurn.T, bgpchurn.Peer))},
+	}
+	eSeries := []report.Series{
+		{Name: "ed,M", Values: stats.RelativeSeries(sw.SeriesE(bgpchurn.M, bgpchurn.Provider))},
+		{Name: "ep,T", Values: stats.RelativeSeries(sw.SeriesE(bgpchurn.T, bgpchurn.Peer))},
+		{Name: "ec,T", Values: stats.RelativeSeries(sw.SeriesE(bgpchurn.T, bgpchurn.Customer))},
+	}
+	qSeries := []report.Series{
+		{Name: "qd,M", Values: sw.SeriesQ(bgpchurn.M, bgpchurn.Provider)},
+		{Name: "qp,T", Values: sw.SeriesQ(bgpchurn.T, bgpchurn.Peer)},
+		{Name: "qc,T", Values: sw.SeriesQ(bgpchurn.T, bgpchurn.Customer)},
+	}
+	t1 := report.SeriesTable("Fig 7 (top): relative increase of m factors", "n", xs, mSeries...)
+	if err := r.emit("fig7_m", t1, xs, mSeries...); err != nil {
+		return err
+	}
+	fmt.Println()
+	t2 := report.SeriesTable("Fig 7 (middle): relative increase of e factors", "n", xs, eSeries...)
+	if err := r.emit("fig7_e", t2, xs, eSeries...); err != nil {
+		return err
+	}
+	fmt.Println()
+	t3 := report.SeriesTable("Fig 7 (bottom): q probabilities (absolute)", "n", xs, qSeries...)
+	return r.emit("fig7_q", t3, xs, qSeries...)
+}
+
+// deviationFigure renders a family of scenario sweeps as one relative-
+// increase table of U at the given node type, normalized to the Baseline's
+// first point as in the paper.
+func (r *runner) deviationFigure(name, title string, typ bgpchurn.NodeType, scenarios []bgpchurn.Scenario) error {
+	xs := floats(r.sizes())
+	base, err := r.sweep(bgpchurn.Baseline, false)
+	if err != nil {
+		return err
+	}
+	norm := base.SeriesU(typ)[0]
+	var series []report.Series
+	for _, sc := range scenarios {
+		sw, err := r.sweep(sc, false)
+		if err != nil {
+			return err
+		}
+		vals := sw.SeriesU(typ)
+		rel := make([]float64, len(vals))
+		for i, v := range vals {
+			rel[i] = v / norm
+		}
+		series = append(series, report.Series{Name: sc.Name, Values: rel})
+	}
+	t := report.SeriesTable(title, "n", xs, series...)
+	return r.emit(name, t, xs, series...)
+}
+
+func (r *runner) fig8() error {
+	return r.deviationFigure("fig8",
+		"Fig 8: relative U(T), population-mix deviations (Baseline n0 = 1)",
+		bgpchurn.T,
+		[]bgpchurn.Scenario{bgpchurn.RichMiddle, bgpchurn.Baseline, bgpchurn.StaticMiddle, bgpchurn.TransitClique, bgpchurn.NoMiddle})
+}
+
+func (r *runner) fig9() error {
+	if err := r.deviationFigure("fig9_top",
+		"Fig 9 (top): relative U(T), multihoming deviations",
+		bgpchurn.T,
+		[]bgpchurn.Scenario{bgpchurn.DenseCore, bgpchurn.DenseEdge, bgpchurn.Baseline, bgpchurn.Tree, bgpchurn.ConstantMHD}); err != nil {
+		return err
+	}
+	fmt.Println()
+	// Bottom panel: absolute mc,T per deviation.
+	xs := floats(r.sizes())
+	var series []report.Series
+	for _, sc := range []bgpchurn.Scenario{bgpchurn.DenseCore, bgpchurn.DenseEdge, bgpchurn.Baseline, bgpchurn.Tree, bgpchurn.ConstantMHD} {
+		sw, err := r.sweep(sc, false)
+		if err != nil {
+			return err
+		}
+		series = append(series, report.Series{Name: sc.Name, Values: sw.SeriesM(bgpchurn.T, bgpchurn.Customer)})
+	}
+	t := report.SeriesTable("Fig 9 (bottom): mc,T per deviation", "n", xs, series...)
+	return r.emit("fig9_bottom", t, xs, series...)
+}
+
+func (r *runner) fig10() error {
+	xs := floats(r.sizes())
+	var series []report.Series
+	for _, sc := range []bgpchurn.Scenario{bgpchurn.Baseline, bgpchurn.NoPeering, bgpchurn.StrongCorePeering, bgpchurn.StrongEdgePeering} {
+		sw, err := r.sweep(sc, false)
+		if err != nil {
+			return err
+		}
+		series = append(series, report.Series{Name: sc.Name, Values: sw.SeriesU(bgpchurn.M)})
+	}
+	t := report.SeriesTable("Fig 10: U(M), peering deviations (absolute)", "n", xs, series...)
+	return r.emit("fig10", t, xs, series...)
+}
+
+func (r *runner) fig11() error {
+	if err := r.deviationFigure("fig11_top",
+		"Fig 11 (top): relative U(T), provider-preference deviations",
+		bgpchurn.T,
+		[]bgpchurn.Scenario{bgpchurn.Baseline, bgpchurn.PreferMiddle, bgpchurn.PreferTop}); err != nil {
+		return err
+	}
+	fmt.Println()
+	xs := floats(r.sizes())
+	var mc, qc []report.Series
+	for _, sc := range []bgpchurn.Scenario{bgpchurn.PreferMiddle, bgpchurn.PreferTop} {
+		sw, err := r.sweep(sc, false)
+		if err != nil {
+			return err
+		}
+		mc = append(mc, report.Series{Name: sc.Name, Values: sw.SeriesM(bgpchurn.T, bgpchurn.Customer)})
+		qc = append(qc, report.Series{Name: sc.Name, Values: sw.SeriesQ(bgpchurn.T, bgpchurn.Customer)})
+	}
+	t2 := report.SeriesTable("Fig 11 (middle): mc,T", "n", xs, mc...)
+	if err := r.emit("fig11_mc", t2, xs, mc...); err != nil {
+		return err
+	}
+	fmt.Println()
+	t3 := report.SeriesTable("Fig 11 (bottom): qc,T", "n", xs, qc...)
+	return r.emit("fig11_qc", t3, xs, qc...)
+}
+
+func (r *runner) fig12() error {
+	noW, err := r.sweep(bgpchurn.Baseline, false)
+	if err != nil {
+		return err
+	}
+	w, err := r.sweep(bgpchurn.Baseline, true)
+	if err != nil {
+		return err
+	}
+	xs := floats(r.sizes())
+	var ratios []report.Series
+	for _, typ := range []bgpchurn.NodeType{bgpchurn.C, bgpchurn.CP, bgpchurn.M, bgpchurn.T} {
+		a, b := w.SeriesU(typ), noW.SeriesU(typ)
+		vals := make([]float64, len(a))
+		for i := range a {
+			if b[i] > 0 {
+				vals[i] = a[i] / b[i]
+			}
+		}
+		ratios = append(ratios, report.Series{Name: typ.String(), Values: vals})
+	}
+	t := report.SeriesTable("Fig 12 (top): U(X) WRATE / U(X) NO-WRATE", "n", xs, ratios...)
+	if err := r.emit("fig12_top", t, xs, ratios...); err != nil {
+		return err
+	}
+	fmt.Println()
+	eSeries := []report.Series{
+		{Name: "ed,C", Values: w.SeriesE(bgpchurn.C, bgpchurn.Provider)},
+		{Name: "ep,T", Values: w.SeriesE(bgpchurn.T, bgpchurn.Peer)},
+		{Name: "ec,T", Values: w.SeriesE(bgpchurn.T, bgpchurn.Customer)},
+	}
+	t2 := report.SeriesTable("Fig 12 (bottom): e factors under WRATE (absolute)", "n", xs, eSeries...)
+	return r.emit("fig12_bottom", t2, xs, eSeries...)
+}
+
+// extensions runs the beyond-the-paper measurements recorded in
+// EXPERIMENTS.md: link events vs C-events, path exploration per tier under
+// both MRAI variants, and the burstiness of event churn.
+func (r *runner) extensions() error {
+	n := 2000
+	if r.fast {
+		n = 1000
+	}
+	topo, err := bgpchurn.Baseline.Generate(n, r.seed)
+	if err != nil {
+		return err
+	}
+
+	type variant struct {
+		name string
+		cfg  bgpchurn.Experiment
+	}
+	mk := func(wrate bool, kind bgpchurn.EventKind) bgpchurn.Experiment {
+		cfg := r.experiment(wrate)
+		cfg.Kind = kind
+		return cfg
+	}
+	variants := []variant{
+		{"C-event NO-WRATE", mk(false, bgpchurn.CEventKind)},
+		{"C-event WRATE", mk(true, bgpchurn.CEventKind)},
+		{"L-event NO-WRATE", mk(false, bgpchurn.LinkEventKind)},
+		{"L-event WRATE", mk(true, bgpchurn.LinkEventKind)},
+	}
+
+	t := report.NewTable(fmt.Sprintf("Extensions at n=%d: event kinds, exploration and burstiness", n),
+		"variant", "total-updates", "peak/s", "explore(T)", "explore(M)", "explore(CP)", "explore(C)", "down-s", "up-s")
+	for _, v := range variants {
+		res, err := bgpchurn.RunCEvents(topo, v.cfg)
+		if err != nil {
+			return err
+		}
+		t.AddRow(v.name,
+			report.Float(res.TotalUpdates, 0), report.Float(res.PeakRate, 0),
+			report.Float(res.PathExploration[bgpchurn.T], 2),
+			report.Float(res.PathExploration[bgpchurn.M], 2),
+			report.Float(res.PathExploration[bgpchurn.CP], 2),
+			report.Float(res.PathExploration[bgpchurn.C], 2),
+			report.Float(res.DownSeconds, 1), report.Float(res.UpSeconds, 1))
+	}
+	if err := t.Fprint(os.Stdout); err != nil {
+		return err
+	}
+	if r.outDir != "" {
+		f, err := os.Create(filepath.Join(r.outDir, "extensions.csv"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return t.WriteCSV(f)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"testing"
+
+	"bgpchurn"
+)
+
+func TestRunnerSizes(t *testing.T) {
+	fast := &runner{fast: true}
+	if got := fast.sizes(); len(got) != 3 || got[2] != 3000 {
+		t.Fatalf("fast sizes = %v", got)
+	}
+	full := &runner{}
+	if got := full.sizes(); len(got) != 10 || got[0] != 1000 || got[9] != 10000 {
+		t.Fatalf("full sizes = %v", got)
+	}
+}
+
+func TestRunnerExperiment(t *testing.T) {
+	r := &runner{seed: 7, fast: true, parallel: 2}
+	cfg := r.experiment(false)
+	if cfg.Origins != 20 || cfg.BGP.RateLimitWithdrawals || cfg.Parallelism != 2 {
+		t.Fatalf("fast NO-WRATE config: %+v", cfg)
+	}
+	cfg = r.experiment(true)
+	if !cfg.BGP.RateLimitWithdrawals {
+		t.Fatal("WRATE flag lost")
+	}
+	r.origins = 33
+	if got := r.experiment(false).Origins; got != 33 {
+		t.Fatalf("origin override = %d", got)
+	}
+	full := &runner{seed: 7}
+	if got := full.experiment(false).Origins; got != 100 {
+		t.Fatalf("full-mode origins = %d, want the paper's 100", got)
+	}
+}
+
+func TestFloats(t *testing.T) {
+	got := floats([]int{1, 2, 3})
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("floats = %v", got)
+	}
+	if len(floats(nil)) != 0 {
+		t.Fatal("nil floats")
+	}
+}
+
+func TestSweepCaching(t *testing.T) {
+	r := &runner{
+		seed:   3,
+		fast:   true,
+		sweeps: map[string]*bgpchurn.SweepResult{},
+	}
+	// Pre-seed the cache and verify sweep() returns it without running.
+	want := &bgpchurn.SweepResult{Scenario: "BASELINE"}
+	r.sweeps["BASELINE/false"] = want
+	got, err := r.sweep(bgpchurn.Baseline, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatal("cache miss on identical request")
+	}
+}

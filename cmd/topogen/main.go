@@ -1,0 +1,120 @@
+// Command topogen generates AS-level topologies under any of the paper's
+// growth scenarios and reports their structural properties (§3, Table 1).
+//
+// Usage:
+//
+//	topogen -scenario BASELINE -n 2000 -seed 1 -props
+//	topogen -scenario DENSE-CORE -n 5000 -o topo.txt
+//	topogen -table1
+//	topogen -ccdf -n 4000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bgpchurn"
+	"bgpchurn/internal/report"
+)
+
+func main() {
+	var (
+		scenarioName = flag.String("scenario", "BASELINE", "growth scenario (see -list)")
+		n            = flag.Int("n", 1000, "network size (number of ASes)")
+		seed         = flag.Uint64("seed", 1, "generator seed")
+		out          = flag.String("o", "", "write the topology to this file")
+		props        = flag.Bool("props", false, "print structural properties")
+		table1       = flag.Bool("table1", false, "print realized Table 1 parameters across sizes")
+		ccdf         = flag.Bool("ccdf", false, "print the degree CCDF (power-law check)")
+		list         = flag.Bool("list", false, "list available scenarios")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, sc := range bgpchurn.Scenarios() {
+			fmt.Printf("%-22s %s\n", sc.Name, sc.Description)
+		}
+		return
+	}
+
+	sc, err := bgpchurn.ScenarioByName(*scenarioName)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *table1 {
+		printTable1(sc, *seed)
+		return
+	}
+
+	topo, err := sc.Generate(*n, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if err := topo.Validate(); err != nil {
+		fatal(fmt.Errorf("generated topology failed validation: %w", err))
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := topo.WriteTo(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d nodes) to %s\n", sc.Name, topo.N(), *out)
+	}
+
+	if *props || (*out == "" && !*ccdf) {
+		printProps(sc.Name, topo)
+	}
+
+	if *ccdf {
+		degs, vals := bgpchurn.DegreeCCDF(topo)
+		t := report.NewTable(fmt.Sprintf("Degree CCDF, %s n=%d", sc.Name, topo.N()), "degree", "P(D>=d)")
+		for i := range degs {
+			t.AddRow(fmt.Sprint(degs[i]), report.Float(vals[i], 6))
+		}
+		_ = t.Fprint(os.Stdout)
+	}
+}
+
+func printProps(name string, topo *bgpchurn.Topology) {
+	st := bgpchurn.ComputeTopologyStats(topo, 500)
+	counts := topo.CountByType()
+	t := report.NewTable(fmt.Sprintf("Properties of %s n=%d", name, topo.N()), "property", "value")
+	t.AddRow("nodes T/M/CP/C", fmt.Sprintf("%d / %d / %d / %d", counts[0], counts[1], counts[2], counts[3]))
+	t.AddRow("transit links", fmt.Sprint(st.Transit))
+	t.AddRow("peering links", fmt.Sprint(st.Peering))
+	t.AddRow("mean MHD M", report.Float(st.MeanMHD[bgpchurn.M], 3))
+	t.AddRow("mean MHD CP", report.Float(st.MeanMHD[bgpchurn.CP], 3))
+	t.AddRow("mean MHD C", report.Float(st.MeanMHD[bgpchurn.C], 3))
+	t.AddRow("mean peer degree M", report.Float(st.MeanPeerDeg[bgpchurn.M], 3))
+	t.AddRow("clustering coefficient", report.Float(st.Clustering, 4))
+	t.AddRow("assortativity", report.Float(st.Assortativity, 4))
+	t.AddRow("avg path length (hops)", report.Float(st.AvgPathLength, 3))
+	t.AddRow("max degree", fmt.Sprint(st.MaxDegree))
+	_ = t.Fprint(os.Stdout)
+}
+
+func printTable1(sc bgpchurn.Scenario, seed uint64) {
+	t := report.NewTable(fmt.Sprintf("Realized parameters, %s", sc.Name),
+		"n", "nT", "nM", "nCP", "nC", "dM", "dCP", "dC", "pM", "pCP-M", "pCP-CP")
+	for _, n := range bgpchurn.PaperSizes() {
+		p := sc.Params(n, seed)
+		t.AddRow(fmt.Sprint(n), fmt.Sprint(p.NT), fmt.Sprint(p.NM), fmt.Sprint(p.NCP), fmt.Sprint(p.NC),
+			report.Float(p.DM, 3), report.Float(p.DCP, 3), report.Float(p.DC, 3),
+			report.Float(p.PM, 3), report.Float(p.PCPM, 3), report.Float(p.PCPCP, 3))
+	}
+	_ = t.Fprint(os.Stdout)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "topogen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+// What-if analysis (§5 of the paper): compare how BGP churn at tier-1
+// providers scales with network size under different Internet growth
+// scenarios — the workflow behind Figs. 8 and 9.
+//
+// This example asks the paper's sharpest question: does the Internet get
+// denser in the core (DENSE-CORE: mid-level providers triple their
+// multihoming) or at the edge (DENSE-EDGE: stubs triple theirs)? The two
+// sound symmetric; they are not.
+//
+//	go run ./examples/whatif
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bgpchurn"
+)
+
+func main() {
+	sizes := []int{600, 1200, 1800, 2400}
+	scenarios := []bgpchurn.Scenario{
+		bgpchurn.Baseline,
+		bgpchurn.DenseCore,
+		bgpchurn.DenseEdge,
+		bgpchurn.ConstantMHD,
+	}
+
+	cfg := bgpchurn.DefaultExperiment(7)
+	cfg.Origins = 15 // reduced from the paper's 100 to keep this example quick
+
+	fmt.Println("updates per C-event at tier-1 (T) nodes:")
+	fmt.Printf("%-14s", "n")
+	for _, n := range sizes {
+		fmt.Printf("%8d", n)
+	}
+	fmt.Println()
+
+	results := map[string][]float64{}
+	for _, sc := range scenarios {
+		sw, err := bgpchurn.Sweep(sc, bgpchurn.SweepConfig{
+			Sizes:        sizes,
+			TopologySeed: 7,
+			Event:        cfg,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		u := sw.SeriesU(bgpchurn.T)
+		results[sc.Name] = u
+		fmt.Printf("%-14s", sc.Name)
+		for _, v := range u {
+			fmt.Printf("%8.2f", v)
+		}
+		fmt.Printf("   (x%.1f growth)\n", bgpchurn.GrowthFactor(u))
+	}
+
+	last := len(sizes) - 1
+	core := results["DENSE-CORE"][last]
+	edge := results["DENSE-EDGE"][last]
+	flat := results["CONSTANT-MHD"][last]
+	fmt.Printf("\nAt n=%d: DENSE-CORE loads tier-1s %.1fx more than DENSE-EDGE\n",
+		sizes[last], core/edge)
+	fmt.Printf("and %.1fx more than CONSTANT-MHD.\n", core/flat)
+	fmt.Println("\nThe paper's conclusion: multihoming in the CORE multiplies update")
+	fmt.Println("paths (higher q factors), while edge multihoming mostly adds one-hop")
+	fmt.Println("fan-out. Measurements say the real Internet is on the DENSE-CORE")
+	fmt.Println("trajectory — bad news for BGP churn.")
+}

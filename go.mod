@@ -1,0 +1,3 @@
+module bgpchurn
+
+go 1.22

@@ -1,0 +1,114 @@
+package bgp
+
+import (
+	"fmt"
+
+	"bgpchurn/internal/topology"
+)
+
+// CheckConsistency verifies the engine's cross-node invariants on a
+// quiescent network (Pending() == 0). It is meant for tests and debugging;
+// it is not called on hot paths.
+//
+// Checked invariants, for every session u→v and prefix f:
+//
+//  1. wire agreement: what u last sent (Adj-RIB-Out) is exactly what v
+//     holds from u (Adj-RIB-In), unless the link is down;
+//  2. no queued updates remain (quiescence implies empty output queues);
+//  3. u's Loc-RIB equals a fresh run of its decision process;
+//  4. every advertised path is u's current best prepended with u, is
+//     loop-free, and does not contain the recipient;
+//  5. export policy: a path learned from a peer or provider is never on
+//     the wire toward another peer or provider.
+func (net *Network) CheckConsistency() error {
+	if net.Pending() != 0 {
+		return fmt.Errorf("bgp: network not quiescent (%d events pending)", net.Pending())
+	}
+	for i := range net.nodes {
+		nd := &net.nodes[i]
+		// (3) Loc-RIB is a fixed point of the decision process.
+		for _, f := range nd.sortedPrefixes() {
+			ps := nd.prefixes[f]
+			slot, path := nd.decide(ps)
+			if slot != ps.bestSlot || !path.Equal(ps.bestPath) {
+				return fmt.Errorf("bgp: node %d prefix %d: stale Loc-RIB (have slot %d, decide says %d)",
+					nd.id, f, ps.bestSlot, slot)
+			}
+		}
+		for j := range nd.neighbors {
+			q := &nd.out[j]
+			// (2) no residual queued updates.
+			if len(q.pending) != 0 {
+				return fmt.Errorf("bgp: node %d slot %d: %d updates still queued on a quiescent network",
+					nd.id, j, len(q.pending))
+			}
+			if q.down {
+				if len(q.lastSent) != 0 {
+					return fmt.Errorf("bgp: node %d slot %d: adj-rib-out persists on a down link", nd.id, j)
+				}
+				continue
+			}
+			peer := &net.nodes[nd.neighbors[j].ID]
+			rev := nd.reverse[j]
+			for f, sent := range q.lastSent {
+				// (1) wire agreement.
+				pps := peer.prefixes[f]
+				if pps == nil || !sent.Equal(pps.ribIn[rev]) {
+					return fmt.Errorf("bgp: session %d->%d prefix %d: adj-rib-out and adj-rib-in disagree",
+						nd.id, peer.id, f)
+				}
+				if err := net.checkAdvertisement(nd, j, f, sent); err != nil {
+					return err
+				}
+			}
+			// (1) converse direction: nothing in v's RIB that u did not send.
+			for f, pps := range peer.prefixes {
+				if pps.ribIn[rev] != nil {
+					if _, ok := q.lastSent[f]; !ok {
+						return fmt.Errorf("bgp: session %d->%d prefix %d: receiver holds a route the sender never advertised",
+							nd.id, peer.id, f)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkAdvertisement verifies invariants (4) and (5) for one wire entry.
+func (net *Network) checkAdvertisement(nd *node, j int, f Prefix, sent Path) error {
+	ps := nd.prefixes[f]
+	if ps == nil || ps.bestSlot == noneSlot {
+		return fmt.Errorf("bgp: node %d advertises prefix %d to %d without a best route",
+			nd.id, f, nd.neighbors[j].ID)
+	}
+	var want Path
+	fromCustomerOrSelf := false
+	if ps.bestSlot == selfSlot {
+		want = Path{nd.id}
+		fromCustomerOrSelf = true
+	} else {
+		want = ps.bestPath.Prepend(nd.id)
+		fromCustomerOrSelf = nd.neighbors[ps.bestSlot].Rel == topology.Customer
+	}
+	if !sent.Equal(want) {
+		return fmt.Errorf("bgp: node %d prefix %d: wire path %v is not the current best %v",
+			nd.id, f, sent, want)
+	}
+	seen := make(map[topology.NodeID]struct{}, len(sent))
+	for _, v := range sent {
+		if _, dup := seen[v]; dup {
+			return fmt.Errorf("bgp: node %d prefix %d: looped path %v on the wire", nd.id, f, sent)
+		}
+		seen[v] = struct{}{}
+	}
+	if sent.Contains(nd.neighbors[j].ID) {
+		return fmt.Errorf("bgp: node %d prefix %d: path through recipient %d on the wire",
+			nd.id, f, nd.neighbors[j].ID)
+	}
+	if !fromCustomerOrSelf && nd.neighbors[j].Rel != topology.Customer {
+		return fmt.Errorf("bgp: node %d prefix %d: valley export to %v neighbor %d",
+			nd.id, f, nd.neighbors[j].Rel, nd.neighbors[j].ID)
+	}
+	return nil
+}

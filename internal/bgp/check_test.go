@@ -1,0 +1,180 @@
+package bgp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bgpchurn/internal/rng"
+	"bgpchurn/internal/topology"
+)
+
+func mustConsistent(t *testing.T, net *Network, stage string) {
+	t.Helper()
+	if err := net.CheckConsistency(); err != nil {
+		t.Fatalf("%s: %v", stage, err)
+	}
+}
+
+func TestConsistencyAfterConvergence(t *testing.T) {
+	topo := topology.MustGenerate(genParams(400, 41))
+	for _, cfg := range []Config{fastConfig(41), DefaultConfig(41), WRATEConfig(41)} {
+		net := MustNew(topo, cfg)
+		origin := topo.NodesOfType(topology.C)[1]
+		net.Originate(origin, 1)
+		net.Run()
+		mustConsistent(t, net, "after announce")
+		net.WithdrawPrefix(origin, 1)
+		net.Run()
+		mustConsistent(t, net, "after withdraw")
+		net.Originate(origin, 1)
+		net.Run()
+		mustConsistent(t, net, "after re-announce")
+	}
+}
+
+func TestConsistencyMultiPrefix(t *testing.T) {
+	topo := topology.MustGenerate(genParams(300, 43))
+	cfg := WRATEConfig(43)
+	net := MustNew(topo, cfg)
+	cNodes := topo.NodesOfType(topology.C)
+	// Five prefixes at five different origins, announced back to back so
+	// the per-interface MRAI timers couple them.
+	for i := 0; i < 5; i++ {
+		net.Originate(cNodes[i*3], Prefix(i+1))
+	}
+	net.Run()
+	mustConsistent(t, net, "after batch announce")
+	// Interleaved withdrawals and re-announcements.
+	for i := 0; i < 5; i += 2 {
+		net.WithdrawPrefix(cNodes[i*3], Prefix(i+1))
+	}
+	net.Run()
+	mustConsistent(t, net, "after partial withdraw")
+	for i := 0; i < 5; i += 2 {
+		net.Originate(cNodes[i*3], Prefix(i+1))
+	}
+	net.Run()
+	mustConsistent(t, net, "after restore")
+	for i := 0; i < 5; i++ {
+		if !net.HasRoute(0, Prefix(i+1)) {
+			t.Fatalf("prefix %d missing at tier-1", i+1)
+		}
+	}
+}
+
+func TestConsistencyPerPrefixScopeMultiPrefix(t *testing.T) {
+	topo := topology.MustGenerate(genParams(250, 47))
+	cfg := WRATEConfig(47)
+	cfg.Scope = PerPrefix
+	net := MustNew(topo, cfg)
+	cNodes := topo.NodesOfType(topology.C)
+	for i := 0; i < 4; i++ {
+		net.Originate(cNodes[i], Prefix(i+1))
+	}
+	net.Run()
+	mustConsistent(t, net, "per-prefix announce")
+	net.WithdrawPrefix(cNodes[0], 1)
+	net.WithdrawPrefix(cNodes[1], 2)
+	net.Run()
+	mustConsistent(t, net, "per-prefix withdraw")
+}
+
+func TestConsistencyAfterLinkEvents(t *testing.T) {
+	topo := topology.MustGenerate(genParams(300, 53))
+	net := MustNew(topo, DefaultConfig(53))
+	origin := topo.NodesOfType(topology.C)[2]
+	net.Originate(origin, 1)
+	net.Run()
+
+	// Fail a batch of transit links near the core, converge, check, then
+	// restore and check again.
+	var failed [][2]topology.NodeID
+	for _, m := range topo.NodesOfType(topology.M)[:5] {
+		prov := topo.Nodes[m].Providers[0]
+		if err := net.FailLink(m, prov); err != nil {
+			t.Fatal(err)
+		}
+		failed = append(failed, [2]topology.NodeID{m, prov})
+	}
+	net.Run()
+	mustConsistent(t, net, "after link failures")
+	for _, l := range failed {
+		if err := net.RestoreLink(l[0], l[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Run()
+	mustConsistent(t, net, "after link restores")
+	if !net.HasRoute(0, 1) {
+		t.Fatal("route lost after restoring all links")
+	}
+}
+
+func TestConsistencyRejectsNonQuiescent(t *testing.T) {
+	topo := topology.MustGenerate(genParams(200, 59))
+	net := MustNew(topo, DefaultConfig(59))
+	net.Originate(topo.NodesOfType(topology.C)[0], 1)
+	// No Run(): events pending.
+	if err := net.CheckConsistency(); err == nil {
+		t.Fatal("consistency check accepted a non-quiescent network")
+	}
+}
+
+// Property: random small topologies with random event sequences always end
+// in a consistent state with no valley paths.
+func TestPropertyRandomEventSequences(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		n := 80 + src.Intn(120)
+		topo, err := topology.Generate(genParams(n, seed))
+		if err != nil {
+			return false
+		}
+		cfg := DefaultConfig(seed)
+		if src.Bernoulli(0.5) {
+			cfg.RateLimitWithdrawals = true
+		}
+		net := MustNew(topo, cfg)
+		cNodes := topo.NodesOfType(topology.C)
+		active := map[Prefix]topology.NodeID{}
+		// Random interleaving of originations and withdrawals of up to 3
+		// prefixes, running to quiescence after each step.
+		for step := 0; step < 8; step++ {
+			p := Prefix(1 + src.Intn(3))
+			if origin, ok := active[p]; ok && src.Bernoulli(0.5) {
+				net.WithdrawPrefix(origin, p)
+				delete(active, p)
+			} else if !ok {
+				origin := cNodes[src.Intn(len(cNodes))]
+				net.Originate(origin, p)
+				active[p] = origin
+			}
+			net.Run()
+		}
+		return net.CheckConsistency() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeakUpdateRate(t *testing.T) {
+	topo := topology.MustGenerate(genParams(300, 61))
+	net := MustNew(topo, DefaultConfig(61))
+	if net.PeakUpdateRate() != 0 {
+		t.Fatal("peak nonzero before any event")
+	}
+	net.Originate(topo.NodesOfType(topology.C)[0], 1)
+	net.Run()
+	peak := net.PeakUpdateRate()
+	if peak == 0 {
+		t.Fatal("peak not measured")
+	}
+	if peak > net.TotalUpdates() {
+		t.Fatalf("peak %d exceeds total %d", peak, net.TotalUpdates())
+	}
+	net.ResetCounters()
+	if net.PeakUpdateRate() != 0 {
+		t.Fatal("peak survived ResetCounters")
+	}
+}

@@ -1,0 +1,125 @@
+package bgp
+
+import (
+	"bgpchurn/internal/des"
+	"bgpchurn/internal/topology"
+)
+
+// NodeCounters is the per-node measurement snapshot for one window.
+type NodeCounters struct {
+	// Received is the total number of updates processed.
+	Received uint64
+	// Announcements and Withdrawals partition Received by kind.
+	Announcements uint64
+	Withdrawals   uint64
+	// Sent is the number of updates this node transmitted.
+	Sent uint64
+	// RouteChanges is the number of Loc-RIB best-route changes (the
+	// node's path-exploration depth over the window).
+	RouteChanges uint64
+	// Suppressions is the number of dampening suppression episodes.
+	Suppressions uint64
+	// PerNeighbor is the number of updates received from each neighbor
+	// slot, parallel to NeighborRelations.
+	PerNeighbor []uint32
+}
+
+// Counters returns a snapshot of node id's counters for the current
+// measurement window.
+func (net *Network) Counters(id topology.NodeID) NodeCounters {
+	nd := &net.nodes[id]
+	per := make([]uint32, len(nd.recvBySlot))
+	copy(per, nd.recvBySlot)
+	return NodeCounters{
+		Received:      nd.recvAnnounce + nd.recvWithdraw,
+		Announcements: nd.recvAnnounce,
+		Withdrawals:   nd.recvWithdraw,
+		Sent:          nd.sentUpdates,
+		RouteChanges:  nd.bestChanges,
+		Suppressions:  nd.suppressions,
+		PerNeighbor:   per,
+	}
+}
+
+// PerNeighborCounts returns node id's per-slot receive counts without
+// copying; the slice is owned by the engine and must not be modified. Use
+// together with NeighborRelations for the Eq.-1 factor decomposition.
+func (net *Network) PerNeighborCounts(id topology.NodeID) []uint32 {
+	return net.nodes[id].recvBySlot
+}
+
+// NeighborRelations returns node id's neighbor list (IDs and relations) in
+// slot order. The slice is owned by the engine and must not be modified.
+func (net *Network) NeighborRelations(id topology.NodeID) []topology.Neighbor {
+	return net.nodes[id].neighbors
+}
+
+// RIBSize returns the number of prefixes node id currently has a selected
+// route for (the Loc-RIB size, the paper's other scalability axis).
+func (net *Network) RIBSize(id topology.NodeID) int {
+	n := 0
+	for _, ps := range net.nodes[id].prefixes {
+		if ps.bestSlot != noneSlot {
+			n++
+		}
+	}
+	return n
+}
+
+// AdjRIBInSize returns the total number of routes node id holds across all
+// neighbors' Adj-RIB-Ins — the memory-relevant table size.
+func (net *Network) AdjRIBInSize(id topology.NodeID) int {
+	n := 0
+	for _, ps := range net.nodes[id].prefixes {
+		for _, p := range ps.ribIn {
+			if p != nil {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// RouteChanges returns node id's Loc-RIB best-route change count for the
+// current window without allocating (see NodeCounters.RouteChanges).
+func (net *Network) RouteChanges(id topology.NodeID) uint64 {
+	return net.nodes[id].bestChanges
+}
+
+// TotalUpdates returns the number of updates processed network-wide during
+// the current measurement window.
+func (net *Network) TotalUpdates() uint64 { return net.totalUpdates }
+
+// tickRate accounts one processed update to the current virtual second.
+func (net *Network) tickRate() {
+	bucket := net.sched.Now() / des.Second
+	if bucket != net.rateBucket {
+		net.rateBucket, net.rateCount = bucket, 0
+	}
+	net.rateCount++
+	if net.rateCount > net.ratePeak {
+		net.ratePeak = net.rateCount
+	}
+}
+
+// PeakUpdateRate returns the largest number of updates processed
+// network-wide within any single virtual second of the current window —
+// the burstiness measure motivating the paper's concern that routers must
+// absorb peaks far above daily means.
+func (net *Network) PeakUpdateRate() uint64 { return net.ratePeak }
+
+// ResetCounters zeroes every measurement counter, starting a new window.
+// Routing state and timers are untouched: the paper resets counting after
+// the initial prefix propagation, then measures the C-event.
+func (net *Network) ResetCounters() {
+	net.totalUpdates = 0
+	net.rateBucket, net.rateCount, net.ratePeak = 0, 0, 0
+	for i := range net.nodes {
+		nd := &net.nodes[i]
+		nd.recvAnnounce, nd.recvWithdraw, nd.sentUpdates = 0, 0, 0
+		nd.bestChanges, nd.suppressions = 0, 0
+		for j := range nd.recvBySlot {
+			nd.recvBySlot[j] = 0
+		}
+	}
+}

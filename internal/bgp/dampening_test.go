@@ -1,0 +1,185 @@
+package bgp
+
+import (
+	"testing"
+
+	"bgpchurn/internal/des"
+	"bgpchurn/internal/topology"
+)
+
+// dampChain builds T0 <- M1 <- C2 with dampening enabled and MRAI disabled
+// so flap timing is driven purely by the dampening machinery.
+func dampChain(t *testing.T, damp Dampening) (*Network, topology.NodeID) {
+	t.Helper()
+	topo := build(t,
+		[]topology.NodeType{topology.T, topology.M, topology.C},
+		[][2]topology.NodeID{{0, 1}, {1, 2}}, nil)
+	cfg := fastConfig(5)
+	cfg.Dampening = damp
+	return MustNew(topo, cfg), 2
+}
+
+// flap cycles the origin down and up. It advances time in bounded 10s
+// windows rather than running to full quiescence: a suppressed route arms a
+// reuse timer minutes in the future, and Run() would fast-forward straight
+// through it (unsuppressing the route and letting penalties decay), which
+// is exactly what a back-to-back flap burst does not do.
+func flap(net *Network, origin topology.NodeID, times int) {
+	for i := 0; i < times; i++ {
+		net.WithdrawPrefix(origin, 1)
+		net.RunUntil(net.Now() + 10*des.Second)
+		net.Originate(origin, 1)
+		net.RunUntil(net.Now() + 10*des.Second)
+	}
+}
+
+func TestDampeningSuppressesFlappingRoute(t *testing.T) {
+	net, origin := dampChain(t, DefaultDampening())
+	net.Originate(origin, 1)
+	net.Run()
+	if !net.HasRoute(0, 1) {
+		t.Fatal("initial propagation failed")
+	}
+	// Each withdraw+reannounce cycle adds 1000 (withdraw) at M1's session
+	// to C2; two cycles cross the 2000 suppress threshold.
+	flap(net, origin, 3)
+	if net.HasRoute(1, 1) {
+		t.Fatalf("M1 still uses the flapping route: %v", net.BestPath(1, 1))
+	}
+	if net.HasRoute(0, 1) {
+		t.Fatal("suppression did not propagate upstream")
+	}
+	if net.Suppressions(1) == 0 {
+		t.Fatal("no suppression recorded at M1")
+	}
+}
+
+func TestDampenedRouteReusedAfterDecay(t *testing.T) {
+	d := DefaultDampening()
+	// Short half-life so the test's virtual time stays small.
+	d.HalfLife = 60 * des.Second
+	d.MaxSuppress = 240 * des.Second
+	net, origin := dampChain(t, d)
+	net.Originate(origin, 1)
+	net.Run()
+	flap(net, origin, 3)
+	if net.HasRoute(1, 1) {
+		t.Fatal("route not suppressed")
+	}
+	// Let the penalty decay: the reuse event fires during this window and
+	// must restore the route (origin still announces it).
+	net.Settle(20 * 60 * des.Second)
+	if !net.HasRoute(1, 1) {
+		t.Fatal("suppressed route never reused after decay")
+	}
+	if !net.HasRoute(0, 1) {
+		t.Fatal("reuse did not propagate upstream")
+	}
+	if got := net.BestPath(0, 1); !got.Equal(Path{0, 1, 2}) {
+		t.Fatalf("path after reuse = %v", got)
+	}
+}
+
+func TestDampeningReducesUpstreamChurnUnderFlapping(t *testing.T) {
+	run := func(damp Dampening) uint64 {
+		net, origin := dampChain(t, damp)
+		net.Originate(origin, 1)
+		net.Run()
+		net.ResetCounters()
+		flap(net, origin, 10)
+		return net.Counters(0).Received // churn at the tier-1
+	}
+	withOut := run(Dampening{})
+	with := run(DefaultDampening())
+	if with >= withOut {
+		t.Fatalf("dampening did not reduce upstream churn: %d vs %d", with, withOut)
+	}
+}
+
+func TestDampeningStableRouteUnaffected(t *testing.T) {
+	net, origin := dampChain(t, DefaultDampening())
+	net.Originate(origin, 1)
+	net.Run()
+	// One clean withdrawal+announce is below every threshold.
+	flap(net, origin, 1)
+	if !net.HasRoute(0, 1) {
+		t.Fatal("single event triggered suppression")
+	}
+	if net.Suppressions(1) != 0 {
+		t.Fatal("suppression recorded for a single flap")
+	}
+}
+
+func TestDampeningPenaltyCeiling(t *testing.T) {
+	d := DefaultDampening()
+	// With the RFC parameters the ceiling is reuse * 2^(60/15) = 12000.
+	if got, want := d.ceiling(), 750*16.0; got != want {
+		t.Fatalf("ceiling = %v, want %v", got, want)
+	}
+}
+
+func TestDampeningValidation(t *testing.T) {
+	bad := []func(*Dampening){
+		func(d *Dampening) { d.WithdrawPenalty, d.UpdatePenalty = 0, 0 },
+		func(d *Dampening) { d.WithdrawPenalty = -1 },
+		func(d *Dampening) { d.SuppressThreshold = 0 },
+		func(d *Dampening) { d.ReuseThreshold = 0 },
+		func(d *Dampening) { d.ReuseThreshold = d.SuppressThreshold },
+		func(d *Dampening) { d.HalfLife = 0 },
+		func(d *Dampening) { d.MaxSuppress = d.HalfLife - 1 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig(1)
+		cfg.Dampening = DefaultDampening()
+		mutate(&cfg.Dampening)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid dampening accepted", i)
+		}
+	}
+	// Disabled dampening skips validation entirely.
+	cfg := DefaultConfig(1)
+	cfg.Dampening = Dampening{Enabled: false, HalfLife: -5}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("disabled dampening validated: %v", err)
+	}
+}
+
+func TestResetClearsDampeningState(t *testing.T) {
+	net, origin := dampChain(t, DefaultDampening())
+	net.Originate(origin, 1)
+	net.Run()
+	flap(net, origin, 3)
+	if net.HasRoute(0, 1) {
+		t.Fatal("setup: route should be suppressed")
+	}
+	net.Reset(5)
+	net.Originate(origin, 1)
+	net.Run()
+	if !net.HasRoute(0, 1) {
+		t.Fatal("dampening state survived Reset")
+	}
+	if net.Suppressions(1) != 0 {
+		t.Fatal("suppression counter survived Reset")
+	}
+}
+
+func TestRouteChangesCounterTracksExploration(t *testing.T) {
+	// Multihomed diamond: T0 over M1/M2 to origin C3. Under WRATE the
+	// withdrawal is delayed, so T0 explores the alternate before giving up.
+	topo := build(t,
+		[]topology.NodeType{topology.T, topology.M, topology.M, topology.C},
+		[][2]topology.NodeID{{0, 1}, {0, 2}, {1, 3}, {2, 3}}, nil)
+	net := MustNew(topo, WRATEConfig(3))
+	net.Originate(3, 1)
+	net.Run()
+	net.ResetCounters()
+	net.WithdrawPrefix(3, 1)
+	net.Run()
+	c := net.Counters(0)
+	if c.RouteChanges < 2 {
+		t.Fatalf("T0 route changes = %d, expected exploration (switch + loss)", c.RouteChanges)
+	}
+	if net.HasRoute(0, 1) {
+		t.Fatal("route not gone after withdrawal")
+	}
+}

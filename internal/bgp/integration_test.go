@@ -1,0 +1,226 @@
+package bgp
+
+import (
+	"testing"
+
+	"bgpchurn/internal/topology"
+)
+
+// genParams mirrors the Baseline Table 1 values for integration tests.
+func genParams(n int, seed uint64) topology.Params {
+	fn := float64(n)
+	nT := 5
+	nM := int(0.15 * fn)
+	nCP := int(0.05 * fn)
+	return topology.Params{
+		N: n, Regions: 5, Seed: seed,
+		NT: nT, NM: nM, NCP: nCP, NC: n - nT - nM - nCP,
+		DM: 2 + 2.5*fn/10000, DCP: 2 + 1.5*fn/10000, DC: 1 + 5*fn/100000,
+		PM: 1 + 2*fn/10000, PCPM: 0.2 + 2*fn/10000, PCPCP: 0.05 + 5*fn/100000,
+		TM: 0.375, TCP: 0.375, TC: 0.125,
+		MaxTProvidersPerM: topology.Unlimited, MaxMProviders: topology.Unlimited,
+		MSpread: 0.2, CPSpread: 0.05,
+	}
+}
+
+// checkValleyFree verifies that path (from the route holder to the origin)
+// is policy-compliant: in propagation direction (origin → holder) the link
+// sequence must be up* peer? down* where up = customer→provider.
+func checkValleyFree(t *testing.T, topo *topology.Topology, path Path) {
+	t.Helper()
+	// Propagation steps: path[i+1] sent to path[i].
+	const (
+		climbing = iota
+		peered
+		descending
+	)
+	phase := climbing
+	for i := len(path) - 1; i > 0; i-- {
+		from, to := path[i], path[i-1]
+		rel := topo.Relation(from, to) // how `from` sees `to`
+		var step int
+		switch rel {
+		case topology.Provider:
+			step = climbing // from exports to its provider
+		case topology.Peer:
+			step = peered
+		case topology.Customer:
+			step = descending
+		default:
+			t.Fatalf("path %v uses non-adjacent pair %d-%d", path, from, to)
+		}
+		switch {
+		case step == climbing && phase != climbing:
+			t.Fatalf("valley in path %v: climb after %d", path, phase)
+		case step == peered && phase != climbing:
+			t.Fatalf("valley in path %v: second peak", path)
+		}
+		phase = step
+	}
+}
+
+func TestGeneratedTopologyFullPropagation(t *testing.T) {
+	topo := topology.MustGenerate(genParams(400, 3))
+	net := MustNew(topo, fastConfig(3))
+	origin := topo.NodesOfType(topology.C)[7]
+	net.Originate(origin, 1)
+	net.Run()
+	for id := 0; id < topo.N(); id++ {
+		if !net.HasRoute(topology.NodeID(id), 1) {
+			t.Fatalf("node %d never learned the prefix", id)
+		}
+		p := net.BestPath(topology.NodeID(id), 1)
+		if p[0] != topology.NodeID(id) || p[len(p)-1] != origin {
+			t.Fatalf("malformed path at %d: %v", id, p)
+		}
+		seen := map[topology.NodeID]bool{}
+		for _, v := range p {
+			if seen[v] {
+				t.Fatalf("loop in path %v", p)
+			}
+			seen[v] = true
+		}
+		checkValleyFree(t, topo, p)
+	}
+}
+
+func TestValleyFreeUnderMRAIAndWrate(t *testing.T) {
+	topo := topology.MustGenerate(genParams(300, 9))
+	for _, cfg := range []Config{DefaultConfig(9), WRATEConfig(9)} {
+		net := MustNew(topo, cfg)
+		origins := topo.NodesOfType(topology.C)
+		net.Originate(origins[0], 1)
+		net.Run()
+		net.WithdrawPrefix(origins[0], 1)
+		net.Run()
+		net.Originate(origins[0], 1)
+		net.Run()
+		for id := 0; id < topo.N(); id++ {
+			if !net.HasRoute(topology.NodeID(id), 1) {
+				t.Fatalf("node %d routeless after flap (wrate=%v)", id, cfg.RateLimitWithdrawals)
+			}
+			checkValleyFree(t, topo, net.BestPath(topology.NodeID(id), 1))
+		}
+	}
+}
+
+func TestSimulationDeterminism(t *testing.T) {
+	topo := topology.MustGenerate(genParams(300, 5))
+	run := func() (uint64, int64) {
+		net := MustNew(topo, WRATEConfig(17))
+		origin := topo.NodesOfType(topology.C)[3]
+		net.Originate(origin, 1)
+		net.Run()
+		net.ResetCounters()
+		net.WithdrawPrefix(origin, 1)
+		net.Run()
+		net.Originate(origin, 1)
+		net.Run()
+		return net.TotalUpdates(), int64(net.Now())
+	}
+	u1, t1 := run()
+	u2, t2 := run()
+	if u1 != u2 || t1 != t2 {
+		t.Fatalf("runs diverged: (%d,%d) vs (%d,%d)", u1, t1, u2, t2)
+	}
+	if u1 == 0 {
+		t.Fatal("C-event produced no updates")
+	}
+}
+
+func TestWithdrawalReachesEveryoneCEvent(t *testing.T) {
+	topo := topology.MustGenerate(genParams(300, 21))
+	net := MustNew(topo, DefaultConfig(21))
+	origin := topo.NodesOfType(topology.C)[0]
+	net.Originate(origin, 1)
+	net.Run()
+	net.WithdrawPrefix(origin, 1)
+	net.Run()
+	for id := 0; id < topo.N(); id++ {
+		if topology.NodeID(id) == origin {
+			continue
+		}
+		if net.HasRoute(topology.NodeID(id), 1) {
+			t.Fatalf("node %d kept a route to a withdrawn prefix: %v", id, net.BestPath(topology.NodeID(id), 1))
+		}
+	}
+}
+
+func TestWratePathExplorationIncreasesChurn(t *testing.T) {
+	// §6's headline effect in miniature: rate-limited withdrawals cause
+	// path exploration, so a C-event generates at least as many updates.
+	topo := topology.MustGenerate(genParams(500, 31))
+	origin := topo.NodesOfType(topology.C)[11]
+
+	measure := func(cfg Config) uint64 {
+		net := MustNew(topo, cfg)
+		net.Originate(origin, 1)
+		net.Run()
+		net.Settle(60 * 1000 * 1000 * 1000)
+		net.ResetCounters()
+		net.WithdrawPrefix(origin, 1)
+		net.Run()
+		net.Originate(origin, 1)
+		net.Run()
+		return net.TotalUpdates()
+	}
+
+	noWrate := measure(DefaultConfig(31))
+	wrate := measure(WRATEConfig(31))
+	if wrate < noWrate {
+		t.Fatalf("WRATE churn %d < NO-WRATE churn %d", wrate, noWrate)
+	}
+}
+
+func TestResetReproducesFreshNetwork(t *testing.T) {
+	topo := topology.MustGenerate(genParams(300, 5))
+	origin := topo.NodesOfType(topology.C)[5]
+
+	cEvent := func(net *Network) (uint64, int64) {
+		net.Originate(origin, 1)
+		net.Run()
+		net.ResetCounters()
+		net.WithdrawPrefix(origin, 1)
+		net.Run()
+		net.Originate(origin, 1)
+		net.Run()
+		return net.TotalUpdates(), int64(net.Now())
+	}
+
+	fresh := MustNew(topo, WRATEConfig(23))
+	u1, t1 := cEvent(fresh)
+
+	reused := MustNew(topo, WRATEConfig(77)) // different seed on purpose
+	cEvent(reused)                           // dirty it
+	reused.Reset(23)                         // rewind to seed 23
+	u2, t2 := cEvent(reused)
+	if u1 != u2 || t1 != t2 {
+		t.Fatalf("Reset(23) run (%d,%d) differs from fresh seed-23 run (%d,%d)", u2, t2, u1, t1)
+	}
+	// State is truly clean: no routes, no pending events.
+	reused.Reset(23)
+	if reused.Pending() != 0 || reused.Now() != 0 || reused.TotalUpdates() != 0 {
+		t.Fatal("Reset left residue")
+	}
+	for id := 0; id < topo.N(); id++ {
+		if reused.HasRoute(topology.NodeID(id), 1) {
+			t.Fatalf("node %d kept a route across Reset", id)
+		}
+	}
+}
+
+func BenchmarkCEventBaseline1000(b *testing.B) {
+	topo := topology.MustGenerate(genParams(1000, 1))
+	origin := topo.NodesOfType(topology.C)[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net := MustNew(topo, DefaultConfig(uint64(i)))
+		net.Originate(origin, 1)
+		net.Run()
+		net.WithdrawPrefix(origin, 1)
+		net.Run()
+		net.Originate(origin, 1)
+		net.Run()
+	}
+}

@@ -1,0 +1,127 @@
+package bgp
+
+import (
+	"fmt"
+
+	"bgpchurn/internal/topology"
+)
+
+// Link failure/recovery events. The paper's evaluation uses C-events
+// (prefix withdraw + re-announce at the origin); link events are the "more
+// complex events" its future-work section names, provided as an extension.
+
+// FailLink tears down the session between a and b: in-flight state toward
+// each other is flushed, Adj-RIB-In entries learned over the link are
+// removed, and both ends re-run their decision process. Call Run afterwards
+// to propagate the resulting updates.
+func (net *Network) FailLink(a, b topology.NodeID) error {
+	ja, jb, err := net.slots(a, b)
+	if err != nil {
+		return err
+	}
+	na, nb := &net.nodes[a], &net.nodes[b]
+	if na.out[ja].down {
+		return fmt.Errorf("bgp: link %d-%d already down", a, b)
+	}
+	net.sessionDown(na, ja)
+	net.sessionDown(nb, jb)
+	return nil
+}
+
+// RestoreLink re-establishes the session between a and b: both ends
+// re-advertise their current best routes to each other per export policy,
+// as in a BGP session establishment's initial table exchange. Call Run
+// afterwards to propagate.
+func (net *Network) RestoreLink(a, b topology.NodeID) error {
+	ja, jb, err := net.slots(a, b)
+	if err != nil {
+		return err
+	}
+	na, nb := &net.nodes[a], &net.nodes[b]
+	if !na.out[ja].down {
+		return fmt.Errorf("bgp: link %d-%d is not down", a, b)
+	}
+	na.out[ja].down = false
+	nb.out[jb].down = false
+	net.resyncSlot(na, ja)
+	net.resyncSlot(nb, jb)
+	return nil
+}
+
+// LinkDown reports whether the a→b session is currently failed.
+func (net *Network) LinkDown(a, b topology.NodeID) bool {
+	ja, _, err := net.slots(a, b)
+	if err != nil {
+		return false
+	}
+	return net.nodes[a].out[ja].down
+}
+
+// slots resolves the slot of b in a's neighbor list and vice versa.
+func (net *Network) slots(a, b topology.NodeID) (ja, jb int, err error) {
+	ja, jb = -1, -1
+	for j, nb := range net.nodes[a].neighbors {
+		if nb.ID == b {
+			ja = j
+			break
+		}
+	}
+	for j, nb := range net.nodes[b].neighbors {
+		if nb.ID == a {
+			jb = j
+			break
+		}
+	}
+	if ja < 0 || jb < 0 {
+		return 0, 0, fmt.Errorf("bgp: %d and %d are not adjacent", a, b)
+	}
+	return ja, jb, nil
+}
+
+// sessionDown clears all state of nd's session at slot j and re-runs the
+// decision process for every prefix that was learned over it.
+func (net *Network) sessionDown(nd *node, j int) {
+	q := &nd.out[j]
+	q.down = true
+	q.scheduled = false // a queued flush event will find down=true and bail
+	for f := range q.pending {
+		delete(q.pending, f)
+	}
+	for f := range q.lastSent {
+		delete(q.lastSent, f)
+	}
+	q.expiry = 0
+	q.prefixExpiry = nil
+	q.prefixScheduled = nil
+	for _, f := range nd.sortedPrefixes() {
+		ps := nd.prefixes[f]
+		if ps.ribIn[j] == nil {
+			continue
+		}
+		ps.ribIn[j] = nil
+		net.applyDecision(nd, f, ps)
+	}
+}
+
+// resyncSlot advertises nd's current best routes to the neighbor at slot j,
+// as on session (re-)establishment.
+func (net *Network) resyncSlot(nd *node, j int) {
+	for _, f := range nd.sortedPrefixes() {
+		ps := nd.prefixes[f]
+		var full Path
+		fromCustomerOrSelf := false
+		switch ps.bestSlot {
+		case noneSlot:
+			continue
+		case selfSlot:
+			full = Path{nd.id}
+			fromCustomerOrSelf = true
+		default:
+			full = ps.bestPath.Prepend(nd.id)
+			fromCustomerOrSelf = nd.neighbors[ps.bestSlot].Rel == topology.Customer
+		}
+		if nd.exportable(j, full, fromCustomerOrSelf) {
+			net.setDesired(nd, j, f, full)
+		}
+	}
+}

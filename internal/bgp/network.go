@@ -1,0 +1,491 @@
+package bgp
+
+import (
+	"fmt"
+
+	"bgpchurn/internal/des"
+	"bgpchurn/internal/rng"
+	"bgpchurn/internal/topology"
+)
+
+// Network is a running BGP simulation over a fixed topology. Construct with
+// New, originate or withdraw prefixes, then Run to quiescence. A Network is
+// not safe for concurrent use; run one per goroutine.
+type Network struct {
+	topo  *topology.Topology
+	cfg   Config
+	sched des.Scheduler
+	nodes []node
+
+	// totalUpdates counts every update processed since the last
+	// ResetCounters, across all nodes.
+	totalUpdates uint64
+	// rateBucket/rateCount/ratePeak track the busiest virtual second of the
+	// window (network-wide updates processed per second), quantifying the
+	// burstiness the paper's introduction highlights.
+	rateBucket des.Time
+	rateCount  uint64
+	ratePeak   uint64
+	// updateHook, when set, observes every processed update (see
+	// SetUpdateHook).
+	updateHook func(UpdateRecord)
+}
+
+// New builds the per-node protocol state for the topology. The topology
+// must be valid (see topology.Validate); New does not re-validate it.
+func New(topo *topology.Topology, cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	net := &Network{topo: topo, cfg: cfg, nodes: make([]node, topo.N())}
+	master := rng.New(cfg.Seed)
+	salt := master.Uint64()
+	for i := range net.nodes {
+		nd := &net.nodes[i]
+		nd.id = topology.NodeID(i)
+		nd.typ = topo.Nodes[i].Type
+		nd.neighbors = topo.Neighbors(nd.id, nil)
+		nd.src = master.Split()
+		nd.prefixes = make(map[Prefix]*prefixState)
+		nd.out = make([]outQueue, len(nd.neighbors))
+		nd.tieHash = make([]uint64, len(nd.neighbors))
+		for j, nb := range nd.neighbors {
+			nd.tieHash[j] = hashID(salt, nb.ID)
+		}
+		nd.recvBySlot = make([]uint32, len(nd.neighbors))
+		nd.reverse = make([]int32, len(nd.neighbors))
+	}
+	// Wire reverse slots in a second pass, now that all neighbor lists
+	// exist: reverse[j] is this node's slot in neighbor j's list.
+	slotMaps := make([]map[topology.NodeID]int32, len(net.nodes))
+	for i := range net.nodes {
+		m := make(map[topology.NodeID]int32, len(net.nodes[i].neighbors))
+		for k, nb := range net.nodes[i].neighbors {
+			m[nb.ID] = int32(k)
+		}
+		slotMaps[i] = m
+	}
+	for i := range net.nodes {
+		nd := &net.nodes[i]
+		for j, nb := range nd.neighbors {
+			s, ok := slotMaps[nb.ID][nd.id]
+			if !ok {
+				return nil, fmt.Errorf("bgp: asymmetric adjacency %d-%d", nd.id, nb.ID)
+			}
+			nd.reverse[j] = s
+		}
+	}
+	return net, nil
+}
+
+// MustNew is New for known-valid inputs; it panics on error.
+func MustNew(topo *topology.Topology, cfg Config) *Network {
+	net, err := New(topo, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return net
+}
+
+// Topology returns the underlying topology.
+func (net *Network) Topology() *topology.Topology { return net.topo }
+
+// Config returns the protocol configuration.
+func (net *Network) Config() Config { return net.cfg }
+
+// Now returns the current virtual time.
+func (net *Network) Now() des.Time { return net.sched.Now() }
+
+// Pending returns the number of queued simulation events; zero means the
+// network is quiescent (converged).
+func (net *Network) Pending() int { return net.sched.Len() }
+
+// Run advances the simulation until quiescence and returns the number of
+// events fired.
+func (net *Network) Run() uint64 { return net.sched.Run() }
+
+// RunUntil advances the simulation up to the given deadline.
+func (net *Network) RunUntil(deadline des.Time) uint64 { return net.sched.RunUntil(deadline) }
+
+// Settle advances virtual time by d, firing any events that fall inside the
+// window. Experiments use it to let MRAI timers go idle between phases, so
+// a C-event starts from a quiet network as it would in practice.
+func (net *Network) Settle(d des.Time) uint64 {
+	return net.sched.RunUntil(net.sched.Now() + d)
+}
+
+// Reset rewinds the network to a pristine state (no prefixes, idle timers,
+// clock at zero, counters cleared) and reseeds every node's randomness
+// stream from seed, exactly as if the network had been rebuilt with New
+// using that seed — but reusing all allocated structures. Experiment sweeps
+// use it to run many C-events on one Network with per-event determinism
+// that is independent of scheduling order.
+func (net *Network) Reset(seed uint64) {
+	net.sched.Reset(true)
+	net.totalUpdates = 0
+	net.rateBucket, net.rateCount, net.ratePeak = 0, 0, 0
+	master := rng.New(seed)
+	salt := master.Uint64() // same draw order as New
+	for i := range net.nodes {
+		nd := &net.nodes[i]
+		nd.busyUntil = 0
+		nd.recvAnnounce, nd.recvWithdraw, nd.sentUpdates = 0, 0, 0
+		nd.bestChanges, nd.suppressions = 0, 0
+		for j := range nd.recvBySlot {
+			nd.recvBySlot[j] = 0
+		}
+		clear(nd.prefixes)
+		nd.src.Reseed(master.Uint64())
+		for j, nb := range nd.neighbors {
+			nd.tieHash[j] = hashID(salt, nb.ID)
+		}
+		for j := range nd.out {
+			q := &nd.out[j]
+			q.expiry, q.scheduled, q.down = 0, false, false
+			clear(q.pending)
+			clear(q.lastSent)
+			q.prefixExpiry, q.prefixScheduled = nil, nil
+		}
+	}
+}
+
+// Originate makes origin announce prefix f from the current virtual time.
+// Call Run afterwards to propagate.
+func (net *Network) Originate(origin topology.NodeID, f Prefix) {
+	nd := &net.nodes[origin]
+	ps := nd.state(f)
+	if ps.selfOrigin {
+		return
+	}
+	ps.selfOrigin = true
+	net.applyDecision(nd, f, ps)
+}
+
+// WithdrawPrefix makes origin stop announcing prefix f ("DOWN" half of a
+// C-event). Call Run afterwards to propagate.
+func (net *Network) WithdrawPrefix(origin topology.NodeID, f Prefix) {
+	nd := &net.nodes[origin]
+	ps := nd.state(f)
+	if !ps.selfOrigin {
+		return
+	}
+	ps.selfOrigin = false
+	net.applyDecision(nd, f, ps)
+}
+
+// HasRoute reports whether node id currently has a route to prefix f
+// (including originating it).
+func (net *Network) HasRoute(id topology.NodeID, f Prefix) bool {
+	ps := net.nodes[id].prefixes[f]
+	return ps != nil && ps.bestSlot != noneSlot
+}
+
+// BestPath returns the full AS path node id would use toward prefix f:
+// [id, ..., origin], or nil if it has no route. The returned slice is fresh.
+func (net *Network) BestPath(id topology.NodeID, f Prefix) Path {
+	ps := net.nodes[id].prefixes[f]
+	if ps == nil || ps.bestSlot == noneSlot {
+		return nil
+	}
+	if ps.bestSlot == selfSlot {
+		return Path{id}
+	}
+	return ps.bestPath.Prepend(id)
+}
+
+// NextHop returns the neighbor node id routes through for prefix f, the
+// node itself if it originates f, or topology.None if it has no route.
+func (net *Network) NextHop(id topology.NodeID, f Prefix) topology.NodeID {
+	ps := net.nodes[id].prefixes[f]
+	if ps == nil || ps.bestSlot == noneSlot {
+		return topology.None
+	}
+	if ps.bestSlot == selfSlot {
+		return id
+	}
+	return net.nodes[id].neighbors[ps.bestSlot].ID
+}
+
+// --- event types ---------------------------------------------------------
+
+// procEvent is the completion of processing one received update at a node.
+type procEvent struct {
+	net      *Network
+	to       topology.NodeID
+	fromSlot int32
+	kind     UpdateKind
+	prefix   Prefix
+	path     Path
+}
+
+// Fire consumes the update: counters, Adj-RIB-In, decision, exports.
+func (e *procEvent) Fire(*des.Scheduler) {
+	net := e.net
+	nd := &net.nodes[e.to]
+	nd.recvBySlot[e.fromSlot]++
+	net.totalUpdates++
+	net.tickRate()
+	if net.updateHook != nil {
+		net.updateHook(UpdateRecord{
+			Time:   net.sched.Now(),
+			From:   nd.neighbors[e.fromSlot].ID,
+			To:     nd.id,
+			Kind:   e.kind,
+			Prefix: e.prefix,
+			Path:   e.path,
+		})
+	}
+	ps := nd.state(e.prefix)
+	had := ps.ribIn[e.fromSlot]
+	if e.kind == Withdraw {
+		nd.recvWithdraw++
+		ps.ribIn[e.fromSlot] = nil
+	} else {
+		nd.recvAnnounce++
+		if e.path.Contains(nd.id) {
+			// Receiver-side loop detection; unreachable given sender-side
+			// suppression, kept as defense in depth.
+			ps.ribIn[e.fromSlot] = nil
+		} else {
+			ps.ribIn[e.fromSlot] = e.path
+		}
+	}
+	if d := &net.cfg.Dampening; d.Enabled && had != nil {
+		// RFC 2439 flap accounting: a withdrawal of a reachable route, or
+		// an announcement replacing it with a different path.
+		switch {
+		case e.kind == Withdraw:
+			net.recordFlap(nd, e.fromSlot, e.prefix, d.WithdrawPenalty)
+		case !had.Equal(ps.ribIn[e.fromSlot]):
+			net.recordFlap(nd, e.fromSlot, e.prefix, d.UpdatePenalty)
+		}
+	}
+	net.applyDecision(nd, e.prefix, ps)
+}
+
+// flushEvent fires when a per-interface MRAI timer expires with queued
+// updates.
+type flushEvent struct {
+	net  *Network
+	node topology.NodeID
+	slot int32
+}
+
+// Fire sends every queued update on the interface and restarts the timer if
+// anything was sent.
+func (e *flushEvent) Fire(*des.Scheduler) {
+	net := e.net
+	nd := &net.nodes[e.node]
+	q := &nd.out[e.slot]
+	q.scheduled = false
+	if q.down || len(q.pending) == 0 {
+		return
+	}
+	sent := false
+	for _, f := range q.sortedPending() {
+		pu := q.pending[f]
+		delete(q.pending, f)
+		net.transmit(nd, int(e.slot), f, pu.kind, pu.path)
+		if pu.kind == Withdraw {
+			delete(q.lastSent, f)
+		} else {
+			q.setLastSent(f, pu.path)
+		}
+		sent = true
+	}
+	if sent {
+		q.expiry = net.sched.Now() + des.Time(nd.src.Jitter(int64(net.cfg.MRAI), net.cfg.JitterLo, net.cfg.JitterHi))
+	}
+}
+
+// prefixFlushEvent is flushEvent for PerPrefix MRAI scope.
+type prefixFlushEvent struct {
+	net    *Network
+	node   topology.NodeID
+	slot   int32
+	prefix Prefix
+}
+
+// Fire sends the queued update for one (interface, prefix) pair.
+func (e *prefixFlushEvent) Fire(*des.Scheduler) {
+	net := e.net
+	nd := &net.nodes[e.node]
+	q := &nd.out[e.slot]
+	if q.prefixScheduled != nil {
+		delete(q.prefixScheduled, e.prefix)
+	}
+	if q.down {
+		return
+	}
+	pu, ok := q.pending[e.prefix]
+	if !ok {
+		return
+	}
+	delete(q.pending, e.prefix)
+	net.transmit(nd, int(e.slot), e.prefix, pu.kind, pu.path)
+	if pu.kind == Withdraw {
+		delete(q.lastSent, e.prefix)
+	} else {
+		q.setLastSent(e.prefix, pu.path)
+	}
+	q.prefixExpiry[e.prefix] = net.sched.Now() + des.Time(nd.src.Jitter(int64(net.cfg.MRAI), net.cfg.JitterLo, net.cfg.JitterHi))
+}
+
+// --- core protocol flow --------------------------------------------------
+
+// applyDecision re-runs the decision process for (nd, f); if the selected
+// route changed it updates the Loc-RIB and reconciles every neighbor's
+// output state.
+func (net *Network) applyDecision(nd *node, f Prefix, ps *prefixState) {
+	slot, path := nd.decide(ps)
+	if slot == ps.bestSlot && path.Equal(ps.bestPath) {
+		return
+	}
+	ps.bestSlot, ps.bestPath = slot, path
+	nd.bestChanges++
+	net.reconcile(nd, f, ps)
+}
+
+// reconcile recomputes the desired advertisement toward every neighbor and
+// feeds differences into the rate-limited output queues.
+func (net *Network) reconcile(nd *node, f Prefix, ps *prefixState) {
+	var full Path
+	fromCustomerOrSelf := false
+	switch ps.bestSlot {
+	case noneSlot:
+	case selfSlot:
+		full = Path{nd.id}
+		fromCustomerOrSelf = true
+	default:
+		full = ps.bestPath.Prepend(nd.id)
+		fromCustomerOrSelf = nd.neighbors[ps.bestSlot].Rel == topology.Customer
+	}
+	for j := range nd.neighbors {
+		if nd.out[j].down {
+			continue
+		}
+		var want Path
+		if nd.exportable(j, full, fromCustomerOrSelf) {
+			want = full
+		}
+		net.setDesired(nd, j, f, want)
+	}
+}
+
+// timerIdle reports whether an update for (q, f) may be sent immediately.
+func (net *Network) timerIdle(q *outQueue, f Prefix) bool {
+	if net.cfg.MRAI == 0 {
+		return true
+	}
+	if net.cfg.Scope == PerPrefix {
+		return q.prefixExpiry[f] <= net.sched.Now()
+	}
+	return q.expiry <= net.sched.Now()
+}
+
+// restartTimer starts the MRAI timer for (nd, j[, f]) after a send.
+func (net *Network) restartTimer(nd *node, j int, f Prefix) {
+	if net.cfg.MRAI == 0 {
+		return
+	}
+	expiry := net.sched.Now() + des.Time(nd.src.Jitter(int64(net.cfg.MRAI), net.cfg.JitterLo, net.cfg.JitterHi))
+	q := &nd.out[j]
+	if net.cfg.Scope == PerPrefix {
+		if q.prefixExpiry == nil {
+			q.prefixExpiry = make(map[Prefix]des.Time)
+		}
+		q.prefixExpiry[f] = expiry
+	} else {
+		q.expiry = expiry
+	}
+}
+
+// ensureFlush schedules the flush event that will drain (nd, j[, f]) when
+// its MRAI timer expires.
+func (net *Network) ensureFlush(nd *node, j int, f Prefix) {
+	q := &nd.out[j]
+	if net.cfg.Scope == PerPrefix {
+		if q.prefixScheduled == nil {
+			q.prefixScheduled = make(map[Prefix]bool)
+		}
+		if q.prefixScheduled[f] {
+			return
+		}
+		q.prefixScheduled[f] = true
+		net.sched.At(q.prefixExpiry[f], &prefixFlushEvent{net: net, node: nd.id, slot: int32(j), prefix: f})
+		return
+	}
+	if q.scheduled {
+		return
+	}
+	q.scheduled = true
+	net.sched.At(q.expiry, &flushEvent{net: net, node: nd.id, slot: int32(j)})
+}
+
+// setDesired reconciles the wire state toward neighbor j for prefix f with
+// the desired advertisement want (nil = withdrawn/none). It sends
+// immediately when rate limiting allows, otherwise replaces the queued
+// update.
+func (net *Network) setDesired(nd *node, j int, f Prefix, want Path) {
+	q := &nd.out[j]
+	last, onWire := q.lastSent[f]
+	if want == nil {
+		// Any queued announcement is now invalid.
+		delete(q.pending, f)
+		if !onWire {
+			return
+		}
+		if !net.cfg.RateLimitWithdrawals {
+			// NO-WRATE: explicit withdrawals bypass the MRAI timer entirely
+			// and do not restart it.
+			net.transmit(nd, j, f, Withdraw, nil)
+			delete(q.lastSent, f)
+			return
+		}
+		if net.timerIdle(q, f) {
+			net.transmit(nd, j, f, Withdraw, nil)
+			delete(q.lastSent, f)
+			net.restartTimer(nd, j, f)
+			return
+		}
+		q.setPending(f, pendingUpdate{kind: Withdraw})
+		net.ensureFlush(nd, j, f)
+		return
+	}
+	if onWire && last.Equal(want) {
+		// Wire state already matches; drop any queued update (it has been
+		// invalidated by this newer state).
+		delete(q.pending, f)
+		return
+	}
+	if net.timerIdle(q, f) {
+		net.transmit(nd, j, f, Announce, want)
+		q.setLastSent(f, want)
+		net.restartTimer(nd, j, f)
+		return
+	}
+	q.setPending(f, pendingUpdate{kind: Announce, path: want})
+	net.ensureFlush(nd, j, f)
+}
+
+// transmit delivers one update to the neighbor at slot j, modeling the
+// receiver's FIFO queue + single processor: processing completes a uniform
+// (0, MaxProcessingDelay] after the receiver becomes free.
+func (net *Network) transmit(nd *node, j int, f Prefix, kind UpdateKind, path Path) {
+	nd.sentUpdates++
+	to := &net.nodes[nd.neighbors[j].ID]
+	start := to.busyUntil
+	if now := net.sched.Now(); start < now {
+		start = now
+	}
+	done := start + des.Time(to.src.UniformDuration(int64(net.cfg.MaxProcessingDelay)))
+	to.busyUntil = done
+	net.sched.At(done, &procEvent{
+		net:      net,
+		to:       to.id,
+		fromSlot: nd.reverse[j],
+		kind:     kind,
+		prefix:   f,
+		path:     path,
+	})
+}

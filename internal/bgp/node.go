@@ -1,0 +1,207 @@
+package bgp
+
+import (
+	"sort"
+
+	"bgpchurn/internal/des"
+	"bgpchurn/internal/rng"
+	"bgpchurn/internal/topology"
+)
+
+// Sentinel values for prefixState.bestSlot.
+const (
+	selfSlot = -1 // the node originates the prefix itself
+	noneSlot = -2 // no route
+)
+
+// prefixState is a node's routing state for one prefix: the Adj-RIB-In
+// (best route learned per neighbor) and the selected best route.
+type prefixState struct {
+	// ribIn[j] is the path most recently announced by neighbor j, or nil.
+	// Paths are immutable once created and may be shared between nodes.
+	ribIn []Path
+	// bestSlot is the neighbor slot of the selected route, selfSlot or
+	// noneSlot.
+	bestSlot int
+	// bestPath is ribIn[bestSlot] (nil when bestSlot is selfSlot/noneSlot).
+	bestPath Path
+	// selfOrigin marks the node as the owner currently announcing the
+	// prefix.
+	selfOrigin bool
+	// damp is the per-neighbor flap-dampening state, allocated on the
+	// first flap (nil while the prefix never flapped or dampening is off).
+	damp []dampState
+}
+
+// pendingUpdate is an update waiting in an output queue for its MRAI timer.
+type pendingUpdate struct {
+	kind UpdateKind
+	path Path
+}
+
+// outQueue is the per-neighbor output state: the MRAI timer, the queue of
+// rate-limited updates, and the Adj-RIB-Out (what is currently on the wire).
+type outQueue struct {
+	// expiry is when the per-interface MRAI timer expires; a value <= now
+	// means the timer is idle. Used only with PerInterface scope.
+	expiry des.Time
+	// scheduled marks a pending flush event for this queue (PerInterface).
+	scheduled bool
+	// pending holds the latest not-yet-sent update per prefix. A newer
+	// update for the same prefix replaces the queued one (the paper's
+	// "queued update invalidated by a new update is removed"). Allocated
+	// lazily: most queues never rate-limit.
+	pending map[Prefix]pendingUpdate
+	// lastSent is the Adj-RIB-Out: the path currently advertised to this
+	// neighbor per prefix. Absence means not advertised (never, or
+	// withdrawn). Allocated lazily.
+	lastSent map[Prefix]Path
+	// prefixExpiry and prefixScheduled are the PerPrefix-scope analogues of
+	// expiry/scheduled, allocated lazily.
+	prefixExpiry    map[Prefix]des.Time
+	prefixScheduled map[Prefix]bool
+	// down marks a failed link; no updates flow and state is cleared.
+	down bool
+}
+
+// setPending queues an update, allocating the map on first use.
+func (q *outQueue) setPending(f Prefix, pu pendingUpdate) {
+	if q.pending == nil {
+		q.pending = make(map[Prefix]pendingUpdate, 1)
+	}
+	q.pending[f] = pu
+}
+
+// setLastSent records the wire state, allocating the map on first use.
+func (q *outQueue) setLastSent(f Prefix, p Path) {
+	if q.lastSent == nil {
+		q.lastSent = make(map[Prefix]Path, 1)
+	}
+	q.lastSent[f] = p
+}
+
+// node is one AS in the simulation.
+type node struct {
+	id        topology.NodeID
+	typ       topology.NodeType
+	neighbors []topology.Neighbor
+	// reverse[j] is this node's slot index in neighbor j's neighbor list,
+	// so messages can be delivered without per-message lookups.
+	reverse []int32
+	// tieHash[j] is the deterministic per-neighbor hash used as the final
+	// decision tie-break ("hashed value of the node IDs").
+	tieHash []uint64
+	// busyUntil models the single update processor with its FIFO queue: a
+	// message arriving at t completes processing at max(t, busyUntil) + d.
+	busyUntil des.Time
+	// src is the node's private randomness stream (processing delays,
+	// MRAI jitter).
+	src *rng.Source
+	// out is the per-neighbor output state, parallel to neighbors.
+	out []outQueue
+	// prefixes holds per-prefix routing state, allocated on first contact.
+	prefixes map[Prefix]*prefixState
+
+	// Measurement-window counters (reset by Network.ResetCounters).
+	recvBySlot   []uint32
+	recvAnnounce uint64
+	recvWithdraw uint64
+	sentUpdates  uint64
+	// bestChanges counts Loc-RIB best-route changes (path exploration
+	// depth); suppressions counts dampening suppression episodes.
+	bestChanges  uint64
+	suppressions uint64
+}
+
+// state returns the node's prefixState for f, allocating it on first use.
+func (nd *node) state(f Prefix) *prefixState {
+	ps := nd.prefixes[f]
+	if ps == nil {
+		ps = &prefixState{
+			ribIn:    make([]Path, len(nd.neighbors)),
+			bestSlot: noneSlot,
+		}
+		nd.prefixes[f] = ps
+	}
+	return ps
+}
+
+// decide runs the BGP decision process over the Adj-RIB-In: highest local
+// preference (customer > peer > provider), then shortest AS path, then the
+// ID hash, then (vanishingly unlikely) the lower slot. A self-originated
+// prefix always wins.
+func (nd *node) decide(ps *prefixState) (slot int, path Path) {
+	if ps.selfOrigin {
+		return selfSlot, nil
+	}
+	best := noneSlot
+	var bestPath Path
+	bestPref, bestLen := -1, 0
+	var bestHash uint64
+	for j, p := range ps.ribIn {
+		if p == nil || ps.suppressedAt(j) {
+			continue
+		}
+		pref := localPref(nd.neighbors[j].Rel)
+		plen := len(p)
+		h := nd.tieHash[j]
+		better := best == noneSlot ||
+			pref > bestPref ||
+			(pref == bestPref && plen < bestLen) ||
+			(pref == bestPref && plen == bestLen && h < bestHash)
+		if better {
+			best, bestPath, bestPref, bestLen, bestHash = j, p, pref, plen, h
+		}
+	}
+	return best, bestPath
+}
+
+// exportable reports whether the node's current best route for ps may be
+// advertised to neighbor slot j under the no-valley policy, and returns the
+// full AS path to advertise. full must be the best path prepended with the
+// node's own ID (computed once by the caller); fromCustomerOrSelf says the
+// best route was learned from a customer or originated locally.
+func (nd *node) exportable(j int, full Path, fromCustomerOrSelf bool) bool {
+	if full == nil {
+		return false
+	}
+	// No-valley: routes from peers/providers go only to customers; routes
+	// from customers (or our own prefixes) go to everyone.
+	if !fromCustomerOrSelf && nd.neighbors[j].Rel != topology.Customer {
+		return false
+	}
+	// Sender-side loop detection: never advertise a path through the
+	// recipient (this also suppresses the advertisement to the next hop,
+	// the paper's "unless its preferred path goes through the customer
+	// itself").
+	return !full.Contains(nd.neighbors[j].ID)
+}
+
+// sortedPrefixes returns the node's known prefixes in ascending order, for
+// deterministic iteration.
+func (nd *node) sortedPrefixes() []Prefix {
+	out := make([]Prefix, 0, len(nd.prefixes))
+	for f := range nd.prefixes {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// sortedPending returns the queue's pending prefixes in ascending order.
+func (q *outQueue) sortedPending() []Prefix {
+	out := make([]Prefix, 0, len(q.pending))
+	for f := range q.pending {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// hashID mixes a node ID with the simulation salt for decision tie-breaks.
+func hashID(salt uint64, id topology.NodeID) uint64 {
+	z := salt ^ (uint64(uint32(id))+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

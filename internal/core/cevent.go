@@ -1,0 +1,413 @@
+// Package core implements the paper's churn experiment framework (§4): the
+// C-event procedure (withdraw a prefix at a stub origin, let the network
+// converge, re-announce, converge again), update counting at every node,
+// and the Eq.-1 factor decomposition U(X) = Σ_y m_y·q_y·e_y over neighbor
+// business relations, together with sweep machinery over network sizes and
+// growth scenarios.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"bgpchurn/internal/bgp"
+	"bgpchurn/internal/des"
+	"bgpchurn/internal/rng"
+	"bgpchurn/internal/stats"
+	"bgpchurn/internal/topology"
+)
+
+// thePrefix is the single destination prefix used by C-events.
+const thePrefix bgp.Prefix = 1
+
+// EventKind selects the routing event an experiment measures.
+type EventKind uint8
+
+const (
+	// CEvent is the paper's event: the owner withdraws the prefix, the
+	// network converges, and the owner re-announces it.
+	CEvent EventKind = iota
+	// LinkEvent is the future-work extension: the link between the origin
+	// and its first provider fails and is later restored, while the prefix
+	// stays announced. Multihomed origins keep partial reachability, so
+	// the churn pattern differs from a C-event.
+	LinkEvent
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	if k == LinkEvent {
+		return "L-event"
+	}
+	return "C-event"
+}
+
+// Config parameterizes a C-event experiment on one topology.
+type Config struct {
+	// Origins is the number of distinct C-node event originators (the
+	// paper uses 100; it reports that more does not change the results).
+	// Capped at the number of C nodes in the topology.
+	Origins int
+	// BGP is the protocol configuration (MRAI variant etc.). Its Seed is
+	// combined with per-origin indices so every origin's run is
+	// deterministic in isolation.
+	BGP bgp.Config
+	// Settle is the idle time inserted after initial propagation and
+	// between the DOWN and UP phases so MRAI timers expire and each phase
+	// starts from a quiet network. Defaults to 2×MRAI.
+	Settle des.Time
+	// Parallelism bounds the number of concurrent simulations
+	// (0 = GOMAXPROCS). Results are independent of this value.
+	Parallelism int
+	// Kind selects the routing event (default: CEvent).
+	Kind EventKind
+}
+
+// DefaultConfig returns the paper's experiment setup (100 origins,
+// NO-WRATE) for the given seed.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Origins: 100,
+		BGP:     bgp.DefaultConfig(seed),
+	}
+}
+
+// RelationFactors is the Eq.-1 decomposition of the updates a node type
+// receives from one class of neighbors (customers, peers or providers):
+// U_y(X) = m_y(X) · q_y(X) · e_y(X).
+type RelationFactors struct {
+	// U is the mean number of updates received from neighbors of this
+	// relation per C-event.
+	U float64
+	// M is the mean number of neighbors of this relation (a topology
+	// property; independent of the event).
+	M float64
+	// Q is the mean fraction of those neighbors that sent at least one
+	// update during convergence.
+	Q float64
+	// E is the mean number of updates per active neighbor of this
+	// relation.
+	E float64
+}
+
+// TypeResult aggregates a C-event experiment over all nodes of one type.
+type TypeResult struct {
+	// Nodes is the number of nodes of this type in the topology.
+	Nodes int
+	// U is the mean number of updates received per node per C-event
+	// (averaged over origins and nodes, as in the paper).
+	U float64
+	// CI95 is the 95% confidence half-width of U over origins.
+	CI95 float64
+	// ByRel indexes RelationFactors by topology.Relation (Customer, Peer,
+	// Provider).
+	ByRel [3]RelationFactors
+}
+
+// Result is the outcome of a C-event experiment on one topology.
+type Result struct {
+	// N is the topology size.
+	N int
+	// Origins is the number of C-events actually run.
+	Origins int
+	// ByType indexes TypeResult by topology.NodeType.
+	ByType [4]TypeResult
+	// TotalUpdates is the mean network-wide number of updates per C-event.
+	TotalUpdates float64
+	// DownSeconds and UpSeconds are the mean convergence times of the two
+	// phases in virtual seconds.
+	DownSeconds, UpSeconds float64
+	// PathExploration[t] is the mean number of best-route changes per node
+	// of type t per event — the path-exploration depth. The related work
+	// the paper cites (Oliveira et al.) found exploration is less severe
+	// in the core; this metric lets the claim be checked here.
+	PathExploration [4]float64
+	// PeakRate is the mean (over origins) of the busiest virtual second:
+	// network-wide updates processed per second, a burstiness measure.
+	PeakRate float64
+	// Spread[t] summarizes the distribution of per-node update counts
+	// within type t (each node's count first averaged over origins). The
+	// paper points out the heavy-tailed degree distribution makes this
+	// variation significant even when confidence intervals over origins
+	// are tight.
+	Spread [4]stats.Summary
+}
+
+// U returns the mean updates per C-event for a node type, the paper's main
+// metric.
+func (r *Result) U(t topology.NodeType) float64 { return r.ByType[t].U }
+
+// originAccum collects one origin's contribution to the aggregate.
+type originAccum struct {
+	// perTypeU[t] is this origin's mean updates over nodes of type t.
+	perTypeU [4]float64
+	// relU/relQ/relE aggregate the factor samples: sums and sample counts.
+	relUSum, relQSum, relESum [4][3]float64
+	relUCnt, relQCnt, relECnt [4][3]float64
+	total                     float64
+	downSec, upSec            float64
+	exploration               [4]float64
+	peak                      float64
+	// perNodeU[id] is the update count at node id for this origin.
+	perNodeU []float64
+}
+
+// RunCEvents measures churn per C-event on one topology. Each of cfg.Origins
+// C nodes in turn withdraws and re-announces the prefix on a fresh network
+// state; update counts are collected at every node and averaged per type.
+// With cfg.Kind == LinkEvent the same procedure fails and restores the
+// origin's primary transit link instead.
+func RunCEvents(topo *topology.Topology, cfg Config) (*Result, error) {
+	if err := cfg.BGP.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Origins <= 0 {
+		return nil, fmt.Errorf("core: Origins must be positive")
+	}
+	cNodes := topo.NodesOfType(topology.C)
+	if len(cNodes) == 0 {
+		return nil, fmt.Errorf("core: topology has no C nodes to originate C-events")
+	}
+	origins := pickOrigins(cNodes, cfg.Origins, cfg.BGP.Seed)
+	if cfg.Kind == LinkEvent {
+		// A link failure at a single-homed stub is indistinguishable from a
+		// C-event; prefer multihomed origins so the event exercises partial
+		// reachability, falling back to the plain sample if there are too
+		// few of them.
+		multi := make([]topology.NodeID, 0, len(cNodes))
+		for _, id := range cNodes {
+			if len(topo.Nodes[id].Providers) >= 2 {
+				multi = append(multi, id)
+			}
+		}
+		if len(multi) >= cfg.Origins || len(multi) >= len(origins) {
+			origins = pickOrigins(multi, cfg.Origins, cfg.BGP.Seed)
+		}
+	}
+	settle := cfg.Settle
+	if settle == 0 {
+		settle = 2 * cfg.BGP.MRAI
+	}
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(origins) {
+		workers = len(origins)
+	}
+
+	accums := make([]originAccum, len(origins))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			net := bgp.MustNew(topo, cfg.BGP)
+			for idx := range next {
+				runOneOrigin(net, topo, origins[idx], cfg.BGP.Seed+uint64(idx)*0x9e3779b97f4a7c15, settle, cfg.Kind, &accums[idx])
+			}
+		}()
+	}
+	for i := range origins {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	return reduce(topo, origins, accums), nil
+}
+
+// pickOrigins deterministically samples k distinct C nodes.
+func pickOrigins(cNodes []topology.NodeID, k int, seed uint64) []topology.NodeID {
+	if k > len(cNodes) {
+		k = len(cNodes)
+	}
+	ids := append([]topology.NodeID(nil), cNodes...)
+	r := rng.New(seed ^ 0xc5f1e7a3b2d4968f)
+	r.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	return ids[:k]
+}
+
+// runOneOrigin performs the full event procedure for one originator and
+// fills acc with its per-node-type statistics.
+func runOneOrigin(net *bgp.Network, topo *topology.Topology, origin topology.NodeID, seed uint64, settle des.Time, kind EventKind, acc *originAccum) {
+	net.Reset(seed)
+
+	// Initial propagation: the prefix exists and the network is converged
+	// and quiet before the event, as in the paper's setup.
+	net.Originate(origin, thePrefix)
+	net.Run()
+	net.Settle(settle)
+	net.ResetCounters()
+
+	down := func() { net.WithdrawPrefix(origin, thePrefix) }
+	up := func() { net.Originate(origin, thePrefix) }
+	if kind == LinkEvent {
+		provider := topo.Nodes[origin].Providers[0]
+		down = func() {
+			if err := net.FailLink(origin, provider); err != nil {
+				panic(err) // adjacency comes from the topology; cannot fail
+			}
+		}
+		up = func() {
+			if err := net.RestoreLink(origin, provider); err != nil {
+				panic(err)
+			}
+		}
+	}
+
+	// DOWN: the owner withdraws the prefix (or its primary link fails).
+	start := net.Now()
+	down()
+	net.Run()
+	acc.downSec = (net.Now() - start).Seconds()
+
+	net.Settle(settle)
+
+	// UP: the owner re-announces (or the link is restored).
+	start = net.Now()
+	up()
+	net.Run()
+	acc.upSec = (net.Now() - start).Seconds()
+
+	acc.total = float64(net.TotalUpdates())
+	acc.peak = float64(net.PeakUpdateRate())
+	collect(net, topo, acc)
+}
+
+// collect reduces per-node per-neighbor counters into per-type factor
+// samples for one origin.
+func collect(net *bgp.Network, topo *topology.Topology, acc *originAccum) {
+	var uSum, expSum [4]float64
+	var nCount [4]float64
+	acc.perNodeU = make([]float64, topo.N())
+	for id := 0; id < topo.N(); id++ {
+		nid := topology.NodeID(id)
+		typ := topo.Nodes[id].Type
+		expSum[typ] += float64(net.RouteChanges(nid))
+		counts := net.PerNeighborCounts(nid)
+		rels := net.NeighborRelations(nid)
+
+		var relTotal, relActive, relNb [3]float64
+		total := 0.0
+		for j, nb := range rels {
+			c := float64(counts[j])
+			relNb[nb.Rel]++
+			relTotal[nb.Rel] += c
+			if counts[j] > 0 {
+				relActive[nb.Rel]++
+			}
+			total += c
+		}
+		uSum[typ] += total
+		nCount[typ]++
+		acc.perNodeU[id] = total
+
+		for rel := 0; rel < 3; rel++ {
+			acc.relUSum[typ][rel] += relTotal[rel]
+			acc.relUCnt[typ][rel]++
+			if relNb[rel] > 0 {
+				acc.relQSum[typ][rel] += relActive[rel] / relNb[rel]
+				acc.relQCnt[typ][rel]++
+			}
+			if relActive[rel] > 0 {
+				acc.relESum[typ][rel] += relTotal[rel] / relActive[rel]
+				acc.relECnt[typ][rel]++
+			}
+		}
+	}
+	for t := 0; t < 4; t++ {
+		if nCount[t] > 0 {
+			acc.perTypeU[t] = uSum[t] / nCount[t]
+			acc.exploration[t] = expSum[t] / nCount[t]
+		}
+	}
+}
+
+// reduce merges the per-origin accumulators into the final Result.
+func reduce(topo *topology.Topology, origins []topology.NodeID, accums []originAccum) *Result {
+	res := &Result{N: topo.N(), Origins: len(origins)}
+	counts := topo.CountByType()
+
+	// The m factors are topology properties, computed exactly.
+	var mSum [4][3]float64
+	for i := range topo.Nodes {
+		n := &topo.Nodes[i]
+		mSum[n.Type][topology.Customer] += float64(len(n.Customers))
+		mSum[n.Type][topology.Peer] += float64(len(n.Peers))
+		mSum[n.Type][topology.Provider] += float64(len(n.Providers))
+	}
+
+	for t := 0; t < 4; t++ {
+		tr := &res.ByType[t]
+		tr.Nodes = counts[t]
+		perOrigin := make([]float64, len(accums))
+		for i := range accums {
+			perOrigin[i] = accums[i].perTypeU[t]
+		}
+		tr.U, tr.CI95 = stats.MeanCI(perOrigin, 0.95)
+		for rel := 0; rel < 3; rel++ {
+			rf := &tr.ByRel[rel]
+			if counts[t] > 0 {
+				rf.M = mSum[t][rel] / float64(counts[t])
+			}
+			var uSum, uCnt, qSum, qCnt, eSum, eCnt float64
+			for i := range accums {
+				uSum += accums[i].relUSum[t][rel]
+				uCnt += accums[i].relUCnt[t][rel]
+				qSum += accums[i].relQSum[t][rel]
+				qCnt += accums[i].relQCnt[t][rel]
+				eSum += accums[i].relESum[t][rel]
+				eCnt += accums[i].relECnt[t][rel]
+			}
+			if uCnt > 0 {
+				rf.U = uSum / uCnt
+			}
+			if qCnt > 0 {
+				rf.Q = qSum / qCnt
+			}
+			if eCnt > 0 {
+				rf.E = eSum / eCnt
+			}
+		}
+	}
+	var total, down, up, peak float64
+	var expl [4]float64
+	for i := range accums {
+		total += accums[i].total
+		down += accums[i].downSec
+		up += accums[i].upSec
+		peak += accums[i].peak
+		for t := 0; t < 4; t++ {
+			expl[t] += accums[i].exploration[t]
+		}
+	}
+	k := float64(len(accums))
+	res.TotalUpdates = total / k
+	res.DownSeconds = down / k
+	res.UpSeconds = up / k
+	res.PeakRate = peak / k
+	for t := 0; t < 4; t++ {
+		res.PathExploration[t] = expl[t] / k
+	}
+
+	// Per-node means over origins, then the within-type distribution.
+	perNode := make([]float64, topo.N())
+	for i := range accums {
+		for id, v := range accums[i].perNodeU {
+			perNode[id] += v
+		}
+	}
+	var byType [4][]float64
+	for id := range perNode {
+		perNode[id] /= k
+		typ := topo.Nodes[id].Type
+		byType[typ] = append(byType[typ], perNode[id])
+	}
+	for t := 0; t < 4; t++ {
+		res.Spread[t] = stats.Summarize(byType[t])
+	}
+	return res
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+
+	"bgpchurn/internal/bgp"
+	"bgpchurn/internal/des"
+	"bgpchurn/internal/rng"
+	"bgpchurn/internal/topology"
+)
+
+// Session-reset experiments (R-events). The paper's introduction lists
+// session resets among the events that generate routing updates; unlike a
+// C-event, a reset's churn scales with the number of prefixes carried over
+// the session, because the whole table is withdrawn and re-exchanged. This
+// extension quantifies that scaling.
+
+// SessionResetConfig parameterizes an R-event experiment.
+type SessionResetConfig struct {
+	// Prefixes is the number of prefixes announced (each from a distinct C
+	// node) before any session is reset. Capped at the C population.
+	Prefixes int
+	// Sessions is the number of core transit sessions (a T node and one of
+	// its M customers) to reset, each on a restored network.
+	Sessions int
+	// BGP is the protocol configuration.
+	BGP bgp.Config
+	// Settle is the quiet time before each reset (default 2×MRAI).
+	Settle des.Time
+}
+
+// DefaultSessionResetConfig returns a 20-prefix, 10-session experiment.
+func DefaultSessionResetConfig(seed uint64) SessionResetConfig {
+	return SessionResetConfig{
+		Prefixes: 20,
+		Sessions: 10,
+		BGP:      bgp.DefaultConfig(seed),
+	}
+}
+
+// SessionResetResult aggregates an R-event experiment.
+type SessionResetResult struct {
+	// Prefixes and Sessions echo the configuration (after capping).
+	Prefixes, Sessions int
+	// MeanUpdates is the mean network-wide updates per session reset
+	// (teardown + re-establishment until quiescence).
+	MeanUpdates float64
+	// MeanUpdatesPerPrefix is MeanUpdates / Prefixes, the per-prefix reset
+	// cost; roughly flat in Prefixes when churn scales linearly.
+	MeanUpdatesPerPrefix float64
+	// MeanSeconds is the mean virtual time to full recovery.
+	MeanSeconds float64
+}
+
+// RunSessionResets announces cfg.Prefixes prefixes, lets the network
+// converge, then fails and immediately restores sampled T-M core sessions,
+// measuring the churn of each full table re-exchange.
+func RunSessionResets(topo *topology.Topology, cfg SessionResetConfig) (*SessionResetResult, error) {
+	if err := cfg.BGP.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Prefixes < 1 {
+		return nil, fmt.Errorf("core: Prefixes must be positive")
+	}
+	if cfg.Sessions < 1 {
+		return nil, fmt.Errorf("core: Sessions must be positive")
+	}
+	cNodes := topo.NodesOfType(topology.C)
+	if len(cNodes) == 0 {
+		return nil, fmt.Errorf("core: topology has no C nodes")
+	}
+	sessions := coreSessions(topo)
+	if len(sessions) == 0 {
+		return nil, fmt.Errorf("core: topology has no T-M transit sessions")
+	}
+	settle := cfg.Settle
+	if settle == 0 {
+		settle = 2 * cfg.BGP.MRAI
+	}
+
+	r := rng.New(cfg.BGP.Seed ^ 0x7be4d19f2ca8530b)
+	nPrefixes := cfg.Prefixes
+	if nPrefixes > len(cNodes) {
+		nPrefixes = len(cNodes)
+	}
+	origins := pickOrigins(cNodes, nPrefixes, cfg.BGP.Seed)
+	r.Shuffle(len(sessions), func(i, j int) { sessions[i], sessions[j] = sessions[j], sessions[i] })
+	nSessions := cfg.Sessions
+	if nSessions > len(sessions) {
+		nSessions = len(sessions)
+	}
+
+	net := bgp.MustNew(topo, cfg.BGP)
+	for i, origin := range origins {
+		net.Originate(origin, bgp.Prefix(i+1))
+	}
+	net.Run()
+	net.Settle(settle)
+
+	var totalUpdates, totalSeconds float64
+	for s := 0; s < nSessions; s++ {
+		link := sessions[s]
+		net.ResetCounters()
+		start := net.Now()
+		if err := net.FailLink(link[0], link[1]); err != nil {
+			return nil, err
+		}
+		// Immediate re-establishment: the reset, not a sustained outage.
+		if err := net.RestoreLink(link[0], link[1]); err != nil {
+			return nil, err
+		}
+		net.Run()
+		totalUpdates += float64(net.TotalUpdates())
+		totalSeconds += (net.Now() - start).Seconds()
+		net.Settle(settle)
+	}
+
+	res := &SessionResetResult{
+		Prefixes:    nPrefixes,
+		Sessions:    nSessions,
+		MeanUpdates: totalUpdates / float64(nSessions),
+		MeanSeconds: totalSeconds / float64(nSessions),
+	}
+	res.MeanUpdatesPerPrefix = res.MeanUpdates / float64(nPrefixes)
+	return res, nil
+}
+
+// coreSessions lists every transit link whose provider end is a T node and
+// whose customer end is an M node — the sessions whose resets hurt most.
+func coreSessions(topo *topology.Topology) [][2]topology.NodeID {
+	var out [][2]topology.NodeID
+	for i := range topo.Nodes {
+		n := &topo.Nodes[i]
+		if n.Type != topology.T {
+			continue
+		}
+		for _, c := range n.Customers {
+			if topo.Nodes[c].Type == topology.M {
+				out = append(out, [2]topology.NodeID{n.ID, c})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"bgpchurn/internal/bgp"
+	"bgpchurn/internal/scenario"
+)
+
+func TestSessionResetProducesChurn(t *testing.T) {
+	topo, err := scenario.Baseline.Generate(400, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultSessionResetConfig(41)
+	cfg.Prefixes = 10
+	cfg.Sessions = 5
+	res, err := RunSessionResets(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Prefixes != 10 || res.Sessions != 5 {
+		t.Fatalf("config echo wrong: %+v", res)
+	}
+	if res.MeanUpdates <= 0 || res.MeanSeconds <= 0 {
+		t.Fatalf("no churn measured: %+v", res)
+	}
+	if res.MeanUpdatesPerPrefix <= 0 {
+		t.Fatalf("per-prefix cost: %+v", res)
+	}
+}
+
+func TestSessionResetChurnScalesWithPrefixes(t *testing.T) {
+	topo, err := scenario.Baseline.Generate(400, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(prefixes int) *SessionResetResult {
+		cfg := DefaultSessionResetConfig(43)
+		cfg.Prefixes = prefixes
+		cfg.Sessions = 4
+		res, err := RunSessionResets(topo, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	small := run(2)
+	large := run(20)
+	// The motivation for the extension: reset churn grows with table size.
+	if large.MeanUpdates < 3*small.MeanUpdates {
+		t.Fatalf("10x prefixes raised reset churn only %vx (%v -> %v)",
+			large.MeanUpdates/small.MeanUpdates, small.MeanUpdates, large.MeanUpdates)
+	}
+}
+
+func TestSessionResetValidation(t *testing.T) {
+	topo, err := scenario.Baseline.Generate(200, 47)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultSessionResetConfig(47)
+	cfg.Prefixes = 0
+	if _, err := RunSessionResets(topo, cfg); err == nil {
+		t.Fatal("zero prefixes accepted")
+	}
+	cfg = DefaultSessionResetConfig(47)
+	cfg.Sessions = 0
+	if _, err := RunSessionResets(topo, cfg); err == nil {
+		t.Fatal("zero sessions accepted")
+	}
+	cfg = DefaultSessionResetConfig(47)
+	cfg.BGP.MaxProcessingDelay = 0
+	if _, err := RunSessionResets(topo, cfg); err == nil {
+		t.Fatal("bad protocol config accepted")
+	}
+	// Session and prefix counts cap gracefully.
+	cfg = DefaultSessionResetConfig(47)
+	cfg.Prefixes = 1 << 20
+	cfg.Sessions = 1 << 20
+	res, err := RunSessionResets(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Prefixes > topo.CountByType()[3] {
+		t.Fatalf("prefixes not capped: %d", res.Prefixes)
+	}
+}
+
+func TestSessionResetDeterministic(t *testing.T) {
+	topo, err := scenario.Baseline.Generate(300, 53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SessionResetConfig{Prefixes: 5, Sessions: 3, BGP: bgp.DefaultConfig(53)}
+	a, err := RunSessionResets(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSessionResets(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanUpdates != b.MeanUpdates || a.MeanSeconds != b.MeanSeconds {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}

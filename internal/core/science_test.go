@@ -1,0 +1,142 @@
+package core
+
+// Science guards: small-scale versions of the paper's headline comparative
+// results, run as ordinary tests so a regression in the *findings* (not
+// just the code) fails CI. Bench-scale and paper-scale versions live in
+// bench_test.go and cmd/experiments.
+
+import (
+	"testing"
+
+	"bgpchurn/internal/scenario"
+	"bgpchurn/internal/topology"
+)
+
+func measureUT(t *testing.T, sc scenario.Scenario, n int, seed uint64) float64 {
+	t.Helper()
+	topo, err := sc.Generate(n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunCEvents(topo, testConfig(seed, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.U(topology.T)
+}
+
+func TestScienceTier1ChurnGrowsStubsStayFlat(t *testing.T) {
+	// Fig. 4's shape: U(T) grows clearly with n while U(C) barely moves.
+	run := func(n int) (float64, float64) {
+		topo, err := scenario.Baseline.Generate(n, uint64(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunCEvents(topo, testConfig(uint64(n), 15))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.U(topology.T), res.U(topology.C)
+	}
+	uT1, uC1 := run(400)
+	uT2, uC2 := run(1600)
+	if uT2 <= uT1 {
+		t.Fatalf("U(T) did not grow: %v -> %v", uT1, uT2)
+	}
+	growthT := uT2 / uT1
+	growthC := uC2 / uC1
+	if growthT <= growthC {
+		t.Fatalf("tier-1 churn growth (%vx) not above stub growth (%vx)", growthT, growthC)
+	}
+	if growthC > 1.6 {
+		t.Fatalf("stub churn grew %vx; expected near-flat", growthC)
+	}
+}
+
+func TestScienceDenseCoreBeatsDenseEdge(t *testing.T) {
+	// §5.2's sharpest comparison at fixed size.
+	core := measureUT(t, scenario.DenseCore, 800, 5)
+	edge := measureUT(t, scenario.DenseEdge, 800, 5)
+	base := measureUT(t, scenario.Baseline, 800, 5)
+	if core <= edge {
+		t.Fatalf("DENSE-CORE %v <= DENSE-EDGE %v", core, edge)
+	}
+	if edge <= base {
+		t.Fatalf("DENSE-EDGE %v <= BASELINE %v", edge, base)
+	}
+}
+
+func TestScienceNoMiddleChurnIndependentOfSize(t *testing.T) {
+	// §5.1: without mid-level providers, U(T) does not grow with n — it
+	// depends only on the origin's multihoming degree.
+	small := measureUT(t, scenario.NoMiddle, 400, 9)
+	large := measureUT(t, scenario.NoMiddle, 1600, 9)
+	if large > 1.7*small || small > 1.7*large {
+		t.Fatalf("NO-MIDDLE U(T) varies with size: %v vs %v", small, large)
+	}
+}
+
+func TestSciencePeeringDensityIrrelevant(t *testing.T) {
+	// §5.3 at fixed size: removing or doubling peering moves U(M) little.
+	measure := func(sc scenario.Scenario) float64 {
+		topo, err := sc.Generate(800, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunCEvents(topo, testConfig(11, 12))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.U(topology.M)
+	}
+	base := measure(scenario.Baseline)
+	noPeer := measure(scenario.NoPeering)
+	strong := measure(scenario.StrongCorePeering)
+	for name, v := range map[string]float64{"NO-PEERING": noPeer, "STRONG-CORE-PEERING": strong} {
+		if v < 0.6*base || v > 1.6*base {
+			t.Fatalf("%s moved U(M) from %v to %v; paper says peering barely matters", name, base, v)
+		}
+	}
+}
+
+func TestSciencePreferTopReducesChurn(t *testing.T) {
+	// §5.4: flat hierarchies (PREFER-TOP) churn less at the top than deep
+	// ones (PREFER-MIDDLE), because the far larger customer count mc,T is
+	// more than offset by a collapse of qc,T. The U gap is modest at small
+	// n, so average over seeds; the mc/qc mechanism is checked exactly.
+	measure := func(sc scenario.Scenario, seed uint64) *Result {
+		topo, err := sc.Generate(1500, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunCEvents(topo, testConfig(seed, 15))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	var uTop, uMid, mcTop, mcMid, qcTop, qcMid float64
+	for _, seed := range []uint64{13, 29, 47} {
+		top := measure(scenario.PreferTop, seed)
+		mid := measure(scenario.PreferMiddle, seed)
+		uTop += top.U(topology.T)
+		uMid += mid.U(topology.T)
+		mcTop += top.ByType[topology.T].ByRel[topology.Customer].M
+		mcMid += mid.ByType[topology.T].ByRel[topology.Customer].M
+		qcTop += top.ByType[topology.T].ByRel[topology.Customer].Q
+		qcMid += mid.ByType[topology.T].ByRel[topology.Customer].Q
+	}
+	// Mechanism (Fig. 11 middle/bottom): far more direct customers under
+	// PREFER-TOP, far lower per-customer activity probability.
+	if mcTop <= 2*mcMid {
+		t.Fatalf("mc,T: PREFER-TOP %v not ≫ PREFER-MIDDLE %v", mcTop/3, mcMid/3)
+	}
+	if qcTop >= qcMid {
+		t.Fatalf("qc,T: PREFER-TOP %v not < PREFER-MIDDLE %v", qcTop/3, qcMid/3)
+	}
+	// Net effect (Fig. 11 top): averaged over seeds, the flat hierarchy
+	// loads tier-1s less.
+	if uTop >= uMid {
+		t.Fatalf("mean U(T): PREFER-TOP %v >= PREFER-MIDDLE %v", uTop/3, uMid/3)
+	}
+}

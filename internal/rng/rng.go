@@ -1,0 +1,224 @@
+// Package rng provides a small, fully deterministic pseudo-random number
+// generator and the distributions used by the simulator.
+//
+// The simulator must produce bit-identical runs for a given seed regardless
+// of the Go release it is compiled with, so it does not use math/rand (whose
+// default sources and shuffling algorithms have changed across releases).
+// Instead it implements xoshiro256** seeded through splitmix64, the
+// combination recommended by Blackman & Vigna. The generator is not safe for
+// concurrent use; simulations that run in parallel each own a Source derived
+// with Split.
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Source is a deterministic xoshiro256** pseudo-random number generator.
+// The zero value is not usable; construct with New.
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a Source seeded from seed via splitmix64, which guarantees the
+// internal state is well mixed even for small or similar seeds.
+func New(seed uint64) *Source {
+	var src Source
+	src.Reseed(seed)
+	return &src
+}
+
+// Reseed resets the generator state as if it had been created by New(seed).
+func (r *Source) Reseed(seed uint64) {
+	sm := seed
+	for i := range r.s {
+		sm, r.s[i] = splitmix64(sm)
+	}
+	// xoshiro256** requires a non-zero state; splitmix64 of any seed cannot
+	// produce four zero outputs, but guard anyway for robustness.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+}
+
+// splitmix64 advances the splitmix64 state and returns (new state, output).
+func splitmix64(state uint64) (next, out uint64) {
+	state += 0x9e3779b97f4a7c15
+	z := state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return state, z ^ (z >> 31)
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 random bits.
+func (r *Source) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Split returns a new Source whose stream is statistically independent of
+// the receiver's. It consumes one value from the receiver, so sibling splits
+// receive distinct states. Split is how per-goroutine sources are derived
+// from a master simulation seed.
+func (r *Source) Split() *Source {
+	return New(r.Uint64())
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (r *Source) Float64() float64 {
+	// Use the top 53 bits for a uniformly spaced mantissa.
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniformly distributed int in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniformly distributed uint64 in [0, n) using Lemire's
+// nearly-divisionless rejection method. It panics if n == 0.
+func (r *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with zero n")
+	}
+	for {
+		hi, lo := bits.Mul64(r.Uint64(), n)
+		if lo >= n || lo >= -n%n {
+			return hi
+		}
+	}
+}
+
+// IntRange returns a uniformly distributed int in [lo, hi] inclusive.
+// It panics if hi < lo.
+func (r *Source) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic("rng: IntRange with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// UniformFloat returns a uniformly distributed float64 in [lo, hi).
+func (r *Source) UniformFloat(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// UniformDuration returns a uniformly distributed duration (in integer
+// nanoseconds) in (0, max]. The open lower bound avoids zero-length
+// processing times which would let an update be processed instantaneously.
+func (r *Source) UniformDuration(max int64) int64 {
+	if max <= 0 {
+		panic("rng: UniformDuration with non-positive max")
+	}
+	return 1 + int64(r.Uint64n(uint64(max)))
+}
+
+// CountAroundMean draws an integer "degree" whose expectation is mean,
+// uniformly distributed between minimum and (2*mean - minimum), matching the
+// paper's "uniformly distributed between one and twice the specified
+// average" construction for provider counts (minimum 1) and peering counts
+// (minimum 0). Fractional means are honoured in expectation by drawing a
+// continuous uniform and rounding stochastically.
+func (r *Source) CountAroundMean(mean float64, minimum int) int {
+	lo := float64(minimum)
+	if mean <= lo {
+		// Degenerate spread: interpret mean directly with stochastic rounding
+		// so e.g. mean 0.2 still yields a link 20% of the time.
+		return r.stochasticRound(mean, minimum)
+	}
+	hi := 2*mean - lo
+	return r.stochasticRound(r.UniformFloat(lo, hi), minimum)
+}
+
+// stochasticRound rounds x to an adjacent integer with probability equal to
+// the fractional part, clamping at minimum, so expectations are preserved.
+func (r *Source) stochasticRound(x float64, minimum int) int {
+	if x < float64(minimum) {
+		x = float64(minimum)
+	}
+	floor := math.Floor(x)
+	n := int(floor)
+	if r.Float64() < x-floor {
+		n++
+	}
+	if n < minimum {
+		n = minimum
+	}
+	return n
+}
+
+// Bernoulli returns true with probability p (clamped to [0, 1]).
+func (r *Source) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Jitter returns d scaled by a uniform factor in [lo, hi], used for the
+// BGP-4 MRAI jitter (lo=0.75, hi=1.0 per RFC 4271 section 9.2.2.3).
+func (r *Source) Jitter(d int64, lo, hi float64) int64 {
+	f := r.UniformFloat(lo, hi)
+	j := int64(float64(d) * f)
+	if j < 1 {
+		j = 1
+	}
+	return j
+}
+
+// NormFloat64 returns a standard normally distributed float64 using the
+// Marsaglia polar method. Used by the synthetic trace generator.
+func (r *Source) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		return u * math.Sqrt(-2*math.Log(s)/s)
+	}
+}
+
+// LogNormal returns a lognormally distributed float64 with the given
+// parameters of the underlying normal (mu, sigma).
+func (r *Source) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.NormFloat64())
+}
+
+// Perm returns a pseudo-random permutation of [0, n) (Fisher-Yates).
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of the first n elements using swap.
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,297 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("draw %d: sources with equal seeds diverged: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestSeedSensitivity(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 produced %d identical draws out of 100", same)
+	}
+}
+
+func TestReseedMatchesNew(t *testing.T) {
+	a := New(7)
+	a.Uint64()
+	a.Reseed(99)
+	b := New(99)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Reseed did not reproduce New state")
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(5)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	equal := 0
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			equal++
+		}
+	}
+	if equal > 0 {
+		t.Fatalf("sibling splits produced %d identical draws", equal)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(13)
+	const buckets = 10
+	const draws = 100000
+	var counts [buckets]int
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	want := float64(draws) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("bucket %d count %d deviates from %v by more than 5 sigma", b, c, want)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nBounds(t *testing.T) {
+	r := New(17)
+	f := func(n uint64) bool {
+		if n == 0 {
+			return true
+		}
+		return r.Uint64n(n) < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntRange(t *testing.T) {
+	r := New(19)
+	for i := 0; i < 10000; i++ {
+		v := r.IntRange(-3, 3)
+		if v < -3 || v > 3 {
+			t.Fatalf("IntRange out of bounds: %d", v)
+		}
+	}
+	// Single-point range must always return that point.
+	for i := 0; i < 10; i++ {
+		if v := r.IntRange(5, 5); v != 5 {
+			t.Fatalf("IntRange(5,5) = %d", v)
+		}
+	}
+}
+
+func TestUniformDuration(t *testing.T) {
+	r := New(23)
+	const max = 100_000_000
+	for i := 0; i < 10000; i++ {
+		d := r.UniformDuration(max)
+		if d <= 0 || d > max {
+			t.Fatalf("UniformDuration out of (0,max]: %d", d)
+		}
+	}
+}
+
+func TestCountAroundMeanExpectation(t *testing.T) {
+	cases := []struct {
+		mean    float64
+		minimum int
+	}{
+		{2.0, 1}, {2.25, 1}, {1.0, 1}, {3.5, 1},
+		{1.2, 0}, {0.2, 0}, {0.05, 0}, {2.0, 0},
+	}
+	r := New(29)
+	for _, c := range cases {
+		const draws = 200000
+		sum := 0
+		for i := 0; i < draws; i++ {
+			v := r.CountAroundMean(c.mean, c.minimum)
+			if v < c.minimum {
+				t.Fatalf("CountAroundMean(%v,%d) returned %d below minimum", c.mean, c.minimum, v)
+			}
+			sum += v
+		}
+		got := float64(sum) / draws
+		want := c.mean
+		if want < float64(c.minimum) {
+			want = float64(c.minimum)
+		}
+		if math.Abs(got-want) > 0.03*math.Max(1, want) {
+			t.Errorf("CountAroundMean(%v,%d): empirical mean %v, want ~%v", c.mean, c.minimum, got, want)
+		}
+	}
+}
+
+func TestCountAroundMeanSpread(t *testing.T) {
+	// For mean 2 with minimum 1, values must lie in {1,2,3} (uniform on
+	// [1, 3] then stochastic rounding can reach 4 only from x>3, impossible).
+	r := New(31)
+	for i := 0; i < 50000; i++ {
+		v := r.CountAroundMean(2.0, 1)
+		if v < 1 || v > 3 {
+			t.Fatalf("CountAroundMean(2,1) out of [1,3]: %d", v)
+		}
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	r := New(37)
+	if r.Bernoulli(0) {
+		t.Fatal("Bernoulli(0) returned true")
+	}
+	if !r.Bernoulli(1) {
+		t.Fatal("Bernoulli(1) returned false")
+	}
+	hits := 0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / draws
+	if math.Abs(p-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) empirical rate %v", p)
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	r := New(41)
+	const d = int64(30_000_000_000)
+	for i := 0; i < 10000; i++ {
+		j := r.Jitter(d, 0.75, 1.0)
+		if j < int64(0.75*float64(d)) || j > d {
+			t.Fatalf("Jitter out of [0.75d, d]: %d", j)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(43)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("normal mean %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Fatalf("normal variance %v, want ~1", variance)
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	r := New(47)
+	for i := 0; i < 1000; i++ {
+		if v := r.LogNormal(0, 1); v <= 0 {
+			t.Fatalf("LogNormal returned non-positive %v", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(53)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw % 64)
+		p := r.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	r := New(59)
+	s := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	for _, v := range s {
+		sum += v
+	}
+	if sum != 36 {
+		t.Fatalf("shuffle lost elements, sum=%d", sum)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Intn(1000)
+	}
+}

@@ -1,0 +1,257 @@
+// Package scenario defines the paper's Baseline growth model (Table 1) and
+// every named "what-if" deviation of §5 as parameter transforms over the
+// network size n. Each scenario maps (n, seed) to fully resolved topology
+// parameters; everything else about generation is shared.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"bgpchurn/internal/rng"
+	"bgpchurn/internal/topology"
+)
+
+// Scenario is a named topology growth model.
+type Scenario struct {
+	// Name is the paper's identifier, e.g. "BASELINE" or "DENSE-CORE".
+	Name string
+	// Description summarizes the deviation in one sentence.
+	Description string
+
+	build func(n int, seed uint64) topology.Params
+}
+
+// Params resolves the scenario's generator parameters for network size n.
+// The seed drives both the scenario-level draws (e.g. the Baseline's 4–6
+// tier-1 count) and topology generation.
+func (s Scenario) Params(n int, seed uint64) topology.Params {
+	return s.build(n, seed)
+}
+
+// Generate builds a topology of size n for this scenario.
+func (s Scenario) Generate(n int, seed uint64) (*topology.Topology, error) {
+	return topology.Generate(s.Params(n, seed))
+}
+
+// baseline returns the Table 1 parameters for size n. All deviations start
+// from this and override individual knobs.
+func baseline(n int, seed uint64) topology.Params {
+	fn := float64(n)
+	// The paper draws the tier-1 count uniformly in [4, 6].
+	nT := rng.New(seed^0x9d5c0f2ab1e6c44d).IntRange(4, 6)
+	nM := int(0.15 * fn)
+	nCP := int(0.05 * fn)
+	nC := n - nT - nM - nCP
+	return topology.Params{
+		N: n, Regions: 5, Seed: seed,
+		NT: nT, NM: nM, NCP: nCP, NC: nC,
+		DM: 2 + 2.5*fn/10000, DCP: 2 + 1.5*fn/10000, DC: 1 + 5*fn/100000,
+		PM: 1 + 2*fn/10000, PCPM: 0.2 + 2*fn/10000, PCPCP: 0.05 + 5*fn/100000,
+		TM: 0.375, TCP: 0.375, TC: 0.125,
+		MaxTProvidersPerM: topology.Unlimited,
+		MaxMProviders:     topology.Unlimited,
+		MSpread:           0.20, CPSpread: 0.05,
+	}
+}
+
+// resplitStubs redistributes the node budget remaining after NT and NM over
+// CP and C, preserving the Baseline 0.05:0.80 CP:C ratio.
+func resplitStubs(p *topology.Params) {
+	rest := p.N - p.NT - p.NM
+	p.NCP = rest * 5 / 85 // 0.05 / (0.05+0.80)
+	p.NC = rest - p.NCP
+}
+
+// Baseline is the growth model resembling the last decade of Internet
+// evolution: slowly increasing stub MHD, faster-growing mid-level MHD and
+// peering density (Table 1).
+var Baseline = Scenario{
+	Name:        "BASELINE",
+	Description: "Table 1 growth model resembling observed Internet evolution",
+	build:       baseline,
+}
+
+// NoMiddle removes all mid-level providers: tier-1 transit is so cheap that
+// regional providers are out of business (§5.1).
+var NoMiddle = Scenario{
+	Name:        "NO-MIDDLE",
+	Description: "no M nodes; stubs buy transit directly from tier-1s",
+	build: func(n int, seed uint64) topology.Params {
+		p := baseline(n, seed)
+		p.NM = 0
+		resplitStubs(&p)
+		return p
+	},
+}
+
+// RichMiddle triples the mid-level provider population (§5.1).
+var RichMiddle = Scenario{
+	Name:        "RICH-MIDDLE",
+	Description: "booming ISP market: three times as many M nodes",
+	build: func(n int, seed uint64) topology.Params {
+		p := baseline(n, seed)
+		p.NM = int(0.45 * float64(n))
+		resplitStubs(&p)
+		return p
+	},
+}
+
+// StaticMiddle freezes the transit-provider population at its n=1000 size;
+// all growth happens at the edge (§5.1).
+var StaticMiddle = Scenario{
+	Name:        "STATIC-MIDDLE",
+	Description: "T and M populations frozen at n=1000; only stubs grow",
+	build: func(n int, seed uint64) topology.Params {
+		p := baseline(n, seed)
+		frozen := baseline(1000, seed)
+		p.NT, p.NM = frozen.NT, frozen.NM
+		resplitStubs(&p)
+		return p
+	},
+}
+
+// TransitClique collapses the transit hierarchy into one big tier-1 clique
+// of "equals" (§5.1).
+var TransitClique = Scenario{
+	Name:        "TRANSIT-CLIQUE",
+	Description: "all transit nodes in the top clique: nT=0.15n, no M nodes",
+	build: func(n int, seed uint64) topology.Params {
+		p := baseline(n, seed)
+		p.NT = int(0.15 * float64(n))
+		p.NM = 0
+		resplitStubs(&p)
+		return p
+	},
+}
+
+// DenseCore triples the multihoming degree of mid-level providers (§5.2).
+var DenseCore = Scenario{
+	Name:        "DENSE-CORE",
+	Description: "3x multihoming in the core (M nodes)",
+	build: func(n int, seed uint64) topology.Params {
+		p := baseline(n, seed)
+		p.DM *= 3
+		return p
+	},
+}
+
+// DenseEdge triples the multihoming degree of stubs (§5.2).
+var DenseEdge = Scenario{
+	Name:        "DENSE-EDGE",
+	Description: "3x multihoming at the edge (C and CP nodes)",
+	build: func(n int, seed uint64) topology.Params {
+		p := baseline(n, seed)
+		p.DC *= 3
+		p.DCP *= 3
+		return p
+	},
+}
+
+// Tree gives every node exactly one provider (§5.2's extreme corner case).
+var Tree = Scenario{
+	Name:        "TREE",
+	Description: "single-homed everything: the transit hierarchy is a forest",
+	build: func(n int, seed uint64) topology.Params {
+		p := baseline(n, seed)
+		p.DM, p.DCP, p.DC = 1, 1, 1
+		return p
+	},
+}
+
+// ConstantMHD removes the n-dependent component of every multihoming degree
+// (§5.2).
+var ConstantMHD = Scenario{
+	Name:        "CONSTANT-MHD",
+	Description: "multihoming degrees stay at their n→0 values as n grows",
+	build: func(n int, seed uint64) topology.Params {
+		p := baseline(n, seed)
+		p.DM, p.DCP, p.DC = 2, 2, 1
+		return p
+	},
+}
+
+// NoPeering removes every peering link outside the tier-1 clique (§5.3).
+var NoPeering = Scenario{
+	Name:        "NO-PEERING",
+	Description: "no peering links except the tier-1 clique",
+	build: func(n int, seed uint64) topology.Params {
+		p := baseline(n, seed)
+		p.PM, p.PCPM, p.PCPCP = 0, 0, 0
+		return p
+	},
+}
+
+// StrongCorePeering doubles the M-M peering degree (§5.3).
+var StrongCorePeering = Scenario{
+	Name:        "STRONG-CORE-PEERING",
+	Description: "2x M-M peering density",
+	build: func(n int, seed uint64) topology.Params {
+		p := baseline(n, seed)
+		p.PM *= 2
+		return p
+	},
+}
+
+// StrongEdgePeering triples the CP peering degrees (§5.3).
+var StrongEdgePeering = Scenario{
+	Name:        "STRONG-EDGE-PEERING",
+	Description: "3x CP-M and CP-CP peering density",
+	build: func(n int, seed uint64) topology.Params {
+		p := baseline(n, seed)
+		p.PCPM *= 3
+		p.PCPCP *= 3
+		return p
+	},
+}
+
+// PreferMiddle makes stubs buy transit exclusively from M nodes and limits
+// M nodes to at most one tier-1 provider (§5.4).
+var PreferMiddle = Scenario{
+	Name:        "PREFER-MIDDLE",
+	Description: "stubs avoid tier-1 transit; M nodes have at most one T provider",
+	build: func(n int, seed uint64) topology.Params {
+		p := baseline(n, seed)
+		p.TCP, p.TC = 0, 0
+		p.MaxTProvidersPerM = 1
+		return p
+	},
+}
+
+// PreferTop limits every node to at most one M provider so transit demand
+// concentrates on tier-1s (§5.4).
+var PreferTop = Scenario{
+	Name:        "PREFER-TOP",
+	Description: "at most one M provider per node; transit concentrates on tier-1s",
+	build: func(n int, seed uint64) topology.Params {
+		p := baseline(n, seed)
+		p.MaxMProviders = 1
+		return p
+	},
+}
+
+// All returns every scenario, Baseline first, the rest grouped as in §5.
+func All() []Scenario {
+	return []Scenario{
+		Baseline,
+		NoMiddle, RichMiddle, StaticMiddle, TransitClique,
+		DenseCore, DenseEdge, Tree, ConstantMHD,
+		NoPeering, StrongCorePeering, StrongEdgePeering,
+		PreferMiddle, PreferTop,
+	}
+}
+
+// ByName looks a scenario up by its paper name (case-sensitive).
+func ByName(name string) (Scenario, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	names := make([]string, 0, 14)
+	for _, s := range All() {
+		names = append(names, s.Name)
+	}
+	sort.Strings(names)
+	return Scenario{}, fmt.Errorf("scenario: unknown scenario %q (known: %v)", name, names)
+}

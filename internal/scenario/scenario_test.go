@@ -1,0 +1,147 @@
+package scenario
+
+import "testing"
+
+func TestAllScenariosProduceValidParams(t *testing.T) {
+	for _, s := range All() {
+		for _, n := range []int{1000, 4000, 10000} {
+			p := s.Params(n, 1)
+			if err := p.Validate(); err != nil {
+				t.Errorf("%s at n=%d: %v", s.Name, n, err)
+			}
+		}
+	}
+}
+
+func TestAllScenariosGenerateValidTopologies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generation sweep skipped in -short mode")
+	}
+	for _, s := range All() {
+		topo, err := s.Generate(600, 7)
+		if err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+			continue
+		}
+		if err := topo.Validate(); err != nil {
+			t.Errorf("%s: invalid topology: %v", s.Name, err)
+		}
+	}
+}
+
+func TestBaselineTable1Scaling(t *testing.T) {
+	p1 := Baseline.Params(1000, 1)
+	p10 := Baseline.Params(10000, 1)
+	if p1.NT < 4 || p1.NT > 6 {
+		t.Errorf("NT = %d, want 4-6", p1.NT)
+	}
+	if p1.NM != 150 || p10.NM != 1500 {
+		t.Errorf("NM scaling wrong: %d, %d", p1.NM, p10.NM)
+	}
+	if p1.NCP != 50 || p10.NCP != 500 {
+		t.Errorf("NCP scaling wrong: %d, %d", p1.NCP, p10.NCP)
+	}
+	// Table 1 formulas at the endpoints.
+	approx := func(got, want float64) bool { return got > want-1e-9 && got < want+1e-9 }
+	if !approx(p1.DM, 2.25) || !approx(p10.DM, 4.5) {
+		t.Errorf("DM = %v, %v; want 2.25, 4.5", p1.DM, p10.DM)
+	}
+	if !approx(p1.DCP, 2.15) || !approx(p10.DCP, 3.5) {
+		t.Errorf("DCP = %v, %v; want 2.15, 3.5", p1.DCP, p10.DCP)
+	}
+	if !approx(p1.DC, 1.05) || !approx(p10.DC, 1.5) {
+		t.Errorf("DC = %v, %v; want 1.05, 1.5", p1.DC, p10.DC)
+	}
+	if !approx(p1.PM, 1.2) || !approx(p10.PM, 3.0) {
+		t.Errorf("PM = %v, %v; want 1.2, 3.0", p1.PM, p10.PM)
+	}
+	if p1.TM != 0.375 || p1.TCP != 0.375 || p1.TC != 0.125 {
+		t.Errorf("provider preference probabilities wrong: %v %v %v", p1.TM, p1.TCP, p1.TC)
+	}
+}
+
+func TestDeviationKnobs(t *testing.T) {
+	n := 4000
+	base := Baseline.Params(n, 1)
+
+	if p := NoMiddle.Params(n, 1); p.NM != 0 || p.NCP+p.NC+p.NT != n {
+		t.Errorf("NO-MIDDLE mix wrong: %+v", p)
+	}
+	if p := RichMiddle.Params(n, 1); p.NM != int(0.45*float64(n)) {
+		t.Errorf("RICH-MIDDLE NM = %d", p.NM)
+	}
+	if p := StaticMiddle.Params(n, 1); p.NM != 150 {
+		t.Errorf("STATIC-MIDDLE NM = %d, want frozen 150", p.NM)
+	}
+	if p := TransitClique.Params(n, 1); p.NT != 600 || p.NM != 0 {
+		t.Errorf("TRANSIT-CLIQUE NT=%d NM=%d", p.NT, p.NM)
+	}
+	if p := DenseCore.Params(n, 1); p.DM != 3*base.DM {
+		t.Errorf("DENSE-CORE DM = %v", p.DM)
+	}
+	if p := DenseEdge.Params(n, 1); p.DC != 3*base.DC || p.DCP != 3*base.DCP {
+		t.Errorf("DENSE-EDGE DC=%v DCP=%v", p.DC, p.DCP)
+	}
+	if p := Tree.Params(n, 1); p.DM != 1 || p.DCP != 1 || p.DC != 1 {
+		t.Errorf("TREE degrees: %v %v %v", p.DM, p.DCP, p.DC)
+	}
+	if p := ConstantMHD.Params(n, 1); p.DM != 2 || p.DCP != 2 || p.DC != 1 {
+		t.Errorf("CONSTANT-MHD degrees: %v %v %v", p.DM, p.DCP, p.DC)
+	}
+	if p := NoPeering.Params(n, 1); p.PM != 0 || p.PCPM != 0 || p.PCPCP != 0 {
+		t.Errorf("NO-PEERING has peering: %+v", p)
+	}
+	if p := StrongCorePeering.Params(n, 1); p.PM != 2*base.PM {
+		t.Errorf("STRONG-CORE-PEERING PM = %v", p.PM)
+	}
+	if p := StrongEdgePeering.Params(n, 1); p.PCPM != 3*base.PCPM || p.PCPCP != 3*base.PCPCP {
+		t.Errorf("STRONG-EDGE-PEERING: %+v", p)
+	}
+	if p := PreferMiddle.Params(n, 1); p.TCP != 0 || p.TC != 0 || p.MaxTProvidersPerM != 1 {
+		t.Errorf("PREFER-MIDDLE: %+v", p)
+	}
+	if p := PreferTop.Params(n, 1); p.MaxMProviders != 1 {
+		t.Errorf("PREFER-TOP: %+v", p)
+	}
+}
+
+func TestNodeBudgetAlwaysExact(t *testing.T) {
+	for _, s := range All() {
+		for n := 1000; n <= 10000; n += 1000 {
+			p := s.Params(n, uint64(n))
+			if p.NT+p.NM+p.NCP+p.NC != n {
+				t.Errorf("%s at n=%d: mix sums to %d", s.Name, n, p.NT+p.NM+p.NCP+p.NC)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("DENSE-CORE")
+	if err != nil || s.Name != "DENSE-CORE" {
+		t.Fatalf("ByName(DENSE-CORE) = %v, %v", s.Name, err)
+	}
+	if _, err := ByName("NOPE"); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestScenarioSeedDeterminism(t *testing.T) {
+	a := Baseline.Params(3000, 99)
+	b := Baseline.Params(3000, 99)
+	if a != b {
+		t.Fatal("same seed gave different params")
+	}
+}
+
+func TestNoMiddleEqualsTransitCliqueInStubMix(t *testing.T) {
+	// The paper observes NO-MIDDLE and TRANSIT-CLIQUE differ only in the
+	// number of T nodes; the stub populations should follow the same ratio.
+	nm := NoMiddle.Params(10000, 1)
+	tc := TransitClique.Params(10000, 1)
+	ratioNM := float64(nm.NCP) / float64(nm.NC)
+	ratioTC := float64(tc.NCP) / float64(tc.NC)
+	if diff := ratioNM - ratioTC; diff > 0.01 || diff < -0.01 {
+		t.Errorf("stub ratios diverge: %v vs %v", ratioNM, ratioTC)
+	}
+}

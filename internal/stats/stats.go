@@ -1,0 +1,404 @@
+// Package stats provides the statistical tools the paper relies on: the
+// Mann-Kendall trend test with Sen's slope estimator (used on the noisy
+// monitor churn series of Fig. 1), ordinary least squares linear and
+// quadratic regression with coefficients of determination (used to classify
+// the growth of the churn factors in §4–5), and basic summary statistics
+// with normal-approximation confidence intervals.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (0 for fewer than two
+// values).
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// MeanCI returns the sample mean with the half-width of its normal
+// approximation confidence interval at the given confidence level (e.g.
+// 0.95). The paper reports 95% intervals over 100 event originators, where
+// the normal approximation is appropriate.
+func MeanCI(xs []float64, level float64) (mean, halfWidth float64) {
+	mean = Mean(xs)
+	n := len(xs)
+	if n < 2 {
+		return mean, 0
+	}
+	z := normalQuantile(0.5 + level/2)
+	return mean, z * StdDev(xs) / math.Sqrt(float64(n))
+}
+
+// normalQuantile computes the standard normal quantile via the
+// Beasley-Springer-Moro rational approximation (|error| < 3e-9).
+func normalQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return math.NaN()
+	}
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const pLow = 0.02425
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}
+
+// TrendResult is the outcome of the Mann-Kendall test.
+type TrendResult struct {
+	// S is the Mann-Kendall statistic: the number of concordant minus
+	// discordant pairs.
+	S int64
+	// Z is the normal-approximation test statistic with tie correction and
+	// continuity correction.
+	Z float64
+	// PValue is the two-sided p-value of the null "no monotone trend".
+	PValue float64
+	// Slope is Sen's slope: the median of all pairwise slopes, a robust
+	// estimate of the per-step trend.
+	Slope float64
+	// Increasing / Decreasing summarize the direction at the 5% level.
+	Increasing, Decreasing bool
+}
+
+// MannKendall runs the Mann-Kendall trend test on a regularly sampled
+// series (the paper's estimator for the churn growth in Fig. 1). It needs
+// at least 3 points.
+func MannKendall(xs []float64) (TrendResult, error) {
+	n := len(xs)
+	if n < 3 {
+		return TrendResult{}, fmt.Errorf("stats: Mann-Kendall needs >= 3 points, got %d", n)
+	}
+	var s int64
+	for i := 0; i < n-1; i++ {
+		for j := i + 1; j < n; j++ {
+			switch {
+			case xs[j] > xs[i]:
+				s++
+			case xs[j] < xs[i]:
+				s--
+			}
+		}
+	}
+	// Variance with tie correction: group identical values.
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	fn := float64(n)
+	variance := fn * (fn - 1) * (2*fn + 5) / 18
+	for i := 0; i < n; {
+		j := i
+		for j < n && sorted[j] == sorted[i] {
+			j++
+		}
+		t := float64(j - i)
+		if t > 1 {
+			variance -= t * (t - 1) * (2*t + 5) / 18
+		}
+		i = j
+	}
+	var z float64
+	if variance > 0 {
+		switch {
+		case s > 0:
+			z = (float64(s) - 1) / math.Sqrt(variance)
+		case s < 0:
+			z = (float64(s) + 1) / math.Sqrt(variance)
+		}
+	}
+	p := 2 * (1 - normalCDF(math.Abs(z)))
+	res := TrendResult{
+		S:      s,
+		Z:      z,
+		PValue: p,
+		Slope:  senSlope(xs),
+	}
+	if p < 0.05 {
+		res.Increasing = s > 0
+		res.Decreasing = s < 0
+	}
+	return res, nil
+}
+
+// senSlope returns the median of all pairwise slopes (x[j]-x[i])/(j-i).
+func senSlope(xs []float64) float64 {
+	n := len(xs)
+	slopes := make([]float64, 0, n*(n-1)/2)
+	for i := 0; i < n-1; i++ {
+		for j := i + 1; j < n; j++ {
+			slopes = append(slopes, (xs[j]-xs[i])/float64(j-i))
+		}
+	}
+	if len(slopes) == 0 {
+		return 0
+	}
+	sort.Float64s(slopes)
+	m := len(slopes)
+	if m%2 == 1 {
+		return slopes[m/2]
+	}
+	return (slopes[m/2-1] + slopes[m/2]) / 2
+}
+
+// normalCDF is the standard normal cumulative distribution function.
+func normalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// Fit is a least-squares polynomial fit with its quality measures.
+type Fit struct {
+	// Coeffs are the polynomial coefficients, constant term first.
+	Coeffs []float64
+	// R2 is the coefficient of determination.
+	R2 float64
+}
+
+// Eval evaluates the fitted polynomial at x.
+func (f Fit) Eval(x float64) float64 {
+	y, pow := 0.0, 1.0
+	for _, c := range f.Coeffs {
+		y += c * pow
+		pow *= x
+	}
+	return y
+}
+
+// LinearFit fits y = a + b·x by ordinary least squares.
+func LinearFit(x, y []float64) (Fit, error) {
+	return PolyFit(x, y, 1)
+}
+
+// QuadraticFit fits y = a + b·x + c·x² by ordinary least squares. The paper
+// uses quadratic fits (R² ≈ 0.92) to characterize the superlinear growth of
+// Uc(T).
+func QuadraticFit(x, y []float64) (Fit, error) {
+	return PolyFit(x, y, 2)
+}
+
+// PolyFit fits a degree-d polynomial by solving the normal equations with
+// Gaussian elimination. Suitable for the small, well-conditioned fits used
+// here (d <= 3, x scaled to ~10^4).
+func PolyFit(x, y []float64, degree int) (Fit, error) {
+	n := len(x)
+	if n != len(y) {
+		return Fit{}, fmt.Errorf("stats: x and y lengths differ (%d vs %d)", n, len(y))
+	}
+	if degree < 0 {
+		return Fit{}, fmt.Errorf("stats: negative degree")
+	}
+	if n < degree+1 {
+		return Fit{}, fmt.Errorf("stats: need >= %d points for degree %d, got %d", degree+1, degree, n)
+	}
+	// Scale x to improve conditioning of the normal equations.
+	maxAbs := 0.0
+	for _, v := range x {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	scale := 1.0
+	if maxAbs > 0 {
+		scale = 1 / maxAbs
+	}
+	k := degree + 1
+	// Build the normal equations A·c = b over scaled x.
+	a := make([][]float64, k)
+	b := make([]float64, k)
+	for i := range a {
+		a[i] = make([]float64, k)
+	}
+	for t := 0; t < n; t++ {
+		xs := x[t] * scale
+		powers := make([]float64, 2*degree+1)
+		powers[0] = 1
+		for p := 1; p <= 2*degree; p++ {
+			powers[p] = powers[p-1] * xs
+		}
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				a[i][j] += powers[i+j]
+			}
+			b[i] += y[t] * powers[i]
+		}
+	}
+	coeffs, err := solve(a, b)
+	if err != nil {
+		return Fit{}, err
+	}
+	// Undo the x scaling: coefficient of x^i was fit against (x·scale)^i.
+	pow := 1.0
+	for i := range coeffs {
+		coeffs[i] *= pow
+		pow *= scale
+	}
+	fit := Fit{Coeffs: coeffs}
+	// R².
+	meanY := Mean(y)
+	var ssTot, ssRes float64
+	for t := 0; t < n; t++ {
+		d := y[t] - meanY
+		ssTot += d * d
+		r := y[t] - fit.Eval(x[t])
+		ssRes += r * r
+	}
+	if ssTot > 0 {
+		fit.R2 = 1 - ssRes/ssTot
+	} else if ssRes == 0 {
+		fit.R2 = 1
+	}
+	return fit, nil
+}
+
+// solve performs Gaussian elimination with partial pivoting on a copy-free
+// basis (the inputs are consumed).
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(b)
+	for col := 0; col < n; col++ {
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-12 {
+			return nil, fmt.Errorf("stats: singular normal equations")
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for c := r + 1; c < n; c++ {
+			sum -= a[r][c] * x[c]
+		}
+		x[r] = sum / a[r][r]
+	}
+	return x, nil
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics (type-7, the R/NumPy default).
+// It returns 0 for an empty slice. xs is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Summary holds the distribution summary the experiment framework reports
+// per node type ("significant variation across nodes of the same type",
+// §4.2 of the paper).
+type Summary struct {
+	Mean, Median, P90, Max float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	maxV := xs[0]
+	for _, v := range xs {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	return Summary{
+		Mean:   Mean(xs),
+		Median: Quantile(xs, 0.5),
+		P90:    Quantile(xs, 0.9),
+		Max:    maxV,
+	}
+}
+
+// RelativeSeries normalizes a series to its first element, the form the
+// paper uses for every "relative increase" figure (Figs. 6–9, 11). A zero
+// first element yields zeros.
+func RelativeSeries(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	if len(xs) == 0 || xs[0] == 0 {
+		return out
+	}
+	for i, x := range xs {
+		out[i] = x / xs[0]
+	}
+	return out
+}
+
+// GrowthFactor returns last/first, the paper's "factor X over our range of
+// topology sizes" summary. Returns 0 when the series is empty or starts at
+// zero.
+func GrowthFactor(xs []float64) float64 {
+	if len(xs) == 0 || xs[0] == 0 {
+		return 0
+	}
+	return xs[len(xs)-1] / xs[0]
+}

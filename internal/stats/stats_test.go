@@ -1,0 +1,328 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bgpchurn/internal/rng"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !approx(m, 5, 1e-12) {
+		t.Fatalf("mean = %v", m)
+	}
+	if v := Variance(xs); !approx(v, 32.0/7.0, 1e-12) {
+		t.Fatalf("variance = %v", v)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Fatal("degenerate cases wrong")
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	src := rng.New(1)
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = 10 + src.NormFloat64()
+	}
+	mean, hw := MeanCI(xs, 0.95)
+	if !approx(mean, 10, 0.15) {
+		t.Fatalf("mean = %v", mean)
+	}
+	// Expected half width: 1.96 * sigma/sqrt(n) ~ 1.96/31.6 ~ 0.062.
+	if hw < 0.04 || hw > 0.09 {
+		t.Fatalf("half width = %v", hw)
+	}
+	if _, hw := MeanCI([]float64{5}, 0.95); hw != 0 {
+		t.Fatal("single sample should have zero CI")
+	}
+}
+
+func TestNormalQuantile(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0}, {0.975, 1.959964}, {0.025, -1.959964}, {0.995, 2.575829},
+		{0.84134, 0.99998}, // ~Phi(1)
+	}
+	for _, c := range cases {
+		if got := normalQuantile(c.p); !approx(got, c.want, 1e-3) {
+			t.Errorf("quantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(normalQuantile(0)) || !math.IsNaN(normalQuantile(1)) {
+		t.Error("quantile at bounds should be NaN")
+	}
+}
+
+func TestMannKendallIncreasing(t *testing.T) {
+	xs := make([]float64, 50)
+	for i := range xs {
+		xs[i] = float64(i) * 2
+	}
+	res, err := MannKendall(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Increasing || res.Decreasing {
+		t.Fatalf("monotone series not detected: %+v", res)
+	}
+	if !approx(res.Slope, 2, 1e-9) {
+		t.Fatalf("Sen slope = %v, want 2", res.Slope)
+	}
+	if res.PValue > 1e-6 {
+		t.Fatalf("p-value = %v for a perfect trend", res.PValue)
+	}
+}
+
+func TestMannKendallDecreasing(t *testing.T) {
+	xs := []float64{10, 9, 8.5, 8, 7, 6.2, 5, 4, 3, 2, 1, 0.5}
+	res, err := MannKendall(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Decreasing {
+		t.Fatalf("decreasing series not detected: %+v", res)
+	}
+	if res.Slope >= 0 {
+		t.Fatalf("slope = %v, want negative", res.Slope)
+	}
+}
+
+func TestMannKendallNoTrend(t *testing.T) {
+	src := rng.New(42)
+	rejections := 0
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		xs := make([]float64, 60)
+		for i := range xs {
+			xs[i] = src.NormFloat64()
+		}
+		res, err := MannKendall(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Increasing || res.Decreasing {
+			rejections++
+		}
+	}
+	// At the 5% level we expect ~2 false rejections in 40 trials; 8 would
+	// be far outside that.
+	if rejections > 8 {
+		t.Fatalf("%d/%d false trend detections on white noise", rejections, trials)
+	}
+}
+
+func TestMannKendallNoisyTrendDetected(t *testing.T) {
+	src := rng.New(7)
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = 0.05*float64(i) + 3*src.NormFloat64()
+	}
+	res, err := MannKendall(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Increasing {
+		t.Fatalf("buried trend not detected: %+v", res)
+	}
+	if res.Slope < 0.02 || res.Slope > 0.08 {
+		t.Fatalf("Sen slope = %v, want ~0.05", res.Slope)
+	}
+}
+
+func TestMannKendallTies(t *testing.T) {
+	xs := []float64{1, 1, 1, 2, 2, 3, 3, 3, 4}
+	res, err := MannKendall(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Increasing {
+		t.Fatalf("tied increasing series not detected: %+v", res)
+	}
+	// All-constant series: S = 0, no trend, no NaNs.
+	res, err = MannKendall([]float64{5, 5, 5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.S != 0 || res.Increasing || res.Decreasing {
+		t.Fatalf("constant series misjudged: %+v", res)
+	}
+	if math.IsNaN(res.Z) || math.IsNaN(res.PValue) {
+		t.Fatal("NaNs on constant series")
+	}
+}
+
+func TestMannKendallTooShort(t *testing.T) {
+	if _, err := MannKendall([]float64{1, 2}); err == nil {
+		t.Fatal("accepted 2-point series")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{5, 7, 9, 11, 13} // y = 3 + 2x
+	fit, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(fit.Coeffs[0], 3, 1e-9) || !approx(fit.Coeffs[1], 2, 1e-9) {
+		t.Fatalf("coeffs = %v", fit.Coeffs)
+	}
+	if !approx(fit.R2, 1, 1e-12) {
+		t.Fatalf("R2 = %v", fit.R2)
+	}
+	if !approx(fit.Eval(10), 23, 1e-9) {
+		t.Fatalf("Eval(10) = %v", fit.Eval(10))
+	}
+}
+
+func TestQuadraticFitExact(t *testing.T) {
+	x := []float64{1000, 2000, 4000, 6000, 8000, 10000}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = 1 + 0.002*v + 3e-7*v*v // paper-scale magnitudes
+	}
+	fit, err := QuadraticFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(fit.Coeffs[0], 1, 1e-6) || !approx(fit.Coeffs[1], 0.002, 1e-9) || !approx(fit.Coeffs[2], 3e-7, 1e-12) {
+		t.Fatalf("coeffs = %v", fit.Coeffs)
+	}
+	if fit.R2 < 0.999999 {
+		t.Fatalf("R2 = %v", fit.R2)
+	}
+}
+
+func TestQuadraticBeatsLinearOnQuadraticData(t *testing.T) {
+	src := rng.New(3)
+	x := make([]float64, 10)
+	y := make([]float64, 10)
+	for i := range x {
+		x[i] = float64((i + 1) * 1000)
+		y[i] = 2e-7*x[i]*x[i] + 50*src.NormFloat64()
+	}
+	lin, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quad, err := QuadraticFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quad.R2 <= lin.R2 {
+		t.Fatalf("quadratic R2 %v <= linear R2 %v on quadratic data", quad.R2, lin.R2)
+	}
+}
+
+func TestPolyFitErrors(t *testing.T) {
+	if _, err := PolyFit([]float64{1, 2}, []float64{1}, 1); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := PolyFit([]float64{1}, []float64{1}, 1); err == nil {
+		t.Fatal("underdetermined fit accepted")
+	}
+	if _, err := PolyFit([]float64{1, 2}, []float64{1, 2}, -1); err == nil {
+		t.Fatal("negative degree accepted")
+	}
+	// Duplicate x values make degree-1 normal equations singular.
+	if _, err := PolyFit([]float64{2, 2, 2}, []float64{1, 2, 3}, 2); err == nil {
+		t.Fatal("singular system accepted")
+	}
+}
+
+func TestPolyFitConstant(t *testing.T) {
+	fit, err := PolyFit([]float64{1, 2, 3}, []float64{4, 4, 4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(fit.Coeffs[0], 4, 1e-12) || !approx(fit.R2, 1, 1e-12) {
+		t.Fatalf("constant fit = %+v", fit)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2} // unsorted on purpose
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75}, {-1, 1}, {2, 4},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !approx(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Input must not be reordered.
+	if xs[0] != 4 {
+		t.Fatal("Quantile mutated its input")
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile")
+	}
+	if got := Quantile([]float64{7}, 0.9); got != 7 {
+		t.Fatalf("single-element quantile = %v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 100})
+	if !approx(s.Mean, 22, 1e-12) || !approx(s.Median, 3, 1e-12) || s.Max != 100 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.P90 < 4 || s.P90 > 100 {
+		t.Fatalf("P90 = %v", s.P90)
+	}
+	if (Summarize(nil) != Summary{}) {
+		t.Fatal("empty summary not zero")
+	}
+}
+
+func TestRelativeSeries(t *testing.T) {
+	rs := RelativeSeries([]float64{2, 4, 8})
+	if rs[0] != 1 || rs[1] != 2 || rs[2] != 4 {
+		t.Fatalf("relative = %v", rs)
+	}
+	if out := RelativeSeries([]float64{0, 5}); out[0] != 0 || out[1] != 0 {
+		t.Fatal("zero-start series should yield zeros")
+	}
+	if len(RelativeSeries(nil)) != 0 {
+		t.Fatal("nil series")
+	}
+}
+
+func TestGrowthFactor(t *testing.T) {
+	if g := GrowthFactor([]float64{2, 4, 37}); !approx(g, 18.5, 1e-12) {
+		t.Fatalf("growth factor = %v", g)
+	}
+	if GrowthFactor(nil) != 0 || GrowthFactor([]float64{0, 1}) != 0 {
+		t.Fatal("degenerate growth factors")
+	}
+}
+
+// Property: Sen's slope of any strictly increasing series is positive, and
+// a linear fit of noiseless linear data recovers it with R2 = 1.
+func TestPropertyLinearRecovery(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		a := src.UniformFloat(-100, 100)
+		b := src.UniformFloat(-5, 5)
+		n := 5 + src.Intn(50)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = float64(i) + src.Float64() // strictly increasing
+			y[i] = a + b*x[i]
+		}
+		fit, err := LinearFit(x, y)
+		if err != nil {
+			return false
+		}
+		return approx(fit.Coeffs[0], a, 1e-6*(1+math.Abs(a))) &&
+			approx(fit.Coeffs[1], b, 1e-6*(1+math.Abs(b)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

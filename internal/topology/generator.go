@@ -1,0 +1,361 @@
+package topology
+
+import (
+	"fmt"
+
+	"bgpchurn/internal/rng"
+)
+
+// Generate builds a topology per the paper's two-phase procedure: first the
+// T clique and the transit hierarchy top-down (T, then M one at a time,
+// then the stubs), then the peering links. All provider and M-M peer
+// selections use preferential attachment; CP peering is uniform. The
+// invariants enforced are: no provider loops (guaranteed by construction:
+// providers are always chosen among earlier nodes), region-constrained
+// connectivity, simple graph (no parallel links), and no peering between a
+// node and a member of its customer tree.
+func Generate(p Params) (*Topology, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	g := &builder{
+		p:     p,
+		r:     rng.New(p.Seed),
+		topo:  &Topology{NumRegions: p.Regions, Seed: p.Seed},
+		edges: make(map[uint64]struct{}, p.N*4),
+	}
+	g.addTClique()
+	g.addMNodes()
+	g.addStubs(CP, p.NCP, p.DCP, p.TCP, p.CPSpread)
+	g.addStubs(C, p.NC, p.DC, p.TC, 0)
+	g.prepareCones()
+	g.addMPeering()
+	g.addCPPeering()
+	return g.topo, nil
+}
+
+// MustGenerate is Generate for known-valid parameters; it panics on error.
+// Intended for tests and benchmarks.
+func MustGenerate(p Params) *Topology {
+	t, err := Generate(p)
+	if err != nil {
+		panic(fmt.Sprintf("topology: %v", err))
+	}
+	return t
+}
+
+type builder struct {
+	p    Params
+	r    *rng.Source
+	topo *Topology
+	// edges holds every existing link (transit or peer) keyed by the
+	// canonical pair encoding, to keep the graph simple.
+	edges map[uint64]struct{}
+	// transitDegree is the preferential-attachment weight basis for
+	// provider selection (providers + customers, peers excluded).
+	transitDegree []int
+	// peerDegree is the PA weight basis for M-M peer selection.
+	peerDegree []int
+	// mIDs caches the IDs of M nodes in creation order.
+	mIDs []NodeID
+	// cpIDs caches the IDs of CP nodes in creation order.
+	cpIDs []NodeID
+	// cones[v] is the customer cone of v as a bitset over node IDs,
+	// computed once after the transit phase (the hierarchy is frozen by
+	// then) and only for nodes that participate in peering (M and CP).
+	cones [][]uint64
+}
+
+// prepareCones materializes customer-cone bitsets for all M and CP nodes so
+// the peering phase can test tree membership in O(1).
+func (g *builder) prepareCones() {
+	n := len(g.topo.Nodes)
+	words := (n + 63) / 64
+	g.cones = make([][]uint64, n)
+	var stack []NodeID
+	for i := range g.topo.Nodes {
+		nd := &g.topo.Nodes[i]
+		if nd.Type != M && nd.Type != CP {
+			continue
+		}
+		bits := make([]uint64, words)
+		stack = append(stack[:0], nd.Customers...)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if bits[u/64]&(1<<(uint(u)%64)) != 0 {
+				continue
+			}
+			bits[u/64] |= 1 << (uint(u) % 64)
+			stack = append(stack, g.topo.Nodes[u].Customers...)
+		}
+		g.cones[i] = bits
+	}
+}
+
+// inTree reports whether d is in a's precomputed customer cone.
+func (g *builder) inTree(a, d NodeID) bool {
+	bits := g.cones[a]
+	return bits != nil && bits[d/64]&(1<<(uint(d)%64)) != 0
+}
+
+func edgeKey(a, b NodeID) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+func (g *builder) adjacent(a, b NodeID) bool {
+	_, ok := g.edges[edgeKey(a, b)]
+	return ok
+}
+
+func (g *builder) newNode(typ NodeType, regions RegionSet) NodeID {
+	id := NodeID(len(g.topo.Nodes))
+	g.topo.Nodes = append(g.topo.Nodes, Node{ID: id, Type: typ, Regions: regions})
+	g.transitDegree = append(g.transitDegree, 0)
+	g.peerDegree = append(g.peerDegree, 0)
+	return id
+}
+
+func (g *builder) allRegions() RegionSet {
+	var s RegionSet
+	for i := 0; i < g.p.Regions; i++ {
+		s = s.Add(i)
+	}
+	return s
+}
+
+// pickRegions draws the region set for a new node: one uniform region, plus
+// a second distinct one with probability spread.
+func (g *builder) pickRegions(spread float64) RegionSet {
+	first := g.r.Intn(g.p.Regions)
+	s := RegionSet(0).Add(first)
+	if g.p.Regions > 1 && g.r.Bernoulli(spread) {
+		second := g.r.Intn(g.p.Regions - 1)
+		if second >= first {
+			second++
+		}
+		s = s.Add(second)
+	}
+	return s
+}
+
+func (g *builder) addTransitLink(provider, customer NodeID) {
+	g.topo.Nodes[provider].Customers = append(g.topo.Nodes[provider].Customers, customer)
+	g.topo.Nodes[customer].Providers = append(g.topo.Nodes[customer].Providers, provider)
+	g.edges[edgeKey(provider, customer)] = struct{}{}
+	g.transitDegree[provider]++
+	g.transitDegree[customer]++
+}
+
+func (g *builder) addPeerLink(a, b NodeID) {
+	g.topo.Nodes[a].Peers = append(g.topo.Nodes[a].Peers, b)
+	g.topo.Nodes[b].Peers = append(g.topo.Nodes[b].Peers, a)
+	g.edges[edgeKey(a, b)] = struct{}{}
+	g.peerDegree[a]++
+	g.peerDegree[b]++
+}
+
+// addTClique creates the tier-1 nodes, present in all regions and fully
+// meshed with peering links.
+func (g *builder) addTClique() {
+	all := g.allRegions()
+	for i := 0; i < g.p.NT; i++ {
+		g.newNode(T, all)
+	}
+	for a := NodeID(0); int(a) < g.p.NT; a++ {
+		for b := a + 1; int(b) < g.p.NT; b++ {
+			g.addPeerLink(a, b)
+		}
+	}
+}
+
+// addMNodes adds the mid-level providers one at a time. Each picks an
+// average of DM providers among T nodes (probability TM per slot) and
+// already-present M nodes, by preferential attachment on transit degree.
+func (g *builder) addMNodes() {
+	for i := 0; i < g.p.NM; i++ {
+		id := g.newNode(M, g.pickRegions(g.p.MSpread))
+		g.mIDs = append(g.mIDs, id)
+		g.connectProviders(id, g.p.DM, g.p.TM, g.p.MaxTProvidersPerM, g.p.MaxMProviders)
+	}
+}
+
+// addStubs adds NCP or NC stub nodes with the given multihoming degree and
+// T-provider probability.
+func (g *builder) addStubs(typ NodeType, count int, mhd, probT, spread float64) {
+	for i := 0; i < count; i++ {
+		id := g.newNode(typ, g.pickRegions(spread))
+		if typ == CP {
+			g.cpIDs = append(g.cpIDs, id)
+		}
+		g.connectProviders(id, mhd, probT, Unlimited, g.p.MaxMProviders)
+	}
+}
+
+// connectProviders attaches the new node to ~mhd providers. Each slot is a
+// T node with probability probT and an M node otherwise, subject to the
+// per-type caps; an empty or exhausted M candidate set falls back to T
+// (tier-1 nodes are present in every region, so the graph stays connected).
+func (g *builder) connectProviders(id NodeID, mhd, probT float64, maxT, maxM int) {
+	want := g.r.CountAroundMean(mhd, 1)
+	nT, nM := 0, 0
+	for s := 0; s < want; s++ {
+		pickT := g.r.Bernoulli(probT)
+		if maxT != Unlimited && nT >= maxT {
+			pickT = false
+		}
+		if maxM != Unlimited && nM >= maxM {
+			if maxT != Unlimited && nT >= maxT {
+				return // both classes capped: no further providers possible
+			}
+			pickT = true
+		}
+		var prov NodeID
+		if pickT {
+			prov = g.pickTProvider(id)
+		} else {
+			prov = g.pickMProvider(id)
+			if prov == None {
+				if maxT != Unlimited && nT >= maxT {
+					continue
+				}
+				prov = g.pickTProvider(id) // fall back to tier-1
+			}
+		}
+		if prov == None {
+			continue
+		}
+		if g.topo.Nodes[prov].Type == T {
+			nT++
+		} else {
+			nM++
+		}
+		g.addTransitLink(prov, id)
+	}
+}
+
+// pickTProvider selects a tier-1 provider by preferential attachment on
+// transit degree, excluding existing neighbors of id.
+func (g *builder) pickTProvider(id NodeID) NodeID {
+	return g.weightedPick(func(yield func(NodeID, int)) {
+		for t := NodeID(0); int(t) < g.p.NT; t++ {
+			if !g.adjacent(t, id) {
+				yield(t, g.transitDegree[t]+1)
+			}
+		}
+	})
+}
+
+// pickMProvider selects an existing M provider sharing a region with id, by
+// preferential attachment on transit degree.
+func (g *builder) pickMProvider(id NodeID) NodeID {
+	regions := g.topo.Nodes[id].Regions
+	return g.weightedPick(func(yield func(NodeID, int)) {
+		for _, m := range g.mIDs {
+			if m == id || !g.topo.Nodes[m].Regions.Overlaps(regions) || g.adjacent(m, id) {
+				continue
+			}
+			yield(m, g.transitDegree[m]+1)
+		}
+	})
+}
+
+// weightedPick draws one candidate with probability proportional to its
+// weight, in two passes over the candidate enumeration (total weight, then
+// selection), so no candidate slice is materialized. Returns None if the
+// candidate set is empty.
+func (g *builder) weightedPick(enumerate func(yield func(NodeID, int))) NodeID {
+	total := 0
+	enumerate(func(_ NodeID, w int) { total += w })
+	if total == 0 {
+		return None
+	}
+	target := g.r.Intn(total)
+	chosen := None
+	acc := 0
+	enumerate(func(id NodeID, w int) {
+		if chosen != None {
+			return
+		}
+		acc += w
+		if target < acc {
+			chosen = id
+		}
+	})
+	return chosen
+}
+
+// peeringAllowed checks the peering invariants for a candidate pair:
+// distinct, region-overlapping, not already linked, and neither node in the
+// other's customer tree (a node never peers into its own revenue tree).
+func (g *builder) peeringAllowed(a, b NodeID) bool {
+	if a == b || g.adjacent(a, b) {
+		return false
+	}
+	if !g.topo.Nodes[a].Regions.Overlaps(g.topo.Nodes[b].Regions) {
+		return false
+	}
+	if g.inTree(a, b) || g.inTree(b, a) {
+		return false
+	}
+	return true
+}
+
+// addMPeering gives each M node ~PM peering links to other M nodes chosen
+// by preferential attachment on peering degree.
+func (g *builder) addMPeering() {
+	for _, a := range g.mIDs {
+		want := g.r.CountAroundMean(g.p.PM, 0)
+		for s := 0; s < want; s++ {
+			b := g.weightedPick(func(yield func(NodeID, int)) {
+				for _, m := range g.mIDs {
+					if g.peeringAllowed(a, m) {
+						yield(m, g.peerDegree[m]+1)
+					}
+				}
+			})
+			if b == None {
+				break // no eligible peer remains for a
+			}
+			g.addPeerLink(a, b)
+		}
+	}
+}
+
+// addCPPeering gives each CP node ~PCPM peering links to M nodes and
+// ~PCPCP links to other CP nodes, selected uniformly within its regions.
+func (g *builder) addCPPeering() {
+	for _, a := range g.cpIDs {
+		g.addUniformPeers(a, g.mIDs, g.p.PCPM)
+		g.addUniformPeers(a, g.cpIDs, g.p.PCPCP)
+	}
+}
+
+// addUniformPeers links a to ~mean uniformly chosen eligible candidates.
+func (g *builder) addUniformPeers(a NodeID, pool []NodeID, mean float64) {
+	want := g.r.CountAroundMean(mean, 0)
+	if want == 0 {
+		return
+	}
+	// Collect the eligible candidates once; uniform selection without
+	// replacement by partial shuffle.
+	eligible := make([]NodeID, 0, 16)
+	for _, c := range pool {
+		if g.peeringAllowed(a, c) {
+			eligible = append(eligible, c)
+		}
+	}
+	for s := 0; s < want && len(eligible) > 0; s++ {
+		i := g.r.Intn(len(eligible))
+		b := eligible[i]
+		eligible[i] = eligible[len(eligible)-1]
+		eligible = eligible[:len(eligible)-1]
+		// Re-check: an earlier link this round may have made b adjacent.
+		if g.peeringAllowed(a, b) {
+			g.addPeerLink(a, b)
+		}
+	}
+}

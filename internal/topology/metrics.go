@@ -1,0 +1,76 @@
+package topology
+
+import "bgpchurn/internal/graph"
+
+// Stats summarizes the structural properties the paper reports for its
+// Baseline topologies (§3): node mix, multihoming degrees, peering degrees,
+// clustering and average path length.
+type Stats struct {
+	N           int
+	Counts      [4]int // indexed by NodeType
+	Transit     int    // number of customer-provider links
+	Peering     int    // number of peering links
+	MeanMHD     [4]float64
+	MeanPeerDeg [4]float64
+	Clustering  float64
+	// Assortativity is Newman's degree correlation; the Internet (and our
+	// instances) are disassortative (negative).
+	Assortativity float64
+	// AvgPathLength is the mean shortest-path hop count over the plain
+	// undirected view (sampled when sampleSources > 0).
+	AvgPathLength float64
+	MaxDegree     int
+}
+
+// ComputeStats measures t. sampleSources bounds the number of BFS sources
+// used for the average path length (0 = exact, all nodes). Sources are the
+// first nodes of each type round-robin so every tier is represented.
+func ComputeStats(t *Topology, sampleSources int) Stats {
+	s := Stats{N: t.N(), Counts: t.CountByType()}
+	s.Transit, s.Peering = t.Edges()
+
+	var mhdSum, peerSum [4]int
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		mhdSum[n.Type] += n.MHD()
+		peerSum[n.Type] += len(n.Peers)
+		if d := n.Degree(); d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+	}
+	for _, typ := range NodeTypes {
+		if c := s.Counts[typ]; c > 0 {
+			s.MeanMHD[typ] = float64(mhdSum[typ]) / float64(c)
+			s.MeanPeerDeg[typ] = float64(peerSum[typ]) / float64(c)
+		}
+	}
+
+	g := t.Undirected()
+	s.Clustering = g.ClusteringCoefficient()
+	s.Assortativity = g.Assortativity()
+	s.AvgPathLength = averagePath(g, t, sampleSources)
+	return s
+}
+
+func averagePath(g *graph.Undirected, t *Topology, sampleSources int) float64 {
+	if sampleSources <= 0 || sampleSources >= t.N() {
+		return g.AveragePathLength()
+	}
+	// Deterministic stratified sample: take nodes spaced evenly through the
+	// ID range, which interleaves the tiers (IDs are assigned T, M, CP, C).
+	sources := make([]int32, 0, sampleSources)
+	step := t.N() / sampleSources
+	if step == 0 {
+		step = 1
+	}
+	for i := 0; i < t.N() && len(sources) < sampleSources; i += step {
+		sources = append(sources, int32(i))
+	}
+	return g.SampledAveragePathLength(sources)
+}
+
+// DegreeCCDF returns the complementary CDF of the total node degree, for
+// checking the power-law property.
+func DegreeCCDF(t *Topology) (degrees []int, ccdf []float64) {
+	return t.Undirected().DegreeCCDF()
+}

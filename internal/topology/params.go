@@ -1,0 +1,79 @@
+package topology
+
+import "fmt"
+
+// Unlimited disables a provider-count cap in Params.
+const Unlimited = -1
+
+// Params are the generator inputs of Table 1, fully resolved for one
+// network size n. The scenario package constructs Params for each growth
+// model; tests may construct them directly.
+type Params struct {
+	// N is the total node count; NT+NM+NCP+NC must equal N.
+	N int
+	// Regions is the number of geographic regions (Baseline: 5).
+	Regions int
+	// Seed drives all generator randomness.
+	Seed uint64
+
+	// Node mix.
+	NT  int // tier-1 nodes (Baseline: drawn 4–6 by the scenario layer)
+	NM  int // mid-level transit providers
+	NCP int // content-provider stubs
+	NC  int // customer stubs
+
+	// Average multihoming degree (number of providers) per type.
+	DM  float64
+	DCP float64
+	DC  float64
+
+	// Average peering degrees: M-M, CP-M and CP-CP.
+	PM    float64
+	PCPM  float64
+	PCPCP float64
+
+	// Probability that a provider slot is filled by a T node (vs an M node).
+	TM  float64
+	TCP float64
+	TC  float64
+
+	// MaxTProvidersPerM caps how many T providers an M node may have
+	// (PREFER-MIDDLE sets 1). Unlimited disables the cap.
+	MaxTProvidersPerM int
+	// MaxMProviders caps how many M providers any node may have
+	// (PREFER-TOP sets 1). Unlimited disables the cap.
+	MaxMProviders int
+
+	// MSpread and CPSpread are the fractions of M and CP nodes present in
+	// two regions (Baseline: 0.20 and 0.05). T nodes are in all regions,
+	// C nodes in exactly one.
+	MSpread  float64
+	CPSpread float64
+}
+
+// Validate reports whether the parameters are internally consistent.
+func (p *Params) Validate() error {
+	switch {
+	case p.N <= 0:
+		return fmt.Errorf("topology: N = %d, must be positive", p.N)
+	case p.NT < 1:
+		return fmt.Errorf("topology: NT = %d, need at least one tier-1 node", p.NT)
+	case p.NM < 0 || p.NCP < 0 || p.NC < 0:
+		return fmt.Errorf("topology: negative node counts (NM=%d NCP=%d NC=%d)", p.NM, p.NCP, p.NC)
+	case p.NT+p.NM+p.NCP+p.NC != p.N:
+		return fmt.Errorf("topology: node mix %d+%d+%d+%d != N=%d", p.NT, p.NM, p.NCP, p.NC, p.N)
+	case p.Regions < 1 || p.Regions > 32:
+		return fmt.Errorf("topology: Regions = %d, must be in [1,32]", p.Regions)
+	case p.DM < 0 || p.DCP < 0 || p.DC < 0:
+		return fmt.Errorf("topology: negative multihoming degree")
+	case p.PM < 0 || p.PCPM < 0 || p.PCPCP < 0:
+		return fmt.Errorf("topology: negative peering degree")
+	case p.TM < 0 || p.TM > 1 || p.TCP < 0 || p.TCP > 1 || p.TC < 0 || p.TC > 1:
+		return fmt.Errorf("topology: T-provider probabilities must be in [0,1]")
+	case p.MSpread < 0 || p.MSpread > 1 || p.CPSpread < 0 || p.CPSpread > 1:
+		return fmt.Errorf("topology: region spread fractions must be in [0,1]")
+	case p.MaxTProvidersPerM < Unlimited || p.MaxMProviders < Unlimited:
+		return fmt.Errorf("topology: provider caps must be Unlimited or >= 0")
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"bgpchurn/internal/stats"
+)
+
+func TestGenerateLengthAndPositivity(t *testing.T) {
+	series, err := Generate(Default(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 1096 {
+		t.Fatalf("length = %d", len(series))
+	}
+	for d, v := range series {
+		if v <= 0 {
+			t.Fatalf("day %d: non-positive count %v", d, v)
+		}
+		if v != math.Round(v) {
+			t.Fatalf("day %d: non-integral count %v", d, v)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Default(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Default(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different series")
+		}
+	}
+	c, _ := Generate(Default(8))
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same > len(a)/10 {
+		t.Fatalf("different seeds produced %d/%d identical days", same, len(a))
+	}
+}
+
+func TestMannKendallRecoversEmbeddedTrend(t *testing.T) {
+	// The whole point of the substitution: the estimator the paper uses
+	// must detect the trend we embedded, at roughly the right slope.
+	p := Default(3)
+	series, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := stats.MannKendall(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Increasing {
+		t.Fatalf("embedded growth not detected: %+v", res)
+	}
+	want := p.TrendSlope()
+	if res.Slope < 0.5*want || res.Slope > 1.8*want {
+		t.Fatalf("Sen slope %v vs embedded slope %v", res.Slope, want)
+	}
+}
+
+func TestTotalGrowthRealized(t *testing.T) {
+	p := Default(5)
+	series, _ := Generate(p)
+	// Compare first and last 90-day means; expect close to TotalGrowth
+	// (within the noise the generator adds).
+	first := stats.Mean(series[:90])
+	last := stats.Mean(series[len(series)-90:])
+	growth := last / first
+	if growth < 2.0 || growth > 4.5 {
+		t.Fatalf("realized growth %v, embedded %v", growth, p.TotalGrowth)
+	}
+}
+
+func TestBurstsAreHeavyTailed(t *testing.T) {
+	p := Default(9)
+	p.BurstProb = 0.05
+	series, _ := Generate(p)
+	mean := stats.Mean(series)
+	peak := 0.0
+	for _, v := range series {
+		if v > peak {
+			peak = v
+		}
+	}
+	if peak < 2.5*mean {
+		t.Fatalf("peak %v not bursty vs mean %v", peak, mean)
+	}
+}
+
+func TestNoTrendWhenGrowthOne(t *testing.T) {
+	p := Default(11)
+	p.TotalGrowth = 1.0
+	p.BurstProb = 0
+	p.WeeklyAmplitude = 0
+	series, _ := Generate(p)
+	res, err := stats.MannKendall(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pure multiplicative noise: slope should be tiny relative to level.
+	if math.Abs(res.Slope) > 0.001*p.BaseDaily {
+		t.Fatalf("flat series got slope %v", res.Slope)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	bad := []func(*Params){
+		func(p *Params) { p.Days = 0 },
+		func(p *Params) { p.BaseDaily = 0 },
+		func(p *Params) { p.TotalGrowth = 0 },
+		func(p *Params) { p.WeeklyAmplitude = 1 },
+		func(p *Params) { p.BurstProb = 1.5 },
+		func(p *Params) { p.NoiseSigma = -1 },
+	}
+	for i, mutate := range bad {
+		p := Default(1)
+		mutate(&p)
+		if _, err := Generate(p); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+// Package workload drives the BGP simulator with a continuous stream of
+// routing events — prefix flaps at stub networks and transit-link flaps —
+// and records the update feed a designated monitor AS would log, bucketed
+// over virtual time.
+//
+// This closes the loop with the paper's Fig. 1: instead of a statistically
+// synthesized monitor series (package trace), the series here is produced
+// by the protocol machinery itself, so burstiness and event overlap emerge
+// from MRAI timers, path exploration and topology rather than from a
+// distributional assumption.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"bgpchurn/internal/bgp"
+	"bgpchurn/internal/des"
+	"bgpchurn/internal/rng"
+	"bgpchurn/internal/topology"
+)
+
+// Config describes the event stream.
+type Config struct {
+	// Duration is the simulated time span.
+	Duration des.Time
+	// Bucket is the sampling interval of the monitor feed (e.g. one
+	// virtual hour).
+	Bucket des.Time
+	// Prefixes is the number of C-node-originated prefixes announced at
+	// startup; events pick uniformly among them.
+	Prefixes int
+	// PrefixFlapsPerHour is the Poisson rate of C-events (a prefix goes
+	// down, stays down for a uniform 1–30 virtual minutes, comes back).
+	PrefixFlapsPerHour float64
+	// LinkFlapsPerHour is the Poisson rate of transit-link flaps (same
+	// hold-time model).
+	LinkFlapsPerHour float64
+	// Monitor is the AS whose received-update feed is recorded. Use
+	// topology.None to pick the highest-degree T node.
+	Monitor topology.NodeID
+	// Seed drives event scheduling.
+	Seed uint64
+}
+
+// DefaultConfig returns a day-long workload with moderate event rates.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Duration:           24 * 3600 * des.Second,
+		Bucket:             3600 * des.Second,
+		Prefixes:           40,
+		PrefixFlapsPerHour: 6,
+		LinkFlapsPerHour:   2,
+		Monitor:            topology.None,
+		Seed:               seed,
+	}
+}
+
+// Validate reports whether the workload is well-formed.
+func (c *Config) Validate() error {
+	switch {
+	case c.Duration <= 0:
+		return fmt.Errorf("workload: non-positive duration")
+	case c.Bucket <= 0 || c.Bucket > c.Duration:
+		return fmt.Errorf("workload: bucket must be in (0, duration]")
+	case c.Prefixes < 1:
+		return fmt.Errorf("workload: need at least one prefix")
+	case c.PrefixFlapsPerHour < 0 || c.LinkFlapsPerHour < 0:
+		return fmt.Errorf("workload: negative event rate")
+	case c.PrefixFlapsPerHour == 0 && c.LinkFlapsPerHour == 0:
+		return fmt.Errorf("workload: no event sources enabled")
+	}
+	return nil
+}
+
+// Timeline is the monitor's recorded feed.
+type Timeline struct {
+	// Monitor is the recording AS.
+	Monitor topology.NodeID
+	// Bucket is the sampling interval.
+	Bucket des.Time
+	// Updates[i] is the number of updates the monitor processed during
+	// bucket i.
+	Updates []float64
+	// Events is the number of routing events injected.
+	Events int
+	// TotalUpdates is the network-wide update count over the run.
+	TotalUpdates uint64
+	// PeakRate is the busiest virtual second network-wide.
+	PeakRate uint64
+}
+
+// PeakToMean returns the ratio of the busiest monitor bucket to the mean
+// bucket — the burstiness measure from the paper's introduction.
+func (tl *Timeline) PeakToMean() float64 {
+	if len(tl.Updates) == 0 {
+		return 0
+	}
+	sum, peak := 0.0, 0.0
+	for _, v := range tl.Updates {
+		sum += v
+		peak = math.Max(peak, v)
+	}
+	if sum == 0 {
+		return 0
+	}
+	return peak / (sum / float64(len(tl.Updates)))
+}
+
+// event is one scheduled down/up pair.
+type event struct {
+	at   des.Time
+	hold des.Time
+	// prefix >= 0 selects a prefix flap; otherwise linkA/linkB flap.
+	prefix       int
+	linkA, linkB topology.NodeID
+}
+
+// Run executes the workload and returns the monitor timeline.
+func Run(topo *topology.Topology, proto bgp.Config, cfg Config) (*Timeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cNodes := topo.NodesOfType(topology.C)
+	if len(cNodes) == 0 {
+		return nil, fmt.Errorf("workload: topology has no C nodes")
+	}
+	net, err := bgp.New(topo, proto)
+	if err != nil {
+		return nil, err
+	}
+	r := rng.New(cfg.Seed ^ 0xa53c9e117bd42e6b)
+
+	// Startup: announce the prefixes and converge quietly.
+	nPrefixes := cfg.Prefixes
+	if nPrefixes > len(cNodes) {
+		nPrefixes = len(cNodes)
+	}
+	origins := make([]topology.NodeID, nPrefixes)
+	perm := r.Perm(len(cNodes))
+	for i := 0; i < nPrefixes; i++ {
+		origins[i] = cNodes[perm[i]]
+		net.Originate(origins[i], bgp.Prefix(i+1))
+	}
+	net.Run()
+	net.Settle(2 * proto.MRAI)
+	net.ResetCounters()
+	epoch := net.Now()
+
+	events := schedule(topo, origins, cfg, r)
+
+	monitor := cfg.Monitor
+	if monitor == topology.None {
+		monitor = busiestT(topo)
+	}
+
+	buckets := int((cfg.Duration + cfg.Bucket - 1) / cfg.Bucket)
+	tl := &Timeline{Monitor: monitor, Bucket: cfg.Bucket, Updates: make([]float64, buckets), Events: len(events)}
+
+	// Expand each event into a DOWN action and (if it falls inside the run)
+	// the matching UP action, then walk the merged timeline, sampling the
+	// monitor at bucket boundaries. Overlapping events on the same prefix
+	// or link are depth-counted so state changes stay idempotent.
+	type action struct {
+		at   des.Time
+		down bool
+		ev   event
+	}
+	actions := make([]action, 0, 2*len(events))
+	for _, ev := range events {
+		actions = append(actions, action{at: ev.at, down: true, ev: ev})
+		if up := ev.at + ev.hold; up < cfg.Duration {
+			actions = append(actions, action{at: up, down: false, ev: ev})
+		}
+	}
+	sort.SliceStable(actions, func(i, j int) bool { return actions[i].at < actions[j].at })
+
+	prefixDepth := make(map[int]int)
+	linkDepth := make(map[uint64]int)
+	linkKey := func(a, b topology.NodeID) uint64 {
+		if a > b {
+			a, b = b, a
+		}
+		return uint64(uint32(a))<<32 | uint64(uint32(b))
+	}
+	apply := func(a action) {
+		if a.ev.prefix >= 0 {
+			p := a.ev.prefix
+			if a.down {
+				if prefixDepth[p] == 0 {
+					net.WithdrawPrefix(origins[p], bgp.Prefix(p+1))
+				}
+				prefixDepth[p]++
+			} else {
+				prefixDepth[p]--
+				if prefixDepth[p] == 0 {
+					net.Originate(origins[p], bgp.Prefix(p+1))
+				}
+			}
+			return
+		}
+		key := linkKey(a.ev.linkA, a.ev.linkB)
+		if a.down {
+			if linkDepth[key] == 0 {
+				if err := net.FailLink(a.ev.linkA, a.ev.linkB); err != nil {
+					panic(err) // links come from the topology; cannot fail
+				}
+			}
+			linkDepth[key]++
+		} else {
+			linkDepth[key]--
+			if linkDepth[key] == 0 {
+				if err := net.RestoreLink(a.ev.linkA, a.ev.linkB); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+
+	var lastSeen uint64
+	next := 0
+	for b := 0; b < buckets; b++ {
+		bucketEnd := epoch + des.Time(b+1)*cfg.Bucket
+		for next < len(actions) && epoch+actions[next].at <= bucketEnd {
+			net.RunUntil(epoch + actions[next].at)
+			apply(actions[next])
+			next++
+		}
+		net.RunUntil(bucketEnd)
+		cnt := net.Counters(monitor).Received
+		tl.Updates[b] = float64(cnt - lastSeen)
+		lastSeen = cnt
+	}
+	// Drain any convergence still in flight past the last bucket boundary
+	// into the network-wide totals (the monitor series stays bucketed).
+	net.Run()
+	tl.TotalUpdates = net.TotalUpdates()
+	tl.PeakRate = net.PeakUpdateRate()
+	return tl, nil
+}
+
+// busiestT returns the highest-degree tier-1 node.
+func busiestT(topo *topology.Topology) topology.NodeID {
+	best, bestDeg := topology.NodeID(0), -1
+	for i := range topo.Nodes {
+		n := &topo.Nodes[i]
+		if n.Type == topology.T && n.Degree() > bestDeg {
+			best, bestDeg = n.ID, n.Degree()
+		}
+	}
+	return best
+}
+
+// schedule draws the Poisson event stream sorted by time.
+func schedule(topo *topology.Topology, origins []topology.NodeID, cfg Config, r *rng.Source) []event {
+	var events []event
+	hour := float64(3600 * des.Second)
+	draw := func(rate float64, mk func() event) {
+		if rate <= 0 {
+			return
+		}
+		// Poisson arrivals: exponential inter-arrival times.
+		t := des.Time(0)
+		for {
+			gap := des.Time(-math.Log(1-r.Float64()) / rate * hour)
+			t += gap
+			if t >= cfg.Duration {
+				return
+			}
+			ev := mk()
+			ev.at = t
+			ev.hold = des.Time(r.IntRange(60, 1800)) * des.Second
+			events = append(events, ev)
+		}
+	}
+	draw(cfg.PrefixFlapsPerHour, func() event {
+		return event{prefix: r.Intn(len(origins)), linkA: topology.None}
+	})
+	transit := transitLinks(topo)
+	if len(transit) > 0 {
+		draw(cfg.LinkFlapsPerHour, func() event {
+			l := transit[r.Intn(len(transit))]
+			return event{prefix: -1, linkA: l[0], linkB: l[1]}
+		})
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].at < events[j].at })
+	return events
+}
+
+// transitLinks lists every provider-customer link once.
+func transitLinks(topo *topology.Topology) [][2]topology.NodeID {
+	var out [][2]topology.NodeID
+	for i := range topo.Nodes {
+		for _, c := range topo.Nodes[i].Customers {
+			out = append(out, [2]topology.NodeID{topo.Nodes[i].ID, c})
+		}
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"testing"
+
+	"bgpchurn/internal/bgp"
+	"bgpchurn/internal/des"
+	"bgpchurn/internal/scenario"
+	"bgpchurn/internal/topology"
+)
+
+func testTopo(t *testing.T, n int, seed uint64) *topology.Topology {
+	t.Helper()
+	topo, err := scenario.Baseline.Generate(n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func quickConfig(seed uint64) Config {
+	return Config{
+		Duration:           2 * 3600 * des.Second,
+		Bucket:             600 * des.Second,
+		Prefixes:           10,
+		PrefixFlapsPerHour: 20,
+		LinkFlapsPerHour:   5,
+		Monitor:            topology.None,
+		Seed:               seed,
+	}
+}
+
+func TestWorkloadProducesTimeline(t *testing.T) {
+	topo := testTopo(t, 300, 3)
+	tl, err := Run(topo, bgp.DefaultConfig(3), quickConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Updates) != 12 {
+		t.Fatalf("buckets = %d, want 12", len(tl.Updates))
+	}
+	if tl.Events == 0 {
+		t.Fatal("no events scheduled")
+	}
+	sum := 0.0
+	for _, v := range tl.Updates {
+		if v < 0 {
+			t.Fatalf("negative bucket: %v", tl.Updates)
+		}
+		sum += v
+	}
+	if sum == 0 {
+		t.Fatal("monitor saw no updates at all")
+	}
+	if tl.TotalUpdates == 0 || tl.PeakRate == 0 {
+		t.Fatalf("aggregates missing: %+v", tl)
+	}
+	if topo.Nodes[tl.Monitor].Type != topology.T {
+		t.Fatalf("default monitor is %v, want a T node", topo.Nodes[tl.Monitor].Type)
+	}
+}
+
+func TestWorkloadDeterministic(t *testing.T) {
+	topo := testTopo(t, 250, 5)
+	run := func() *Timeline {
+		tl, err := Run(topo, bgp.DefaultConfig(5), quickConfig(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tl
+	}
+	a, b := run(), run()
+	if a.TotalUpdates != b.TotalUpdates || a.Events != b.Events {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+	for i := range a.Updates {
+		if a.Updates[i] != b.Updates[i] {
+			t.Fatalf("bucket %d differs: %v vs %v", i, a.Updates[i], b.Updates[i])
+		}
+	}
+}
+
+func TestWorkloadRateScalesChurn(t *testing.T) {
+	topo := testTopo(t, 250, 7)
+	low := quickConfig(7)
+	low.PrefixFlapsPerHour, low.LinkFlapsPerHour = 2, 0
+	high := quickConfig(7)
+	high.PrefixFlapsPerHour, high.LinkFlapsPerHour = 40, 0
+	tlLow, err := Run(topo, bgp.DefaultConfig(7), low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tlHigh, err := Run(topo, bgp.DefaultConfig(7), high)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tlHigh.TotalUpdates <= tlLow.TotalUpdates {
+		t.Fatalf("20x event rate did not raise churn: %d vs %d", tlHigh.TotalUpdates, tlLow.TotalUpdates)
+	}
+}
+
+func TestWorkloadBurstiness(t *testing.T) {
+	topo := testTopo(t, 200, 9)
+	tl, err := Run(topo, bgp.DefaultConfig(9), quickConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A Poisson event stream through MRAI machinery is never perfectly
+	// smooth: the busiest bucket must exceed the mean.
+	if tl.PeakToMean() < 1 {
+		t.Fatalf("peak-to-mean %v < 1", tl.PeakToMean())
+	}
+}
+
+func TestPeakToMean(t *testing.T) {
+	tl := &Timeline{Updates: []float64{1, 1, 1, 9}}
+	if got := tl.PeakToMean(); got != 3 {
+		t.Fatalf("peak/mean = %v, want 3", got)
+	}
+	empty := &Timeline{}
+	if empty.PeakToMean() != 0 {
+		t.Fatal("empty timeline peak/mean")
+	}
+	zero := &Timeline{Updates: []float64{0, 0}}
+	if zero.PeakToMean() != 0 {
+		t.Fatal("all-zero timeline peak/mean")
+	}
+}
+
+func TestWorkloadValidation(t *testing.T) {
+	topo := testTopo(t, 150, 11)
+	bad := []func(*Config){
+		func(c *Config) { c.Duration = 0 },
+		func(c *Config) { c.Bucket = 0 },
+		func(c *Config) { c.Bucket = c.Duration + 1 },
+		func(c *Config) { c.Prefixes = 0 },
+		func(c *Config) { c.PrefixFlapsPerHour = -1 },
+		func(c *Config) { c.PrefixFlapsPerHour, c.LinkFlapsPerHour = 0, 0 },
+	}
+	for i, mutate := range bad {
+		cfg := quickConfig(11)
+		mutate(&cfg)
+		if _, err := Run(topo, bgp.DefaultConfig(11), cfg); err == nil {
+			t.Errorf("case %d: invalid workload accepted", i)
+		}
+	}
+	// Prefix count is capped at the C population rather than erroring.
+	cfg := quickConfig(11)
+	cfg.Prefixes = 1 << 20
+	if _, err := Run(topo, bgp.DefaultConfig(11), cfg); err != nil {
+		t.Errorf("oversized prefix count not capped: %v", err)
+	}
+}
+
+func TestExplicitMonitor(t *testing.T) {
+	topo := testTopo(t, 200, 13)
+	cfg := quickConfig(13)
+	cfg.Monitor = topo.NodesOfType(topology.M)[0]
+	tl, err := Run(topo, bgp.DefaultConfig(13), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Monitor != cfg.Monitor {
+		t.Fatalf("monitor = %d, want %d", tl.Monitor, cfg.Monitor)
+	}
+}
