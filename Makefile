@@ -1,0 +1,17 @@
+# bgpchurn — stdlib-only Go; these targets mirror CI.
+
+GO ?= go
+
+.PHONY: test race bench build
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x .

@@ -27,13 +27,36 @@ func benchExperiment(seed uint64) Experiment {
 	return cfg
 }
 
+// mustSweep runs one sweep through the experiment scheduler (cells in
+// parallel; results byte-identical to the sequential path).
 func mustSweep(b *testing.B, sc Scenario, cfg SweepConfig) *SweepResult {
 	b.Helper()
-	sw, err := Sweep(sc, cfg)
+	sw, err := RunSweep(sc, cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
 	return sw
+}
+
+// mustGrid runs a whole scenario×size grid through the scheduler, one
+// SweepResult per request, sharing identical cells across requests.
+func mustGrid(b *testing.B, reqs []GridRequest) []*SweepResult {
+	b.Helper()
+	out, err := RunGrid(reqs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return out
+}
+
+// gridRequests builds one GridRequest per scenario over the reduced bench
+// sweep at the given seed.
+func gridRequests(seed uint64, scenarios ...Scenario) []GridRequest {
+	reqs := make([]GridRequest, len(scenarios))
+	for i, sc := range scenarios {
+		reqs[i] = GridRequest{Scenario: sc, Sizes: benchSizes(), TopologySeed: seed, Event: benchExperiment(seed)}
+	}
+	return reqs
 }
 
 // BenchmarkFig1TrendEstimation regenerates Fig. 1's workflow: a three-year
@@ -192,11 +215,8 @@ func fig8Scenarios() []Scenario {
 func BenchmarkFig8PopulationMix(b *testing.B) {
 	vals := map[string]float64{}
 	for i := 0; i < b.N; i++ {
-		for _, sc := range fig8Scenarios() {
-			sw := mustSweep(b, sc, SweepConfig{
-				Sizes: benchSizes(), TopologySeed: uint64(i) + 5, Event: benchExperiment(uint64(i) + 5),
-			})
-			vals[sc.Name] = sw.SeriesU(T)[len(sw.Points)-1]
+		for _, sw := range mustGrid(b, gridRequests(uint64(i)+5, fig8Scenarios()...)) {
+			vals[sw.Scenario] = sw.SeriesU(T)[len(sw.Points)-1]
 		}
 	}
 	for name, v := range vals {
@@ -215,11 +235,8 @@ func BenchmarkFig8PopulationMix(b *testing.B) {
 func BenchmarkFig9Multihoming(b *testing.B) {
 	vals := map[string]float64{}
 	for i := 0; i < b.N; i++ {
-		for _, sc := range []Scenario{DenseCore, DenseEdge, Baseline, Tree, ConstantMHD} {
-			sw := mustSweep(b, sc, SweepConfig{
-				Sizes: benchSizes(), TopologySeed: uint64(i) + 6, Event: benchExperiment(uint64(i) + 6),
-			})
-			vals[sc.Name] = sw.SeriesU(T)[len(sw.Points)-1]
+		for _, sw := range mustGrid(b, gridRequests(uint64(i)+6, DenseCore, DenseEdge, Baseline, Tree, ConstantMHD)) {
+			vals[sw.Scenario] = sw.SeriesU(T)[len(sw.Points)-1]
 		}
 	}
 	for name, v := range vals {
@@ -238,11 +255,8 @@ func BenchmarkFig9Multihoming(b *testing.B) {
 func BenchmarkFig10Peering(b *testing.B) {
 	vals := map[string]float64{}
 	for i := 0; i < b.N; i++ {
-		for _, sc := range []Scenario{NoPeering, Baseline, StrongCorePeering, StrongEdgePeering} {
-			sw := mustSweep(b, sc, SweepConfig{
-				Sizes: benchSizes(), TopologySeed: uint64(i) + 7, Event: benchExperiment(uint64(i) + 7),
-			})
-			vals[sc.Name] = sw.SeriesU(M)[len(sw.Points)-1]
+		for _, sw := range mustGrid(b, gridRequests(uint64(i)+7, NoPeering, Baseline, StrongCorePeering, StrongEdgePeering)) {
+			vals[sw.Scenario] = sw.SeriesU(M)[len(sw.Points)-1]
 		}
 	}
 	for name, v := range vals {
@@ -261,12 +275,8 @@ func BenchmarkFig10Peering(b *testing.B) {
 func BenchmarkFig11ProviderPreference(b *testing.B) {
 	var mid, top, mcTop, mcMid float64
 	for i := 0; i < b.N; i++ {
-		swMid := mustSweep(b, PreferMiddle, SweepConfig{
-			Sizes: benchSizes(), TopologySeed: uint64(i) + 8, Event: benchExperiment(uint64(i) + 8),
-		})
-		swTop := mustSweep(b, PreferTop, SweepConfig{
-			Sizes: benchSizes(), TopologySeed: uint64(i) + 8, Event: benchExperiment(uint64(i) + 8),
-		})
+		out := mustGrid(b, gridRequests(uint64(i)+8, PreferMiddle, PreferTop))
+		swMid, swTop := out[0], out[1]
 		last := len(swMid.Points) - 1
 		mid, top = swMid.SeriesU(T)[last], swTop.SeriesU(T)[last]
 		mcMid, mcTop = swMid.SeriesM(T, Customer)[last], swTop.SeriesM(T, Customer)[last]
@@ -292,8 +302,11 @@ func BenchmarkFig12WRATE(b *testing.B) {
 		cfgW := cfgNo
 		cfgW.BGP = bgp.WRATEConfig(seed)
 		cfgW.Origins = cfgNo.Origins
-		swNo := mustSweep(b, Baseline, SweepConfig{Sizes: benchSizes(), TopologySeed: seed, Event: cfgNo})
-		swW := mustSweep(b, Baseline, SweepConfig{Sizes: benchSizes(), TopologySeed: seed, Event: cfgW})
+		out := mustGrid(b, []GridRequest{
+			{Scenario: Baseline, Sizes: benchSizes(), TopologySeed: seed, Event: cfgNo},
+			{Scenario: Baseline, Sizes: benchSizes(), TopologySeed: seed, Event: cfgW},
+		})
+		swNo, swW := out[0], out[1]
 		last := len(swNo.Points) - 1
 		ratioT = swW.SeriesU(T)[last] / swNo.SeriesU(T)[last]
 		ratioC = swW.SeriesU(C)[last] / swNo.SeriesU(C)[last]

@@ -223,8 +223,55 @@ func DefaultExperiment(seed uint64) Experiment { return core.DefaultConfig(seed)
 // RunCEvents measures churn per C-event on one topology.
 func RunCEvents(t *Topology, cfg Experiment) (*Result, error) { return core.RunCEvents(t, cfg) }
 
-// Sweep runs the C-event experiment across network sizes for one scenario.
+// Sweep runs the C-event experiment across network sizes for one
+// scenario, strictly sequentially. On failure the points completed so far
+// are returned alongside the error. Prefer RunSweep (parallel cells,
+// byte-identical results) unless single-threaded execution is required.
 func Sweep(sc Scenario, cfg SweepConfig) (*SweepResult, error) { return core.Sweep(sc, cfg) }
+
+// Scheduler executes experiment grids on a bounded worker pool with a
+// content-addressed result cache: each (scenario, size) cell is computed
+// at most once per scheduler, and grid output is byte-identical to
+// sequential sweeps on the same seeds.
+type Scheduler = core.Scheduler
+
+// GridRequest names one scenario sweep inside a grid run.
+type GridRequest = core.GridRequest
+
+// CellKey identifies one (scenario, size, seed, config) experiment cell in
+// the scheduler cache.
+type CellKey = core.CellKey
+
+// CellStatus is a scheduler progress event (see CellState constants).
+type CellStatus = core.CellStatus
+
+// CellState classifies scheduler progress events.
+type CellState = core.CellState
+
+// CacheStats counts scheduler cache traffic.
+type CacheStats = core.CacheStats
+
+// Cell progress states.
+const (
+	CellStart  = core.CellStart
+	CellDone   = core.CellDone
+	CellCached = core.CellCached
+	CellFailed = core.CellFailed
+)
+
+// NewScheduler returns an experiment scheduler running at most parallelism
+// cells concurrently (0 = GOMAXPROCS) with an empty result cache.
+func NewScheduler(parallelism int) *Scheduler { return core.NewScheduler(parallelism) }
+
+// RunSweep runs one scenario sweep with cells in parallel on a one-off
+// scheduler. Results are byte-identical to Sweep on the same config; use
+// NewScheduler directly to share the result cache across sweeps.
+func RunSweep(sc Scenario, cfg SweepConfig) (*SweepResult, error) { return core.RunSweep(sc, cfg) }
+
+// RunGrid executes every (scenario, size) cell of the requests in parallel
+// on a one-off scheduler, one SweepResult per request. Identical cells
+// across requests are computed once.
+func RunGrid(reqs []GridRequest) ([]*SweepResult, error) { return core.RunGrid(reqs) }
 
 // PaperSizes returns the paper's x-axis: 1000..10000 step 1000.
 func PaperSizes() []int { return core.PaperSizes() }

@@ -7,16 +7,27 @@
 //	experiments -fig all -fast          # reduced sweep, minutes
 //	experiments -fig 4,6,12             # selected figures
 //	experiments -fig all -out results/  # full paper-scale sweep + CSVs
+//	experiments -fast -parallel 8       # up to 8 grid cells at once
 //
 // Full mode uses the paper's parameters (n = 1000..10000, 100 C-event
 // originators per point) and takes tens of minutes; -fast cuts both.
+//
+// All sweeps run through the experiment scheduler: the scenario×size grid
+// needed by the selected figures is computed up front on a worker pool
+// (-parallel bounds concurrent cells, 0 = GOMAXPROCS), each unique cell
+// exactly once — figures that share a sweep (Fig. 4–12 all reuse the
+// Baseline sweep) are served from the result cache, and output is
+// byte-identical to a sequential run on the same seed.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -42,7 +53,15 @@ func main() {
 		outDir:   *outDir,
 		origins:  *origins,
 		parallel: *parallel,
-		sweeps:   map[string]*bgpchurn.SweepResult{},
+		sched:    bgpchurn.NewScheduler(*parallel),
+		stdout:   os.Stdout,
+	}
+	logCell := report.CellLogger(os.Stdout)
+	r.sched.OnCell = func(cs bgpchurn.CellStatus) {
+		logCell(report.CellEvent{
+			Scenario: cs.Scenario, N: cs.N, State: cs.State.String(),
+			Elapsed: cs.Elapsed, Err: cs.Err,
+		})
 	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -80,6 +99,11 @@ func main() {
 		{"ext", (*runner).extensions, "extensions: L-events, exploration, burstiness"},
 	}
 	start := time.Now()
+	// Warm the scheduler cache: every sweep the selected figures need runs
+	// as one parallel scenario×size grid, each unique cell exactly once.
+	if err := r.prefetch(wanted); err != nil {
+		fatal(err)
+	}
 	for _, f := range figures {
 		if !wanted[f.id] {
 			continue
@@ -90,7 +114,9 @@ func main() {
 		}
 		fmt.Println()
 	}
-	fmt.Printf("done in %v\n", time.Since(start).Round(time.Second))
+	st := r.sched.CacheStats()
+	fmt.Printf("done in %v (grid cells computed: %d, cache hits: %d)\n",
+		time.Since(start).Round(time.Second), st.Misses, st.Hits)
 }
 
 type runner struct {
@@ -99,9 +125,78 @@ type runner struct {
 	outDir   string
 	origins  int
 	parallel int
-	// sweeps caches sweep results by "SCENARIO/wrate" so figures 4–7 share
-	// the Baseline NO-WRATE sweep.
-	sweeps map[string]*bgpchurn.SweepResult
+	// sched runs every sweep: cells execute on its worker pool and figures
+	// that request the same sweep are served from its result cache.
+	sched *bgpchurn.Scheduler
+	// stdout receives tables and plots (os.Stdout in the binary; a buffer
+	// or io.Discard in tests).
+	stdout io.Writer
+}
+
+// sweepVariant names one (scenario, protocol) sweep a figure depends on.
+type sweepVariant struct {
+	sc    bgpchurn.Scenario
+	wrate bool
+}
+
+// figSweeps lists the sweeps each figure needs, for cache prefetching.
+func figSweeps(id string) []sweepVariant {
+	base := sweepVariant{bgpchurn.Baseline, false}
+	noW := func(scs ...bgpchurn.Scenario) []sweepVariant {
+		out := make([]sweepVariant, len(scs))
+		for i, sc := range scs {
+			out[i] = sweepVariant{sc, false}
+		}
+		return out
+	}
+	switch id {
+	case "4", "5", "6", "7":
+		return []sweepVariant{base}
+	case "8":
+		return noW(bgpchurn.RichMiddle, bgpchurn.Baseline, bgpchurn.StaticMiddle, bgpchurn.TransitClique, bgpchurn.NoMiddle)
+	case "9":
+		return noW(bgpchurn.DenseCore, bgpchurn.DenseEdge, bgpchurn.Baseline, bgpchurn.Tree, bgpchurn.ConstantMHD)
+	case "10":
+		return noW(bgpchurn.Baseline, bgpchurn.NoPeering, bgpchurn.StrongCorePeering, bgpchurn.StrongEdgePeering)
+	case "11":
+		return noW(bgpchurn.Baseline, bgpchurn.PreferMiddle, bgpchurn.PreferTop)
+	case "12":
+		return []sweepVariant{base, {bgpchurn.Baseline, true}}
+	}
+	return nil // figures 1 and ext run no sweeps
+}
+
+// prefetch computes every sweep the wanted figures need as one parallel
+// grid, so the figures themselves render from the cache.
+func (r *runner) prefetch(wanted map[string]bool) error {
+	seen := map[string]bool{}
+	var reqs []bgpchurn.GridRequest
+	for id := range wanted {
+		for _, v := range figSweeps(id) {
+			key := fmt.Sprintf("%s/%v", v.sc.Name, v.wrate)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			reqs = append(reqs, bgpchurn.GridRequest{
+				Scenario: v.sc, Sizes: r.sizes(), TopologySeed: r.seed, Event: r.experiment(v.wrate),
+			})
+		}
+	}
+	if len(reqs) == 0 {
+		return nil
+	}
+	// Map iteration order is random; fix the request (and thus job) order.
+	sort.Slice(reqs, func(i, j int) bool {
+		if reqs[i].Scenario.Name != reqs[j].Scenario.Name {
+			return reqs[i].Scenario.Name < reqs[j].Scenario.Name
+		}
+		return !reqs[i].Event.BGP.RateLimitWithdrawals
+	})
+	fmt.Printf("scheduling %d sweeps (%d grid cells, parallelism %d)...\n",
+		len(reqs), len(reqs)*len(r.sizes()), r.workers())
+	_, err := r.sched.RunGrid(reqs)
+	return err
 }
 
 func (r *runner) sizes() []int {
@@ -126,34 +221,33 @@ func (r *runner) experiment(wrate bool) bgpchurn.Experiment {
 	return cfg
 }
 
-func (r *runner) sweep(sc bgpchurn.Scenario, wrate bool) (*bgpchurn.SweepResult, error) {
-	key := fmt.Sprintf("%s/%v", sc.Name, wrate)
-	if sw, ok := r.sweeps[key]; ok {
-		return sw, nil
+// workers reports the scheduler's effective cell parallelism.
+func (r *runner) workers() int {
+	if r.parallel > 0 {
+		return r.parallel
 	}
-	sw, err := bgpchurn.Sweep(sc, bgpchurn.SweepConfig{
+	return runtime.GOMAXPROCS(0)
+}
+
+// sweep fetches one scenario sweep through the scheduler. After prefetch
+// this is pure cache traffic (hits are logged by the OnCell callback);
+// results are byte-identical to the sequential bgpchurn.Sweep.
+func (r *runner) sweep(sc bgpchurn.Scenario, wrate bool) (*bgpchurn.SweepResult, error) {
+	return r.sched.RunSweep(sc, bgpchurn.SweepConfig{
 		Sizes:        r.sizes(),
 		TopologySeed: r.seed,
 		Event:        r.experiment(wrate),
-		Progress: func(name string, n int) {
-			fmt.Printf("  running %s n=%d...\n", name, n)
-		},
 	})
-	if err != nil {
-		return nil, err
-	}
-	r.sweeps[key] = sw
-	return sw, nil
 }
 
 // emit prints the table (plus plot) and writes the CSV if requested.
 func (r *runner) emit(name string, t *report.Table, xs []float64, series ...report.Series) error {
-	if err := t.Fprint(os.Stdout); err != nil {
+	if err := t.Fprint(r.stdout); err != nil {
 		return err
 	}
 	if len(series) > 0 {
-		fmt.Println()
-		if err := report.AsciiPlot(os.Stdout, 10, xs, series...); err != nil {
+		fmt.Fprintln(r.stdout)
+		if err := report.AsciiPlot(r.stdout, 10, xs, series...); err != nil {
 			return err
 		}
 	}
@@ -210,12 +304,9 @@ func (r *runner) runFig1() error {
 	return nil
 }
 
-func (r *runner) fig4() error {
-	sw, err := r.sweep(bgpchurn.Baseline, false)
-	if err != nil {
-		return err
-	}
-	xs := floats(r.sizes())
+// fig4Table builds Fig. 4's table from a Baseline sweep; split out so the
+// golden test can render the sequential path through the same code.
+func fig4Table(sw *bgpchurn.SweepResult, xs []float64) (*report.Table, []report.Series) {
 	series := []report.Series{
 		{Name: "T", Values: sw.SeriesU(bgpchurn.T)},
 		{Name: "M", Values: sw.SeriesU(bgpchurn.M)},
@@ -223,6 +314,16 @@ func (r *runner) fig4() error {
 		{Name: "C", Values: sw.SeriesU(bgpchurn.C)},
 	}
 	t := report.SeriesTable("Fig 4: updates per C-event by node type (Baseline, NO-WRATE)", "n", xs, series...)
+	return t, series
+}
+
+func (r *runner) fig4() error {
+	sw, err := r.sweep(bgpchurn.Baseline, false)
+	if err != nil {
+		return err
+	}
+	xs := floats(r.sizes())
+	t, series := fig4Table(sw, xs)
 	return r.emit("fig4", t, xs, series...)
 }
 

@@ -1,6 +1,10 @@
 package main
 
 import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"bgpchurn"
@@ -47,20 +51,117 @@ func TestFloats(t *testing.T) {
 	}
 }
 
+// fastRunner builds a -fast runner with silenced table output, matching
+// the binary's defaults for everything else.
+func fastRunner(seed uint64) *runner {
+	return &runner{seed: seed, fast: true, sched: bgpchurn.NewScheduler(0), stdout: io.Discard}
+}
+
 func TestSweepCaching(t *testing.T) {
-	r := &runner{
-		seed:   3,
-		fast:   true,
-		sweeps: map[string]*bgpchurn.SweepResult{},
-	}
-	// Pre-seed the cache and verify sweep() returns it without running.
-	want := &bgpchurn.SweepResult{Scenario: "BASELINE"}
-	r.sweeps["BASELINE/false"] = want
-	got, err := r.sweep(bgpchurn.Baseline, false)
+	// Figures requesting the same sweep must share the scheduler's cells:
+	// the second sweep() is pure cache traffic and returns equal results.
+	r := fastRunner(3)
+	first, err := r.sweep(bgpchurn.Baseline, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != want {
-		t.Fatal("cache miss on identical request")
+	st := r.sched.CacheStats()
+	if st.Misses != len(r.sizes()) || st.Hits != 0 {
+		t.Fatalf("cold stats = %+v", st)
+	}
+	second, err := r.sweep(bgpchurn.Baseline, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = r.sched.CacheStats()
+	if st.Misses != len(r.sizes()) || st.Hits != len(r.sizes()) {
+		t.Fatalf("warm stats = %+v, want every cell served from cache", st)
+	}
+	for i := range first.Points {
+		if first.Points[i].R != second.Points[i].R {
+			t.Fatalf("cell n=%d recomputed", first.Points[i].N)
+		}
+	}
+}
+
+func TestFigSweepsCoverAllFigures(t *testing.T) {
+	for _, id := range []string{"4", "5", "6", "7", "8", "9", "10", "11", "12"} {
+		if len(figSweeps(id)) == 0 {
+			t.Errorf("figure %s declares no sweeps", id)
+		}
+	}
+	for _, id := range []string{"1", "ext"} {
+		if len(figSweeps(id)) != 0 {
+			t.Errorf("figure %s should declare no sweeps", id)
+		}
+	}
+	// Fig. 12 needs both protocol variants of the Baseline sweep.
+	v := figSweeps("12")
+	if len(v) != 2 || v[0].wrate == v[1].wrate {
+		t.Fatalf("fig 12 sweeps = %+v", v)
+	}
+}
+
+func TestPrefetchDeduplicatesSharedSweeps(t *testing.T) {
+	// Figures 4 and 6 share the Baseline NO-WRATE sweep: prefetching both
+	// must compute each cell exactly once.
+	r := fastRunner(1)
+	if err := r.prefetch(map[string]bool{"4": true, "6": true}); err != nil {
+		t.Fatal(err)
+	}
+	st := r.sched.CacheStats()
+	if st.Misses != len(r.sizes()) || st.Hits != 0 {
+		t.Fatalf("prefetch stats = %+v, want %d unique cells and no duplicates", st, len(r.sizes()))
+	}
+	// Rendering the figures afterwards is pure cache traffic.
+	if _, err := r.sweep(bgpchurn.Baseline, false); err != nil {
+		t.Fatal(err)
+	}
+	st = r.sched.CacheStats()
+	if st.Misses != len(r.sizes()) {
+		t.Fatalf("figure render recomputed cells: %+v", st)
+	}
+}
+
+// TestFig4FastGoldenCSV locks the output of `experiments -fast -fig 4`
+// (seed 1): the scheduler-produced CSV must match both the committed
+// golden file and a sequential core.Sweep rendered through the same table
+// code, so scheduler refactors cannot silently change figure output.
+func TestFig4FastGoldenCSV(t *testing.T) {
+	dir := t.TempDir()
+	r := fastRunner(1)
+	r.outDir = dir
+	if err := r.fig4(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "fig4.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	golden, err := os.ReadFile(filepath.Join("testdata", "fig4_fast.golden.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, golden) {
+		t.Errorf("fig4 -fast CSV drifted from testdata/fig4_fast.golden.csv:\ngot:\n%s\nwant:\n%s", got, golden)
+	}
+
+	// The sequential path must produce the identical CSV.
+	seq, err := bgpchurn.Sweep(bgpchurn.Baseline, bgpchurn.SweepConfig{
+		Sizes:        r.sizes(),
+		TopologySeed: r.seed,
+		Event:        r.experiment(false),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, _ := fig4Table(seq, floats(r.sizes()))
+	var want bytes.Buffer
+	if err := table.WriteCSV(&want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Errorf("scheduler CSV differs from sequential sweep CSV:\nscheduler:\n%s\nsequential:\n%s", got, want.Bytes())
 	}
 }

@@ -1,0 +1,118 @@
+package bgpchurn
+
+// Determinism regression tier: the simulator's results must be a pure
+// function of the seeds — independent of the origin-level worker count
+// inside RunCEvents, of the grid scheduler's cell-level parallelism, and
+// of whether a sweep ran sequentially or through the scheduler. The tests
+// compare full rendered results byte for byte (update counts, the m/q/e
+// factor decomposition, convergence times, spread summaries), for both the
+// WRATE and NO-WRATE protocol variants.
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// fingerprint renders a Result's complete numeric content; Result is a
+// pure value type once dereferenced, so equal strings mean byte-identical
+// results.
+func fingerprint(r *Result) string { return fmt.Sprintf("%+v", *r) }
+
+// fingerprintSweep renders every point of a sweep.
+func fingerprintSweep(sw *SweepResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", sw.Scenario)
+	for _, p := range sw.Points {
+		fmt.Fprintf(&b, "%d %s\n", p.N, fingerprint(p.R))
+	}
+	return b.String()
+}
+
+// protocolVariants returns the §4 NO-WRATE and §6 WRATE experiment
+// configurations at reduced scale.
+func protocolVariants(seed uint64, origins int) map[string]Experiment {
+	noW := DefaultExperiment(seed)
+	noW.Origins = origins
+	w := noW
+	w.BGP = WRATEProtocol(seed)
+	return map[string]Experiment{"NO-WRATE": noW, "WRATE": w}
+}
+
+func TestResultIdenticalAcrossParallelism(t *testing.T) {
+	topo, err := Baseline.Generate(400, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelisms := []int{1, 4, runtime.NumCPU()}
+	for variant, cfg := range protocolVariants(21, 6) {
+		var want string
+		for _, par := range parallelisms {
+			c := cfg
+			c.Parallelism = par
+			res, err := RunCEvents(topo, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := fingerprint(res)
+			if want == "" {
+				want = got
+			} else if got != want {
+				t.Fatalf("%s: Parallelism=%d changed the result:\nwant %s\ngot  %s", variant, par, want, got)
+			}
+		}
+	}
+}
+
+func TestScheduledGridIdenticalToSequential(t *testing.T) {
+	sizes := []int{200, 350}
+	for variant, cfg := range protocolVariants(9, 5) {
+		sweepCfg := SweepConfig{Sizes: sizes, TopologySeed: 9, Event: cfg}
+		seq, err := Sweep(Baseline, sweepCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fingerprintSweep(seq)
+		for _, par := range []int{1, 4, runtime.NumCPU()} {
+			sched := NewScheduler(par)
+			got, err := sched.RunSweep(Baseline, sweepCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fp := fingerprintSweep(got); fp != want {
+				t.Fatalf("%s: scheduled grid (parallelism %d) differs from sequential sweep:\nseq   %s\nsched %s",
+					variant, par, want, fp)
+			}
+		}
+		// And through a multi-request grid, where the scheduler interleaves
+		// this sweep with another scenario's cells.
+		out, err := RunGrid([]GridRequest{
+			{Scenario: Baseline, Sizes: sizes, TopologySeed: 9, Event: cfg},
+			{Scenario: Tree, Sizes: sizes, TopologySeed: 9, Event: cfg},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fp := fingerprintSweep(out[0]); fp != want {
+			t.Fatalf("%s: grid-assembled sweep differs from sequential:\nseq  %s\ngrid %s", variant, want, fp)
+		}
+	}
+}
+
+func TestRunSweepRepeatable(t *testing.T) {
+	// Two independent schedulers over the same seeds must agree exactly —
+	// the cache key covers every input that determines a cell's result.
+	cfg := SweepConfig{Sizes: []int{200, 300}, TopologySeed: 31, Event: protocolVariants(31, 4)["WRATE"]}
+	a, err := RunSweep(Baseline, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSweep(Baseline, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprintSweep(a) != fingerprintSweep(b) {
+		t.Fatal("independent scheduled sweeps disagree on identical seeds")
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+// The determinism/race test tier. These tests are deliberately small and
+// run in -short mode: they exist so `go test -race ./...` (the race tier of
+// the verify pipeline, see Makefile and README) exercises every concurrent
+// code path — the grid scheduler's worker pool and singleflight cache, and
+// RunCEvents' origin-level parallelism — under the race detector.
+
+import (
+	"sync"
+	"testing"
+
+	"bgpchurn/internal/bgp"
+	"bgpchurn/internal/scenario"
+)
+
+// TestRaceConcurrentSweepsShareOneCache hammers a single scheduler from
+// several goroutines requesting overlapping grids: the cache must stay
+// race-free, compute each unique cell once, and hand every caller
+// byte-identical results.
+func TestRaceConcurrentSweepsShareOneCache(t *testing.T) {
+	s := NewScheduler(4)
+	s.OnCell = func(CellStatus) {} // exercise the emit path too
+	cfg := SweepConfig{Sizes: []int{150, 250}, TopologySeed: 13, Event: testConfig(13, 3)}
+
+	const callers = 4
+	results := make([]*SweepResult, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = s.RunSweep(scenario.Baseline, cfg)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if got, want := fingerprintSweep(results[i]), fingerprintSweep(results[0]); got != want {
+			t.Fatalf("caller %d saw different results", i)
+		}
+	}
+	st := s.CacheStats()
+	if st.Misses != len(cfg.Sizes) {
+		t.Fatalf("computed %d cells, want %d (rest must coalesce)", st.Misses, len(cfg.Sizes))
+	}
+	if st.Hits != (callers-1)*len(cfg.Sizes) {
+		t.Fatalf("cache hits = %d, want %d", st.Hits, (callers-1)*len(cfg.Sizes))
+	}
+}
+
+// TestRaceGridAcrossScenarios runs a multi-scenario grid on a wide pool so
+// distinct cells race against each other in the pool and the cache map.
+func TestRaceGridAcrossScenarios(t *testing.T) {
+	s := NewScheduler(8)
+	ev := testConfig(17, 3)
+	wrate := ev
+	wrate.BGP = bgp.WRATEConfig(17)
+	reqs := []GridRequest{
+		{Scenario: scenario.Baseline, Sizes: []int{150, 250}, TopologySeed: 17, Event: ev},
+		{Scenario: scenario.Tree, Sizes: []int{150, 250}, TopologySeed: 17, Event: ev},
+		{Scenario: scenario.Baseline, Sizes: []int{150, 250}, TopologySeed: 17, Event: wrate},
+	}
+	out, err := s.RunGrid(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sr := range out {
+		if len(sr.Points) != 2 {
+			t.Fatalf("request %d: %d points", i, len(sr.Points))
+		}
+	}
+}
+
+// TestRaceOriginParallelism drives RunCEvents' per-origin worker pool —
+// the accumulator array and the per-worker Network reuse — under the race
+// detector, at a worker count exceeding the origin count.
+func TestRaceOriginParallelism(t *testing.T) {
+	topo, err := scenario.Baseline.Generate(200, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(19, 6)
+	cfg.Parallelism = 8
+	res, err := RunCEvents(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalUpdates <= 0 {
+		t.Fatal("no updates measured")
+	}
+}

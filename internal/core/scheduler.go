@@ -1,0 +1,329 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"bgpchurn/internal/bgp"
+	"bgpchurn/internal/des"
+	"bgpchurn/internal/scenario"
+	"bgpchurn/internal/topology"
+)
+
+// CellKey identifies one (scenario, size) grid cell by every input that
+// determines its Result: the scenario name, the size, the sweep-level
+// topology seed, and the event configuration. Config.Parallelism and all
+// callbacks are deliberately excluded — results are independent of both —
+// so the same experiment requested at different worker counts still hits
+// the cache. Scenario names are unique across the package, which makes the
+// name a faithful stand-in for the (unexported) parameter transform.
+type CellKey struct {
+	Scenario     string
+	N            int
+	TopologySeed uint64
+	Origins      int
+	Settle       des.Time
+	Kind         EventKind
+	BGP          bgp.Config
+}
+
+// cellKey projects the cacheable part of an event config onto a key.
+func cellKey(scName string, n int, topoSeed uint64, ev Config) CellKey {
+	return CellKey{
+		Scenario:     scName,
+		N:            n,
+		TopologySeed: topoSeed,
+		Origins:      ev.Origins,
+		Settle:       ev.Settle,
+		Kind:         ev.Kind,
+		BGP:          ev.BGP,
+	}
+}
+
+// CellState classifies scheduler progress events.
+type CellState uint8
+
+const (
+	// CellStart fires when a worker begins computing a cell.
+	CellStart CellState = iota
+	// CellDone fires when a computed cell finishes successfully.
+	CellDone
+	// CellCached fires when a cell is served from the result cache
+	// (including waiting for an in-flight computation of the same key).
+	CellCached
+	// CellFailed fires when a computed cell ends in an error.
+	CellFailed
+)
+
+// String names the state ("start", "done", "cached", "failed").
+func (s CellState) String() string {
+	switch s {
+	case CellStart:
+		return "start"
+	case CellDone:
+		return "done"
+	case CellCached:
+		return "cached"
+	case CellFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("CellState(%d)", uint8(s))
+}
+
+// CellStatus is one progress event delivered to Scheduler.OnCell.
+type CellStatus struct {
+	// Scenario and N name the grid cell.
+	Scenario string
+	N        int
+	// State says what happened.
+	State CellState
+	// Elapsed is the computation time (CellDone/CellFailed) or the time
+	// spent waiting on an in-flight duplicate (CellCached; ~0 for a warm
+	// hit). Zero for CellStart.
+	Elapsed time.Duration
+	// Err is set for CellFailed (and for CellCached when the cached
+	// computation had failed).
+	Err error
+}
+
+// GridRequest names one scenario sweep inside a grid run: the scheduler
+// treats every (scenario, size) pair as an independent job.
+type GridRequest struct {
+	// Scenario is the growth model to sweep.
+	Scenario scenario.Scenario
+	// Sizes are the network sizes to measure.
+	Sizes []int
+	// TopologySeed seeds topology generation; each size uses
+	// TopologySeed+size, exactly as the sequential Sweep does.
+	TopologySeed uint64
+	// Event is the per-topology experiment configuration.
+	Event Config
+	// Progress, when non-nil, is called when a cell of this request starts
+	// computing (not for cache hits), mirroring SweepConfig.Progress. Cells
+	// run concurrently, so calls arrive in completion order, serialized.
+	Progress func(scenarioName string, n int)
+}
+
+// CacheStats counts scheduler cache traffic.
+type CacheStats struct {
+	// Hits is the number of cells served from the cache (or coalesced onto
+	// an in-flight computation of the same key).
+	Hits int
+	// Misses is the number of cells actually computed.
+	Misses int
+}
+
+// Scheduler executes experiment grids on a bounded worker pool with a
+// content-addressed result cache. Each (scenario, size) cell is an
+// independent deterministic job, so cells may run in any order and on any
+// number of workers without changing results; assembly orders cells by the
+// request's size list, making grid output byte-identical to sequential
+// Sweep runs. Cells with equal CellKeys are computed exactly once per
+// scheduler — concurrent duplicates coalesce onto the in-flight
+// computation — which lets figures that share a sweep (Fig. 4–12 all reuse
+// the Baseline sweep) pay for it once.
+//
+// A Scheduler is safe for concurrent use. Set OnCell before the first run.
+type Scheduler struct {
+	parallelism int
+
+	// OnCell, when non-nil, receives one CellStart and one CellDone (or
+	// CellFailed) event per computed cell plus one CellCached event per
+	// cache hit. Calls are serialized; the callback needs no locking.
+	OnCell func(CellStatus)
+
+	mu    sync.Mutex
+	cache map[CellKey]*cacheEntry
+	stats CacheStats
+
+	emitMu sync.Mutex
+
+	// generate and run are seams for tests (counting hooks, fault
+	// injection); they default to Scenario.Generate and RunCEvents.
+	generate func(sc scenario.Scenario, n int, seed uint64) (*topology.Topology, error)
+	run      func(t *topology.Topology, cfg Config) (*Result, error)
+}
+
+// NewScheduler returns a scheduler running at most parallelism cells
+// concurrently (0 = GOMAXPROCS) with an empty cache.
+func NewScheduler(parallelism int) *Scheduler {
+	return &Scheduler{
+		parallelism: parallelism,
+		cache:       map[CellKey]*cacheEntry{},
+		generate: func(sc scenario.Scenario, n int, seed uint64) (*topology.Topology, error) {
+			return sc.Generate(n, seed)
+		},
+		run: RunCEvents,
+	}
+}
+
+// cacheEntry is a singleflight slot: the first requester of a key computes
+// while later requesters wait on ready.
+type cacheEntry struct {
+	ready chan struct{}
+	res   *Result
+	err   error
+}
+
+// CacheStats returns the cache traffic so far.
+func (s *Scheduler) CacheStats() CacheStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// emit delivers one progress event, serialized.
+func (s *Scheduler) emit(cs CellStatus) {
+	if s.OnCell == nil {
+		return
+	}
+	s.emitMu.Lock()
+	defer s.emitMu.Unlock()
+	s.OnCell(cs)
+}
+
+// cell computes or fetches one grid cell.
+func (s *Scheduler) cell(sc scenario.Scenario, n int, topoSeed uint64, ev Config, progress func(string, int)) (*Result, error) {
+	key := cellKey(sc.Name, n, topoSeed, ev)
+	s.mu.Lock()
+	if e, ok := s.cache[key]; ok {
+		s.stats.Hits++
+		s.mu.Unlock()
+		start := time.Now()
+		<-e.ready
+		s.emit(CellStatus{Scenario: sc.Name, N: n, State: CellCached, Elapsed: time.Since(start), Err: e.err})
+		return e.res, e.err
+	}
+	e := &cacheEntry{ready: make(chan struct{})}
+	s.cache[key] = e
+	s.stats.Misses++
+	s.mu.Unlock()
+
+	if progress != nil {
+		s.emitMu.Lock()
+		progress(sc.Name, n)
+		s.emitMu.Unlock()
+	}
+	s.emit(CellStatus{Scenario: sc.Name, N: n, State: CellStart})
+	start := time.Now()
+	topo, err := s.generate(sc, n, topoSeed+uint64(n))
+	var res *Result
+	if err == nil {
+		res, err = s.run(topo, ev)
+	}
+	if err != nil {
+		err = fmt.Errorf("core: %s at n=%d: %w", sc.Name, n, err)
+	}
+	e.res, e.err = res, err
+	close(e.ready)
+	state := CellDone
+	if err != nil {
+		state = CellFailed
+	}
+	s.emit(CellStatus{Scenario: sc.Name, N: n, State: state, Elapsed: time.Since(start), Err: err})
+	return res, err
+}
+
+// RunGrid executes every (scenario, size) cell of the requests on the
+// worker pool and assembles one SweepResult per request, sizes in request
+// order. On cell failure the remaining cells still run; the completed
+// points of every request are returned alongside the first error in grid
+// order, and the error names the failing (scenario, n) cell.
+func (s *Scheduler) RunGrid(reqs []GridRequest) ([]*SweepResult, error) {
+	type slot struct {
+		res *Result
+		err error
+	}
+	type job struct{ req, idx int }
+	var jobs []job
+	slots := make([][]slot, len(reqs))
+	for i := range reqs {
+		if len(reqs[i].Sizes) == 0 {
+			return nil, fmt.Errorf("core: grid request %d (%s): empty size list", i, reqs[i].Scenario.Name)
+		}
+		slots[i] = make([]slot, len(reqs[i].Sizes))
+		for j := range reqs[i].Sizes {
+			jobs = append(jobs, job{i, j})
+		}
+	}
+
+	workers := s.parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	next := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for jb := range next {
+				r := &reqs[jb.req]
+				res, err := s.cell(r.Scenario, r.Sizes[jb.idx], r.TopologySeed, r.Event, r.Progress)
+				slots[jb.req][jb.idx] = slot{res, err}
+			}
+		}()
+	}
+	for _, jb := range jobs {
+		next <- jb
+	}
+	close(next)
+	wg.Wait()
+
+	// Deterministic assembly: each cell was stored in its (request, size)
+	// slot, so output order is independent of completion order.
+	out := make([]*SweepResult, len(reqs))
+	var firstErr error
+	for i := range reqs {
+		sr := &SweepResult{Scenario: reqs[i].Scenario.Name}
+		for j, n := range reqs[i].Sizes {
+			sl := slots[i][j]
+			if sl.err != nil {
+				if firstErr == nil {
+					firstErr = sl.err
+				}
+				continue
+			}
+			sr.Points = append(sr.Points, Point{N: n, R: sl.res})
+		}
+		out[i] = sr
+	}
+	return out, firstErr
+}
+
+// RunSweep runs one scenario sweep through the scheduler: cells execute in
+// parallel and previously computed cells are served from the cache. The
+// result is byte-identical to the sequential Sweep on the same config.
+func (s *Scheduler) RunSweep(sc scenario.Scenario, cfg SweepConfig) (*SweepResult, error) {
+	if len(cfg.Sizes) == 0 {
+		return nil, fmt.Errorf("core: empty size list")
+	}
+	out, err := s.RunGrid([]GridRequest{{
+		Scenario:     sc,
+		Sizes:        cfg.Sizes,
+		TopologySeed: cfg.TopologySeed,
+		Event:        cfg.Event,
+		Progress:     cfg.Progress,
+	}})
+	if len(out) == 0 {
+		return nil, err
+	}
+	return out[0], err
+}
+
+// RunGrid executes the grid on a one-off scheduler with GOMAXPROCS
+// workers. Use NewScheduler to share a cache across grids.
+func RunGrid(reqs []GridRequest) ([]*SweepResult, error) {
+	return NewScheduler(0).RunGrid(reqs)
+}
+
+// RunSweep runs one scenario sweep on a one-off scheduler, cells in
+// parallel. Use NewScheduler to share a cache across sweeps.
+func RunSweep(sc scenario.Scenario, cfg SweepConfig) (*SweepResult, error) {
+	return NewScheduler(0).RunSweep(sc, cfg)
+}

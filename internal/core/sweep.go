@@ -44,7 +44,10 @@ type SweepResult struct {
 }
 
 // Sweep generates a topology per size under the scenario and runs the
-// C-event experiment on each.
+// C-event experiment on each, sequentially. On failure it returns the
+// points completed so far alongside an error naming the failing
+// (scenario, n) cell. See Scheduler.RunSweep for the parallel, cached
+// equivalent (byte-identical output).
 func Sweep(sc scenario.Scenario, cfg SweepConfig) (*SweepResult, error) {
 	if len(cfg.Sizes) == 0 {
 		return nil, fmt.Errorf("core: empty size list")
@@ -56,11 +59,11 @@ func Sweep(sc scenario.Scenario, cfg SweepConfig) (*SweepResult, error) {
 		}
 		topo, err := sc.Generate(n, cfg.TopologySeed+uint64(n))
 		if err != nil {
-			return nil, fmt.Errorf("core: %s at n=%d: %w", sc.Name, n, err)
+			return out, fmt.Errorf("core: %s at n=%d: %w", sc.Name, n, err)
 		}
 		res, err := RunCEvents(topo, cfg.Event)
 		if err != nil {
-			return nil, fmt.Errorf("core: %s at n=%d: %w", sc.Name, n, err)
+			return out, fmt.Errorf("core: %s at n=%d: %w", sc.Name, n, err)
 		}
 		out.Points = append(out.Points, Point{N: n, R: res})
 	}

@@ -10,6 +10,7 @@ import (
 	"math"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Table is a titled grid of cells with a header row.
@@ -154,6 +155,43 @@ func Float(v float64, decimals int) string {
 		s = strings.TrimSuffix(s, ".")
 	}
 	return s
+}
+
+// CellEvent is one experiment-grid progress event in renderer form: the
+// scheduler's per-cell start/done/cached/failed notifications, decoupled
+// from the core package so any driver can log them.
+type CellEvent struct {
+	// Scenario and N name the grid cell.
+	Scenario string
+	N        int
+	// State is "start", "done", "cached" or "failed".
+	State string
+	// Elapsed is the cell's computation (or cache-wait) time.
+	Elapsed time.Duration
+	// Err is set for failed cells.
+	Err error
+}
+
+// FormatCellEvent renders one progress line for a grid cell event.
+func FormatCellEvent(e CellEvent) string {
+	cell := fmt.Sprintf("%s n=%d", e.Scenario, e.N)
+	switch e.State {
+	case "start":
+		return fmt.Sprintf("  run    %s", cell)
+	case "done":
+		return fmt.Sprintf("  done   %s  (%v)", cell, e.Elapsed.Round(time.Millisecond))
+	case "cached":
+		return fmt.Sprintf("  cached %s", cell)
+	case "failed":
+		return fmt.Sprintf("  FAIL   %s: %v", cell, e.Err)
+	}
+	return fmt.Sprintf("  %-6s %s", e.State, cell)
+}
+
+// CellLogger returns a callback that writes one FormatCellEvent line per
+// event to w, for wiring a scheduler's OnCell to a terminal.
+func CellLogger(w io.Writer) func(CellEvent) {
+	return func(e CellEvent) { fmt.Fprintln(w, FormatCellEvent(e)) }
 }
 
 // plotMaxWidth caps the chart width; longer series are resampled.

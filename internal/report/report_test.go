@@ -2,8 +2,10 @@ package report
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestTableFprintAlignment(t *testing.T) {
@@ -113,5 +115,40 @@ func TestAsciiPlotDownsamplesLongSeries(t *testing.T) {
 		if len(line) > plotMaxWidth+20 {
 			t.Fatalf("plot line too wide (%d chars)", len(line))
 		}
+	}
+}
+
+func TestFormatCellEvent(t *testing.T) {
+	cases := []struct {
+		e    CellEvent
+		want string
+	}{
+		{CellEvent{Scenario: "BASELINE", N: 1000, State: "start"}, "  run    BASELINE n=1000"},
+		{CellEvent{Scenario: "BASELINE", N: 1000, State: "done", Elapsed: 1500 * time.Millisecond}, "  done   BASELINE n=1000  (1.5s)"},
+		{CellEvent{Scenario: "TREE", N: 200, State: "cached"}, "  cached TREE n=200"},
+	}
+	for _, c := range cases {
+		if got := FormatCellEvent(c.e); got != c.want {
+			t.Errorf("FormatCellEvent(%+v) = %q, want %q", c.e, got, c.want)
+		}
+	}
+	failed := FormatCellEvent(CellEvent{Scenario: "X", N: 5, State: "failed", Err: errors.New("boom")})
+	if !strings.Contains(failed, "FAIL") || !strings.Contains(failed, "boom") {
+		t.Errorf("failed event rendering: %q", failed)
+	}
+	odd := FormatCellEvent(CellEvent{Scenario: "X", N: 5, State: "odd"})
+	if !strings.Contains(odd, "odd") {
+		t.Errorf("unknown state dropped: %q", odd)
+	}
+}
+
+func TestCellLogger(t *testing.T) {
+	var buf bytes.Buffer
+	log := CellLogger(&buf)
+	log(CellEvent{Scenario: "BASELINE", N: 1000, State: "start"})
+	log(CellEvent{Scenario: "BASELINE", N: 1000, State: "cached"})
+	out := buf.String()
+	if strings.Count(out, "\n") != 2 || !strings.Contains(out, "cached BASELINE n=1000") {
+		t.Fatalf("logger output:\n%s", out)
 	}
 }
