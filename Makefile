@@ -2,7 +2,10 @@
 
 GO ?= go
 
-.PHONY: test race bench build
+# Label under which `make bench-kernel` records its run in BENCH_kernel.json.
+BENCH_LABEL ?= current
+
+.PHONY: test race bench bench-kernel build
 
 build:
 	$(GO) build ./...
@@ -15,3 +18,11 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x .
+
+# bench-kernel runs the kernel micro-benchmarks and the root figure suite
+# with allocation reporting and records the numbers as a labeled entry in
+# BENCH_kernel.json (replacing an existing entry with the same label), so
+# the perf trajectory is tracked PR over PR.
+bench-kernel:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x ./internal/bgp . \
+		| $(GO) run ./cmd/benchjson -label "$(BENCH_LABEL)" -out BENCH_kernel.json

@@ -63,6 +63,7 @@ func gridRequests(seed uint64, scenarios ...Scenario) []GridRequest {
 // daily monitor series with embedded ~200% growth, trend-estimated with
 // Mann-Kendall/Sen as in the paper.
 func BenchmarkFig1TrendEstimation(b *testing.B) {
+	b.ReportAllocs()
 	var slopeRatio, growth float64
 	for i := 0; i < b.N; i++ {
 		p := DefaultMonitorTrace(uint64(i) + 1)
@@ -87,6 +88,7 @@ func BenchmarkFig1TrendEstimation(b *testing.B) {
 // BenchmarkTable1TopologyGeneration builds a Baseline topology per
 // iteration and reports its Table 1 realized parameters.
 func BenchmarkTable1TopologyGeneration(b *testing.B) {
+	b.ReportAllocs()
 	var mhdM, mhdC, peering float64
 	for i := 0; i < b.N; i++ {
 		topo, err := Baseline.Generate(5000, uint64(i)+1)
@@ -105,6 +107,7 @@ func BenchmarkTable1TopologyGeneration(b *testing.B) {
 // BenchmarkTopologyProperties measures the §3 structural claims: strong
 // clustering and a ~4-hop constant average path length.
 func BenchmarkTopologyProperties(b *testing.B) {
+	b.ReportAllocs()
 	var clustering, apl float64
 	for i := 0; i < b.N; i++ {
 		topo, err := Baseline.Generate(3000, uint64(i)+7)
@@ -121,6 +124,7 @@ func BenchmarkTopologyProperties(b *testing.B) {
 // BenchmarkFig4UpdatesByType sweeps the Baseline model and reports U(X)
 // per node type at the largest size (Fig. 4's right edge).
 func BenchmarkFig4UpdatesByType(b *testing.B) {
+	b.ReportAllocs()
 	var uT, uM, uCP, uC float64
 	for i := 0; i < b.N; i++ {
 		sw := mustSweep(b, Baseline, SweepConfig{
@@ -144,6 +148,7 @@ func BenchmarkFig4UpdatesByType(b *testing.B) {
 // BenchmarkFig5RelationSplit reports the per-relation split of Fig. 5:
 // Uc(T), Up(T) and Ud(M) at the largest size.
 func BenchmarkFig5RelationSplit(b *testing.B) {
+	b.ReportAllocs()
 	var ucT, upT, udM, shareD float64
 	for i := 0; i < b.N; i++ {
 		sw := mustSweep(b, Baseline, SweepConfig{
@@ -170,6 +175,7 @@ func BenchmarkFig5RelationSplit(b *testing.B) {
 // BenchmarkFig6RelativeIncrease reports the growth factors of Uc(T), Up(T)
 // and Ud(M) across the sweep (Fig. 6 normalizes to n=1000).
 func BenchmarkFig6RelativeIncrease(b *testing.B) {
+	b.ReportAllocs()
 	var gUc, gUp, gUd float64
 	for i := 0; i < b.N; i++ {
 		sw := mustSweep(b, Baseline, SweepConfig{
@@ -187,6 +193,7 @@ func BenchmarkFig6RelativeIncrease(b *testing.B) {
 // BenchmarkFig7FactorDecomposition reports the growth of the Eq.-1 factors
 // (m, e, q panels of Fig. 7).
 func BenchmarkFig7FactorDecomposition(b *testing.B) {
+	b.ReportAllocs()
 	var gM, gE, qd float64
 	for i := 0; i < b.N; i++ {
 		sw := mustSweep(b, Baseline, SweepConfig{
@@ -213,6 +220,7 @@ func fig8Scenarios() []Scenario {
 // deviations: RICH-MIDDLE > BASELINE > STATIC-MIDDLE, and
 // NO-MIDDLE ≈ TRANSIT-CLIQUE at the bottom.
 func BenchmarkFig8PopulationMix(b *testing.B) {
+	b.ReportAllocs()
 	vals := map[string]float64{}
 	for i := 0; i < b.N; i++ {
 		for _, sw := range mustGrid(b, gridRequests(uint64(i)+5, fig8Scenarios()...)) {
@@ -233,6 +241,7 @@ func BenchmarkFig8PopulationMix(b *testing.B) {
 // BenchmarkFig9Multihoming compares the §5.2 MHD deviations at T nodes and
 // checks the TREE invariant (exactly 2 updates per C-event).
 func BenchmarkFig9Multihoming(b *testing.B) {
+	b.ReportAllocs()
 	vals := map[string]float64{}
 	for i := 0; i < b.N; i++ {
 		for _, sw := range mustGrid(b, gridRequests(uint64(i)+6, DenseCore, DenseEdge, Baseline, Tree, ConstantMHD)) {
@@ -253,6 +262,7 @@ func BenchmarkFig9Multihoming(b *testing.B) {
 // BenchmarkFig10Peering compares the §5.3 peering deviations at M nodes;
 // the paper's conclusion is that peering density barely matters.
 func BenchmarkFig10Peering(b *testing.B) {
+	b.ReportAllocs()
 	vals := map[string]float64{}
 	for i := 0; i < b.N; i++ {
 		for _, sw := range mustGrid(b, gridRequests(uint64(i)+7, NoPeering, Baseline, StrongCorePeering, StrongEdgePeering)) {
@@ -273,6 +283,7 @@ func BenchmarkFig10Peering(b *testing.B) {
 // BenchmarkFig11ProviderPreference compares PREFER-MIDDLE vs PREFER-TOP
 // (§5.4): deeper hierarchies churn more at the top.
 func BenchmarkFig11ProviderPreference(b *testing.B) {
+	b.ReportAllocs()
 	var mid, top, mcTop, mcMid float64
 	for i := 0; i < b.N; i++ {
 		out := mustGrid(b, gridRequests(uint64(i)+8, PreferMiddle, PreferTop))
@@ -295,6 +306,7 @@ func BenchmarkFig11ProviderPreference(b *testing.B) {
 // BenchmarkFig12WRATE measures the §6 result: rate-limiting explicit
 // withdrawals (WRATE) multiplies churn via path exploration.
 func BenchmarkFig12WRATE(b *testing.B) {
+	b.ReportAllocs()
 	var ratioT, ratioC float64
 	for i := 0; i < b.N; i++ {
 		seed := uint64(i) + 9
@@ -321,6 +333,7 @@ func BenchmarkFig12WRATE(b *testing.B) {
 // BenchmarkAblationMRAIScope compares the vendor per-interface MRAI (the
 // paper's model) against the standard's per-prefix timers.
 func BenchmarkAblationMRAIScope(b *testing.B) {
+	b.ReportAllocs()
 	var perIface, perPrefix float64
 	for i := 0; i < b.N; i++ {
 		seed := uint64(i) + 10
@@ -347,6 +360,7 @@ func BenchmarkAblationMRAIScope(b *testing.B) {
 // BenchmarkAblationMRAIValue sweeps the MRAI duration (0 disables rate
 // limiting) under WRATE, where the timer interacts with path exploration.
 func BenchmarkAblationMRAIValue(b *testing.B) {
+	b.ReportAllocs()
 	values := []des.Time{0, 5 * des.Second, 30 * des.Second, 60 * des.Second}
 	results := make([]float64, len(values))
 	for i := 0; i < b.N; i++ {
@@ -380,6 +394,7 @@ func BenchmarkAblationMRAIValue(b *testing.B) {
 // number of prefixes a core session carries (the session-reset churn
 // source the paper's introduction names).
 func BenchmarkExtensionSessionResets(b *testing.B) {
+	b.ReportAllocs()
 	var perPrefix2, perPrefix20 float64
 	for i := 0; i < b.N; i++ {
 		topo, err := Baseline.Generate(800, uint64(i)+15)
@@ -410,6 +425,7 @@ func BenchmarkExtensionSessionResets(b *testing.B) {
 // experiment the paper cites: rate limiting trades convergence latency for
 // update volume.
 func BenchmarkExtensionConvergenceVsMRAI(b *testing.B) {
+	b.ReportAllocs()
 	values := []des.Time{0, 5 * des.Second, 15 * des.Second, 30 * des.Second, 60 * des.Second}
 	up := make([]float64, len(values))
 	updates := make([]float64, len(values))
@@ -443,6 +459,7 @@ func BenchmarkExtensionConvergenceVsMRAI(b *testing.B) {
 // one landmark failure — the static-vs-dynamic trade-off the paper's
 // related-work section describes.
 func BenchmarkBaselineCompactRouting(b *testing.B) {
+	b.ReportAllocs()
 	var tableRatio, meanStretch, failureImpact float64
 	for i := 0; i < b.N; i++ {
 		topo, err := Baseline.Generate(1500, uint64(i)+13)
@@ -471,6 +488,7 @@ func BenchmarkBaselineCompactRouting(b *testing.B) {
 // BenchmarkAblationProcessingDelay varies the per-update processing delay
 // bound around the paper's 100 ms choice.
 func BenchmarkAblationProcessingDelay(b *testing.B) {
+	b.ReportAllocs()
 	delays := []des.Time{10 * des.Millisecond, 100 * des.Millisecond, 1000 * des.Millisecond}
 	results := make([]float64, len(delays))
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,148 @@
+// Command benchjson records `go test -bench` output as a labeled entry in a
+// JSON trajectory file, so benchmark numbers (ns/op, B/op, allocs/op and
+// every ReportMetric value) can be compared across PRs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem -benchtime 1x ./internal/bgp . \
+//	    | go run ./cmd/benchjson -label "post-PR2" -out BENCH_kernel.json
+//
+// The file holds a list of records in insertion order; re-using a label
+// replaces that record in place. `make bench-kernel` wraps the invocation.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one benchmark's measurements: every "value unit" pair from
+// the result line, keyed by unit (ns/op, B/op, allocs/op, custom metrics).
+type Benchmark struct {
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Record is one labeled benchmark run.
+type Record struct {
+	Label      string               `json:"label"`
+	Date       string               `json:"date"`
+	Go         string               `json:"go,omitempty"`
+	Benchmarks map[string]Benchmark `json:"benchmarks"`
+}
+
+// File is the trajectory file's layout.
+type File struct {
+	Note    string   `json:"note"`
+	Records []Record `json:"records"`
+}
+
+func main() {
+	var (
+		label = flag.String("label", "", "record label (required); an existing record with the same label is replaced")
+		out   = flag.String("out", "BENCH_kernel.json", "trajectory file to update")
+	)
+	flag.Parse()
+	if *label == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -label is required")
+		os.Exit(2)
+	}
+
+	rec := Record{
+		Label:      *label,
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		Benchmarks: map[string]Benchmark{},
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the run through for the terminal
+		if strings.HasPrefix(line, "goos:") || strings.HasPrefix(line, "goarch:") {
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		name, bm, ok := parseLine(line)
+		if ok {
+			rec.Benchmarks[name] = bm
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(rec.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark result lines on stdin"))
+	}
+
+	var f File
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &f); err != nil {
+			fatal(fmt.Errorf("parse %s: %w", *out, err))
+		}
+	}
+	if f.Note == "" {
+		f.Note = "Benchmark trajectory (go test -bench output recorded by cmd/benchjson; see `make bench-kernel`). Units: ns/op wall time, B/op heap bytes, allocs/op heap allocations; other keys are benchmark ReportMetric values."
+	}
+	replaced := false
+	for i := range f.Records {
+		if f.Records[i].Label == *label {
+			f.Records[i] = rec
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		f.Records = append(f.Records, rec)
+	}
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: recorded %d benchmarks as %q in %s\n", len(rec.Benchmarks), *label, *out)
+}
+
+// parseLine parses one benchmark result line:
+//
+//	BenchmarkName-8 <tab> 100 <tab> 123 ns/op <tab> 7 allocs/op ...
+func parseLine(line string) (string, Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return "", Benchmark{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		// Strip the GOMAXPROCS suffix.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", Benchmark{}, false
+	}
+	bm := Benchmark{Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", Benchmark{}, false
+		}
+		bm.Metrics[fields[i+1]] = v
+	}
+	return name, bm, true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

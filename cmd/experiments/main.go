@@ -8,6 +8,10 @@
 //	experiments -fig 4,6,12             # selected figures
 //	experiments -fig all -out results/  # full paper-scale sweep + CSVs
 //	experiments -fast -parallel 8       # up to 8 grid cells at once
+//	experiments -fast -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// The profiling flags write standard runtime/pprof profiles of the whole
+// run (inspect with `go tool pprof`); see EXPERIMENTS.md, "Profiling".
 //
 // Full mode uses the paper's parameters (n = 1000..10000, 100 C-event
 // originators per point) and takes tens of minutes; -fast cuts both.
@@ -27,6 +31,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -44,8 +49,35 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "master seed")
 		origins  = flag.Int("origins", 0, "override the number of C-event originators")
 		parallel = flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
+		memprof  = flag.String("memprofile", "", "write a heap profile to this file on exit (pprof format)")
 	)
 	flag.Parse()
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		defer func() {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	r := &runner{
 		seed:     *seed,

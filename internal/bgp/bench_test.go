@@ -1,0 +1,201 @@
+package bgp
+
+import (
+	"testing"
+
+	"bgpchurn/internal/des"
+	"bgpchurn/internal/topology"
+)
+
+// Kernel micro-benchmarks for the simulation inner loop: decide, reconcile,
+// the transmit → procEvent → Fire cycle, and the MRAI flush machinery.
+// These pin the zero-allocation property of the steady-state path (see
+// DESIGN.md, kernel memory model); `make bench-kernel` records them in
+// BENCH_kernel.json.
+
+// benchTopo assembles the same hand-made topologies as build() in
+// bgp_test.go without needing a *testing.T.
+func benchTopo(types []topology.NodeType, transit, peers [][2]topology.NodeID) *topology.Topology {
+	topo := &topology.Topology{NumRegions: 1, Nodes: make([]topology.Node, len(types))}
+	for i, typ := range types {
+		topo.Nodes[i] = topology.Node{ID: topology.NodeID(i), Type: typ, Regions: 1}
+	}
+	for _, e := range transit {
+		p, c := e[0], e[1]
+		topo.Nodes[p].Customers = append(topo.Nodes[p].Customers, c)
+		topo.Nodes[c].Providers = append(topo.Nodes[c].Providers, p)
+	}
+	for _, e := range peers {
+		a, b := e[0], e[1]
+		topo.Nodes[a].Peers = append(topo.Nodes[a].Peers, b)
+		topo.Nodes[b].Peers = append(topo.Nodes[b].Peers, a)
+	}
+	return topo
+}
+
+// fanTopo is a T core with m M-nodes multihomed to it and one C origin
+// multihomed to every M node: every M node offers the origin's prefix to
+// the core, exercising multi-candidate decisions.
+func fanTopo(m int) *topology.Topology {
+	types := []topology.NodeType{topology.T}
+	var transit [][2]topology.NodeID
+	for i := 1; i <= m; i++ {
+		types = append(types, topology.M)
+		transit = append(transit, [2]topology.NodeID{0, topology.NodeID(i)})
+	}
+	origin := topology.NodeID(m + 1)
+	types = append(types, topology.C)
+	for i := 1; i <= m; i++ {
+		transit = append(transit, [2]topology.NodeID{topology.NodeID(i), origin})
+	}
+	return benchTopo(types, transit, nil)
+}
+
+const benchPrefix Prefix = 1
+
+// steadyNet returns a converged MRAI-0 network on fanTopo(8) with the
+// origin's prefix propagated everywhere.
+func steadyNet() (*Network, topology.NodeID) {
+	topo := fanTopo(8)
+	cfg := DefaultConfig(1)
+	cfg.MRAI = 0
+	net := MustNew(topo, cfg)
+	origin := topology.NodeID(topo.N() - 1)
+	net.Originate(origin, benchPrefix)
+	net.Run()
+	return net, origin
+}
+
+// coreLink returns the slot of node 1 (an M node) toward the T core and the
+// path it currently advertises there, for re-announcement benchmarks.
+func coreLink(net *Network) (m *node, slot int, path Path) {
+	m = &net.nodes[1]
+	for j, nb := range m.neighbors {
+		if nb.ID == 0 {
+			path, ok := m.out[j].lastSent.Get(benchPrefix)
+			if !ok {
+				panic("bench setup: M node does not advertise the prefix to the core")
+			}
+			return m, j, path
+		}
+	}
+	panic("bench setup: M node is not connected to the core")
+}
+
+// BenchmarkKernelDecide measures the bare decision process over a RIB with
+// 8 candidate routes. Expected allocs/op: 0.
+func BenchmarkKernelDecide(b *testing.B) {
+	net, _ := steadyNet()
+	core := &net.nodes[0] // the T node hears the prefix from every M node
+	ps, ok := core.prefixes.Get(benchPrefix)
+	if !ok {
+		b.Fatal("core has no state for the bench prefix")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slot, _ := core.decide(ps)
+		if slot == noneSlot {
+			b.Fatal("no route decided")
+		}
+	}
+}
+
+// BenchmarkKernelReconcileUnchanged measures applyDecision when the best
+// route does not change — the dominant reconcile outcome during
+// convergence. Expected allocs/op: 0.
+func BenchmarkKernelReconcileUnchanged(b *testing.B) {
+	net, _ := steadyNet()
+	core := &net.nodes[0]
+	ps, _ := core.prefixes.Get(benchPrefix)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.applyDecision(core, benchPrefix, ps)
+	}
+}
+
+// BenchmarkKernelTransmitFire measures one full steady-state hop: transmit
+// schedules a pooled procEvent, the scheduler pops it off the typed heap,
+// and Fire re-runs the decision process to an unchanged best path.
+// Expected allocs/op: 0.
+func BenchmarkKernelTransmitFire(b *testing.B) {
+	net, _ := steadyNet()
+	m, slot, path := coreLink(net) // an M node re-announcing its path to the core
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.transmit(m, slot, benchPrefix, Announce, path)
+		net.sched.Run()
+	}
+}
+
+// BenchmarkKernelFlushLoop measures a C-event on a rate-limited network
+// (30 s MRAI): queueing into pending, pooled flush events draining via the
+// scratch buffer, and timer restarts.
+func BenchmarkKernelFlushLoop(b *testing.B) {
+	topo := fanTopo(8)
+	net := MustNew(topo, DefaultConfig(1)) // default 30 s MRAI
+	origin := topology.NodeID(topo.N() - 1)
+	net.Originate(origin, benchPrefix)
+	net.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.WithdrawPrefix(origin, benchPrefix)
+		net.Run()
+		net.Originate(origin, benchPrefix)
+		net.Run()
+		net.Settle(60 * des.Second)
+	}
+}
+
+// BenchmarkKernelCEventReset measures the whole per-origin experiment cycle
+// core.RunCEvents performs on a reused Network: Reset (recycling prefix
+// state, queues and pools), initial propagation, DOWN and UP phases.
+func BenchmarkKernelCEventReset(b *testing.B) {
+	topo := fanTopo(8)
+	net := MustNew(topo, DefaultConfig(1))
+	origin := topology.NodeID(topo.N() - 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Reset(uint64(i) + 1)
+		net.Originate(origin, benchPrefix)
+		net.Run()
+		net.ResetCounters()
+		net.WithdrawPrefix(origin, benchPrefix)
+		net.Run()
+		net.Originate(origin, benchPrefix)
+		net.Run()
+	}
+}
+
+// TestSteadyStateZeroAlloc enforces the zero-allocation contract of the
+// steady-state kernel path (transmit → procEvent → Fire → reconcile with an
+// unchanged best path) so a regression fails `go test`, not just a
+// benchmark reading.
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	net, _ := steadyNet()
+	m, slot, path := coreLink(net)
+	// Warm the event pool and heap storage.
+	for i := 0; i < 16; i++ {
+		net.transmit(m, slot, benchPrefix, Announce, path)
+		net.sched.Run()
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		net.transmit(m, slot, benchPrefix, Announce, path)
+		net.sched.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state transmit/fire allocates %.1f objects per update, want 0", allocs)
+	}
+
+	ps, _ := net.nodes[0].prefixes.Get(benchPrefix)
+	allocs = testing.AllocsPerRun(200, func() {
+		net.applyDecision(&net.nodes[0], benchPrefix, ps)
+	})
+	if allocs != 0 {
+		t.Fatalf("unchanged-best applyDecision allocates %.1f objects, want 0", allocs)
+	}
+}

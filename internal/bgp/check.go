@@ -28,7 +28,7 @@ func (net *Network) CheckConsistency() error {
 		nd := &net.nodes[i]
 		// (3) Loc-RIB is a fixed point of the decision process.
 		for _, f := range nd.sortedPrefixes() {
-			ps := nd.prefixes[f]
+			ps, _ := nd.prefixes.Get(f)
 			slot, path := nd.decide(ps)
 			if slot != ps.bestSlot || !path.Equal(ps.bestPath) {
 				return fmt.Errorf("bgp: node %d prefix %d: stale Loc-RIB (have slot %d, decide says %d)",
@@ -38,22 +38,23 @@ func (net *Network) CheckConsistency() error {
 		for j := range nd.neighbors {
 			q := &nd.out[j]
 			// (2) no residual queued updates.
-			if len(q.pending) != 0 {
+			if n := q.pending.Len(); n != 0 {
 				return fmt.Errorf("bgp: node %d slot %d: %d updates still queued on a quiescent network",
-					nd.id, j, len(q.pending))
+					nd.id, j, n)
 			}
 			if q.down {
-				if len(q.lastSent) != 0 {
+				if q.lastSent.Len() != 0 {
 					return fmt.Errorf("bgp: node %d slot %d: adj-rib-out persists on a down link", nd.id, j)
 				}
 				continue
 			}
 			peer := &net.nodes[nd.neighbors[j].ID]
 			rev := nd.reverse[j]
-			for f, sent := range q.lastSent {
+			for _, f := range q.lastSent.SortedKeysInto(nil) {
+				sent, _ := q.lastSent.Get(f)
 				// (1) wire agreement.
-				pps := peer.prefixes[f]
-				if pps == nil || !sent.Equal(pps.ribIn[rev]) {
+				pps, ok := peer.prefixes.Get(f)
+				if !ok || !sent.Equal(pps.ribIn[rev]) {
 					return fmt.Errorf("bgp: session %d->%d prefix %d: adj-rib-out and adj-rib-in disagree",
 						nd.id, peer.id, f)
 				}
@@ -62,9 +63,10 @@ func (net *Network) CheckConsistency() error {
 				}
 			}
 			// (1) converse direction: nothing in v's RIB that u did not send.
-			for f, pps := range peer.prefixes {
+			for _, f := range peer.sortedPrefixes() {
+				pps, _ := peer.prefixes.Get(f)
 				if pps.ribIn[rev] != nil {
-					if _, ok := q.lastSent[f]; !ok {
+					if _, ok := q.lastSent.Get(f); !ok {
 						return fmt.Errorf("bgp: session %d->%d prefix %d: receiver holds a route the sender never advertised",
 							nd.id, peer.id, f)
 					}
@@ -77,8 +79,8 @@ func (net *Network) CheckConsistency() error {
 
 // checkAdvertisement verifies invariants (4) and (5) for one wire entry.
 func (net *Network) checkAdvertisement(nd *node, j int, f Prefix, sent Path) error {
-	ps := nd.prefixes[f]
-	if ps == nil || ps.bestSlot == noneSlot {
+	ps, ok := nd.prefixes.Get(f)
+	if !ok || ps.bestSlot == noneSlot {
 		return fmt.Errorf("bgp: node %d advertises prefix %d to %d without a best route",
 			nd.id, f, nd.neighbors[j].ID)
 	}

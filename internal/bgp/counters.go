@@ -58,11 +58,11 @@ func (net *Network) NeighborRelations(id topology.NodeID) []topology.Neighbor {
 // route for (the Loc-RIB size, the paper's other scalability axis).
 func (net *Network) RIBSize(id topology.NodeID) int {
 	n := 0
-	for _, ps := range net.nodes[id].prefixes {
+	net.nodes[id].prefixes.ForEach(func(_ Prefix, ps *prefixState) {
 		if ps.bestSlot != noneSlot {
 			n++
 		}
-	}
+	})
 	return n
 }
 
@@ -70,13 +70,13 @@ func (net *Network) RIBSize(id topology.NodeID) int {
 // neighbors' Adj-RIB-Ins — the memory-relevant table size.
 func (net *Network) AdjRIBInSize(id topology.NodeID) int {
 	n := 0
-	for _, ps := range net.nodes[id].prefixes {
+	net.nodes[id].prefixes.ForEach(func(_ Prefix, ps *prefixState) {
 		for _, p := range ps.ribIn {
 			if p != nil {
 				n++
 			}
 		}
-	}
+	})
 	return n
 }
 

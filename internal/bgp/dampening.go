@@ -156,8 +156,8 @@ type reuseEvent struct {
 func (e *reuseEvent) Fire(*des.Scheduler) {
 	net := e.net
 	nd := &net.nodes[e.node]
-	ps := nd.prefixes[e.prefix]
-	if ps == nil || ps.damp == nil {
+	ps, ok := nd.prefixes.Get(e.prefix)
+	if !ok || ps.damp == nil {
 		return
 	}
 	s := &ps.damp[e.slot]

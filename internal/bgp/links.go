@@ -84,17 +84,13 @@ func (net *Network) sessionDown(nd *node, j int) {
 	q := &nd.out[j]
 	q.down = true
 	q.scheduled = false // a queued flush event will find down=true and bail
-	for f := range q.pending {
-		delete(q.pending, f)
-	}
-	for f := range q.lastSent {
-		delete(q.lastSent, f)
-	}
+	q.pending.Clear()
+	q.lastSent.Clear()
 	q.expiry = 0
-	q.prefixExpiry = nil
-	q.prefixScheduled = nil
+	q.prefixExpiry.Clear()
+	q.prefixScheduled.Clear()
 	for _, f := range nd.sortedPrefixes() {
-		ps := nd.prefixes[f]
+		ps, _ := nd.prefixes.Get(f)
 		if ps.ribIn[j] == nil {
 			continue
 		}
@@ -107,19 +103,11 @@ func (net *Network) sessionDown(nd *node, j int) {
 // as on session (re-)establishment.
 func (net *Network) resyncSlot(nd *node, j int) {
 	for _, f := range nd.sortedPrefixes() {
-		ps := nd.prefixes[f]
-		var full Path
-		fromCustomerOrSelf := false
-		switch ps.bestSlot {
-		case noneSlot:
+		ps, _ := nd.prefixes.Get(f)
+		if ps.bestSlot == noneSlot {
 			continue
-		case selfSlot:
-			full = Path{nd.id}
-			fromCustomerOrSelf = true
-		default:
-			full = ps.bestPath.Prepend(nd.id)
-			fromCustomerOrSelf = nd.neighbors[ps.bestSlot].Rel == topology.Customer
 		}
+		full, fromCustomerOrSelf := nd.advertisement(ps)
 		if nd.exportable(j, full, fromCustomerOrSelf) {
 			net.setDesired(nd, j, f, full)
 		}

@@ -29,6 +29,16 @@ type Network struct {
 	// updateHook, when set, observes every processed update (see
 	// SetUpdateHook).
 	updateHook func(UpdateRecord)
+
+	// procFree, flushFree and prefixFlushFree recycle the dominant event
+	// kinds: an event returns its receiver to the free list at the end of
+	// Fire (the scheduler holds no reference by then), and transmit or
+	// ensureFlush reuse it for the next send. Steady-state simulation
+	// therefore allocates no event objects at all. Ownership rules are in
+	// DESIGN.md (kernel memory model).
+	procFree        []*procEvent
+	flushFree       []*flushEvent
+	prefixFlushFree []*prefixFlushEvent
 }
 
 // New builds the per-node protocol state for the topology. The topology
@@ -46,7 +56,6 @@ func New(topo *topology.Topology, cfg Config) (*Network, error) {
 		nd.typ = topo.Nodes[i].Type
 		nd.neighbors = topo.Neighbors(nd.id, nil)
 		nd.src = master.Split()
-		nd.prefixes = make(map[Prefix]*prefixState)
 		nd.out = make([]outQueue, len(nd.neighbors))
 		nd.tieHash = make([]uint64, len(nd.neighbors))
 		for j, nb := range nd.neighbors {
@@ -134,7 +143,13 @@ func (net *Network) Reset(seed uint64) {
 		for j := range nd.recvBySlot {
 			nd.recvBySlot[j] = 0
 		}
-		clear(nd.prefixes)
+		// Recycle every prefixState (ribIn and damp storage included) into
+		// the free list; the next event's state() calls pop them back.
+		nd.prefixes.ForEach(func(_ Prefix, ps *prefixState) {
+			ps.reset()
+			nd.psFree = append(nd.psFree, ps)
+		})
+		nd.prefixes.Clear()
 		nd.src.Reseed(master.Uint64())
 		for j, nb := range nd.neighbors {
 			nd.tieHash[j] = hashID(salt, nb.ID)
@@ -142,9 +157,12 @@ func (net *Network) Reset(seed uint64) {
 		for j := range nd.out {
 			q := &nd.out[j]
 			q.expiry, q.scheduled, q.down = 0, false, false
-			clear(q.pending)
-			clear(q.lastSent)
-			q.prefixExpiry, q.prefixScheduled = nil, nil
+			q.pending.Clear()
+			q.lastSent.Clear()
+			// Clear, not drop: repeated C-events on one Network reuse the
+			// per-prefix timer storage instead of re-allocating it.
+			q.prefixExpiry.Clear()
+			q.prefixScheduled.Clear()
 		}
 	}
 }
@@ -176,15 +194,15 @@ func (net *Network) WithdrawPrefix(origin topology.NodeID, f Prefix) {
 // HasRoute reports whether node id currently has a route to prefix f
 // (including originating it).
 func (net *Network) HasRoute(id topology.NodeID, f Prefix) bool {
-	ps := net.nodes[id].prefixes[f]
-	return ps != nil && ps.bestSlot != noneSlot
+	ps, ok := net.nodes[id].prefixes.Get(f)
+	return ok && ps.bestSlot != noneSlot
 }
 
 // BestPath returns the full AS path node id would use toward prefix f:
 // [id, ..., origin], or nil if it has no route. The returned slice is fresh.
 func (net *Network) BestPath(id topology.NodeID, f Prefix) Path {
-	ps := net.nodes[id].prefixes[f]
-	if ps == nil || ps.bestSlot == noneSlot {
+	ps, ok := net.nodes[id].prefixes.Get(f)
+	if !ok || ps.bestSlot == noneSlot {
 		return nil
 	}
 	if ps.bestSlot == selfSlot {
@@ -196,8 +214,8 @@ func (net *Network) BestPath(id topology.NodeID, f Prefix) Path {
 // NextHop returns the neighbor node id routes through for prefix f, the
 // node itself if it originates f, or topology.None if it has no route.
 func (net *Network) NextHop(id topology.NodeID, f Prefix) topology.NodeID {
-	ps := net.nodes[id].prefixes[f]
-	if ps == nil || ps.bestSlot == noneSlot {
+	ps, ok := net.nodes[id].prefixes.Get(f)
+	if !ok || ps.bestSlot == noneSlot {
 		return topology.None
 	}
 	if ps.bestSlot == selfSlot {
@@ -209,6 +227,9 @@ func (net *Network) NextHop(id topology.NodeID, f Prefix) topology.NodeID {
 // --- event types ---------------------------------------------------------
 
 // procEvent is the completion of processing one received update at a node.
+// procEvents are pooled: transmit takes one from Network.procFree and Fire
+// returns its receiver there once it is done reading the fields, so the
+// steady-state update flow allocates no events.
 type procEvent struct {
 	net      *Network
 	to       topology.NodeID
@@ -216,6 +237,17 @@ type procEvent struct {
 	kind     UpdateKind
 	prefix   Prefix
 	path     Path
+}
+
+// newProcEvent takes a recycled procEvent or allocates a fresh one.
+func (net *Network) newProcEvent() *procEvent {
+	if n := len(net.procFree); n > 0 {
+		e := net.procFree[n-1]
+		net.procFree[n-1] = nil
+		net.procFree = net.procFree[:n-1]
+		return e
+	}
+	return &procEvent{net: net}
 }
 
 // Fire consumes the update: counters, Adj-RIB-In, decision, exports.
@@ -260,15 +292,32 @@ func (e *procEvent) Fire(*des.Scheduler) {
 			net.recordFlap(nd, e.fromSlot, e.prefix, d.UpdatePenalty)
 		}
 	}
-	net.applyDecision(nd, e.prefix, ps)
+	prefix := e.prefix
+	// All fields are consumed; recycle before the decision process so the
+	// event is available for the sends applyDecision may trigger. The Path
+	// is NOT pooled — it lives on in the Adj-RIB-In.
+	e.path = nil
+	net.procFree = append(net.procFree, e)
+	net.applyDecision(nd, prefix, ps)
 }
 
 // flushEvent fires when a per-interface MRAI timer expires with queued
-// updates.
+// updates. Pooled like procEvent.
 type flushEvent struct {
 	net  *Network
 	node topology.NodeID
 	slot int32
+}
+
+// newFlushEvent takes a recycled flushEvent or allocates a fresh one.
+func (net *Network) newFlushEvent() *flushEvent {
+	if n := len(net.flushFree); n > 0 {
+		e := net.flushFree[n-1]
+		net.flushFree[n-1] = nil
+		net.flushFree = net.flushFree[:n-1]
+		return e
+	}
+	return &flushEvent{net: net}
 }
 
 // Fire sends every queued update on the interface and restarts the timer if
@@ -277,19 +326,22 @@ func (e *flushEvent) Fire(*des.Scheduler) {
 	net := e.net
 	nd := &net.nodes[e.node]
 	q := &nd.out[e.slot]
+	slot := int(e.slot)
+	net.flushFree = append(net.flushFree, e)
 	q.scheduled = false
-	if q.down || len(q.pending) == 0 {
+	if q.down || q.pending.Len() == 0 {
 		return
 	}
 	sent := false
-	for _, f := range q.sortedPending() {
-		pu := q.pending[f]
-		delete(q.pending, f)
-		net.transmit(nd, int(e.slot), f, pu.kind, pu.path)
+	nd.scratch = q.pending.SortedKeysInto(nd.scratch)
+	for _, f := range nd.scratch {
+		pu, _ := q.pending.Get(f)
+		q.pending.Delete(f)
+		net.transmit(nd, slot, f, pu.kind, pu.path)
 		if pu.kind == Withdraw {
-			delete(q.lastSent, f)
+			q.lastSent.Delete(f)
 		} else {
-			q.setLastSent(f, pu.path)
+			q.lastSent.Set(f, pu.path)
 		}
 		sent = true
 	}
@@ -298,7 +350,8 @@ func (e *flushEvent) Fire(*des.Scheduler) {
 	}
 }
 
-// prefixFlushEvent is flushEvent for PerPrefix MRAI scope.
+// prefixFlushEvent is flushEvent for PerPrefix MRAI scope. Pooled like
+// procEvent.
 type prefixFlushEvent struct {
 	net    *Network
 	node   topology.NodeID
@@ -306,29 +359,40 @@ type prefixFlushEvent struct {
 	prefix Prefix
 }
 
+// newPrefixFlushEvent takes a recycled event or allocates a fresh one.
+func (net *Network) newPrefixFlushEvent() *prefixFlushEvent {
+	if n := len(net.prefixFlushFree); n > 0 {
+		e := net.prefixFlushFree[n-1]
+		net.prefixFlushFree[n-1] = nil
+		net.prefixFlushFree = net.prefixFlushFree[:n-1]
+		return e
+	}
+	return &prefixFlushEvent{net: net}
+}
+
 // Fire sends the queued update for one (interface, prefix) pair.
 func (e *prefixFlushEvent) Fire(*des.Scheduler) {
 	net := e.net
 	nd := &net.nodes[e.node]
 	q := &nd.out[e.slot]
-	if q.prefixScheduled != nil {
-		delete(q.prefixScheduled, e.prefix)
-	}
+	slot, f := int(e.slot), e.prefix
+	net.prefixFlushFree = append(net.prefixFlushFree, e)
+	q.prefixScheduled.Delete(f)
 	if q.down {
 		return
 	}
-	pu, ok := q.pending[e.prefix]
+	pu, ok := q.pending.Get(f)
 	if !ok {
 		return
 	}
-	delete(q.pending, e.prefix)
-	net.transmit(nd, int(e.slot), e.prefix, pu.kind, pu.path)
+	q.pending.Delete(f)
+	net.transmit(nd, slot, f, pu.kind, pu.path)
 	if pu.kind == Withdraw {
-		delete(q.lastSent, e.prefix)
+		q.lastSent.Delete(f)
 	} else {
-		q.setLastSent(e.prefix, pu.path)
+		q.lastSent.Set(f, pu.path)
 	}
-	q.prefixExpiry[e.prefix] = net.sched.Now() + des.Time(nd.src.Jitter(int64(net.cfg.MRAI), net.cfg.JitterLo, net.cfg.JitterHi))
+	q.prefixExpiry.Set(f, net.sched.Now()+des.Time(nd.src.Jitter(int64(net.cfg.MRAI), net.cfg.JitterLo, net.cfg.JitterHi)))
 }
 
 // --- core protocol flow --------------------------------------------------
@@ -342,6 +406,7 @@ func (net *Network) applyDecision(nd *node, f Prefix, ps *prefixState) {
 		return
 	}
 	ps.bestSlot, ps.bestPath = slot, path
+	ps.fullValid = false // the cached advertisement body is stale
 	nd.bestChanges++
 	net.reconcile(nd, f, ps)
 }
@@ -349,17 +414,7 @@ func (net *Network) applyDecision(nd *node, f Prefix, ps *prefixState) {
 // reconcile recomputes the desired advertisement toward every neighbor and
 // feeds differences into the rate-limited output queues.
 func (net *Network) reconcile(nd *node, f Prefix, ps *prefixState) {
-	var full Path
-	fromCustomerOrSelf := false
-	switch ps.bestSlot {
-	case noneSlot:
-	case selfSlot:
-		full = Path{nd.id}
-		fromCustomerOrSelf = true
-	default:
-		full = ps.bestPath.Prepend(nd.id)
-		fromCustomerOrSelf = nd.neighbors[ps.bestSlot].Rel == topology.Customer
-	}
+	full, fromCustomerOrSelf := nd.advertisement(ps)
 	for j := range nd.neighbors {
 		if nd.out[j].down {
 			continue
@@ -378,7 +433,8 @@ func (net *Network) timerIdle(q *outQueue, f Prefix) bool {
 		return true
 	}
 	if net.cfg.Scope == PerPrefix {
-		return q.prefixExpiry[f] <= net.sched.Now()
+		exp, _ := q.prefixExpiry.Get(f)
+		return exp <= net.sched.Now()
 	}
 	return q.expiry <= net.sched.Now()
 }
@@ -391,10 +447,7 @@ func (net *Network) restartTimer(nd *node, j int, f Prefix) {
 	expiry := net.sched.Now() + des.Time(nd.src.Jitter(int64(net.cfg.MRAI), net.cfg.JitterLo, net.cfg.JitterHi))
 	q := &nd.out[j]
 	if net.cfg.Scope == PerPrefix {
-		if q.prefixExpiry == nil {
-			q.prefixExpiry = make(map[Prefix]des.Time)
-		}
-		q.prefixExpiry[f] = expiry
+		q.prefixExpiry.Set(f, expiry)
 	} else {
 		q.expiry = expiry
 	}
@@ -405,21 +458,23 @@ func (net *Network) restartTimer(nd *node, j int, f Prefix) {
 func (net *Network) ensureFlush(nd *node, j int, f Prefix) {
 	q := &nd.out[j]
 	if net.cfg.Scope == PerPrefix {
-		if q.prefixScheduled == nil {
-			q.prefixScheduled = make(map[Prefix]bool)
-		}
-		if q.prefixScheduled[f] {
+		if armed, _ := q.prefixScheduled.Get(f); armed {
 			return
 		}
-		q.prefixScheduled[f] = true
-		net.sched.At(q.prefixExpiry[f], &prefixFlushEvent{net: net, node: nd.id, slot: int32(j), prefix: f})
+		q.prefixScheduled.Set(f, true)
+		e := net.newPrefixFlushEvent()
+		e.node, e.slot, e.prefix = nd.id, int32(j), f
+		exp, _ := q.prefixExpiry.Get(f)
+		net.sched.At(exp, e)
 		return
 	}
 	if q.scheduled {
 		return
 	}
 	q.scheduled = true
-	net.sched.At(q.expiry, &flushEvent{net: net, node: nd.id, slot: int32(j)})
+	e := net.newFlushEvent()
+	e.node, e.slot = nd.id, int32(j)
+	net.sched.At(q.expiry, e)
 }
 
 // setDesired reconciles the wire state toward neighbor j for prefix f with
@@ -428,10 +483,10 @@ func (net *Network) ensureFlush(nd *node, j int, f Prefix) {
 // update.
 func (net *Network) setDesired(nd *node, j int, f Prefix, want Path) {
 	q := &nd.out[j]
-	last, onWire := q.lastSent[f]
+	last, onWire := q.lastSent.Get(f)
 	if want == nil {
 		// Any queued announcement is now invalid.
-		delete(q.pending, f)
+		q.pending.Delete(f)
 		if !onWire {
 			return
 		}
@@ -439,32 +494,32 @@ func (net *Network) setDesired(nd *node, j int, f Prefix, want Path) {
 			// NO-WRATE: explicit withdrawals bypass the MRAI timer entirely
 			// and do not restart it.
 			net.transmit(nd, j, f, Withdraw, nil)
-			delete(q.lastSent, f)
+			q.lastSent.Delete(f)
 			return
 		}
 		if net.timerIdle(q, f) {
 			net.transmit(nd, j, f, Withdraw, nil)
-			delete(q.lastSent, f)
+			q.lastSent.Delete(f)
 			net.restartTimer(nd, j, f)
 			return
 		}
-		q.setPending(f, pendingUpdate{kind: Withdraw})
+		q.pending.Set(f, pendingUpdate{kind: Withdraw})
 		net.ensureFlush(nd, j, f)
 		return
 	}
 	if onWire && last.Equal(want) {
 		// Wire state already matches; drop any queued update (it has been
 		// invalidated by this newer state).
-		delete(q.pending, f)
+		q.pending.Delete(f)
 		return
 	}
 	if net.timerIdle(q, f) {
 		net.transmit(nd, j, f, Announce, want)
-		q.setLastSent(f, want)
+		q.lastSent.Set(f, want)
 		net.restartTimer(nd, j, f)
 		return
 	}
-	q.setPending(f, pendingUpdate{kind: Announce, path: want})
+	q.pending.Set(f, pendingUpdate{kind: Announce, path: want})
 	net.ensureFlush(nd, j, f)
 }
 
@@ -480,12 +535,7 @@ func (net *Network) transmit(nd *node, j int, f Prefix, kind UpdateKind, path Pa
 	}
 	done := start + des.Time(to.src.UniformDuration(int64(net.cfg.MaxProcessingDelay)))
 	to.busyUntil = done
-	net.sched.At(done, &procEvent{
-		net:      net,
-		to:       to.id,
-		fromSlot: nd.reverse[j],
-		kind:     kind,
-		prefix:   f,
-		path:     path,
-	})
+	e := net.newProcEvent()
+	e.to, e.fromSlot, e.kind, e.prefix, e.path = to.id, nd.reverse[j], kind, f, path
+	net.sched.At(done, e)
 }

@@ -1,8 +1,6 @@
 package bgp
 
 import (
-	"sort"
-
 	"bgpchurn/internal/des"
 	"bgpchurn/internal/rng"
 	"bgpchurn/internal/topology"
@@ -25,12 +23,63 @@ type prefixState struct {
 	bestSlot int
 	// bestPath is ribIn[bestSlot] (nil when bestSlot is selfSlot/noneSlot).
 	bestPath Path
+	// full caches the advertisement body for the current best route:
+	// bestPath prepended with the node's own ID ([self] for a
+	// self-originated prefix, nil without a route). It is rebuilt lazily by
+	// advertisement and invalidated whenever the best route changes, so a
+	// decision change pays for exactly one Prepend no matter how many
+	// neighbors, resyncs or consistency checks read it. Like every Path it
+	// is immutable and freely shared (see DESIGN.md, kernel memory model).
+	full      Path
+	fullValid bool
 	// selfOrigin marks the node as the owner currently announcing the
 	// prefix.
 	selfOrigin bool
 	// damp is the per-neighbor flap-dampening state, allocated on the
 	// first flap (nil while the prefix never flapped or dampening is off).
 	damp []dampState
+}
+
+// reset rewinds ps to the no-route state while keeping its allocations
+// (ribIn and damp storage), so Network.Reset can recycle it.
+func (ps *prefixState) reset() {
+	for j := range ps.ribIn {
+		ps.ribIn[j] = nil
+	}
+	ps.bestSlot = noneSlot
+	ps.bestPath = nil
+	ps.full = nil
+	ps.fullValid = false
+	ps.selfOrigin = false
+	for j := range ps.damp {
+		ps.damp[j] = dampState{}
+	}
+}
+
+// advertisement returns the full AS path nd advertises for ps (nil when it
+// has no route) and whether the best route came from a customer or is
+// self-originated (the no-valley export predicate). The path is served from
+// ps.full, computed at most once per best-route change.
+func (nd *node) advertisement(ps *prefixState) (full Path, fromCustomerOrSelf bool) {
+	if !ps.fullValid {
+		switch ps.bestSlot {
+		case noneSlot:
+			ps.full = nil
+		case selfSlot:
+			ps.full = Path{nd.id}
+		default:
+			ps.full = ps.bestPath.Prepend(nd.id)
+		}
+		ps.fullValid = true
+	}
+	switch ps.bestSlot {
+	case noneSlot:
+		return nil, false
+	case selfSlot:
+		return ps.full, true
+	default:
+		return ps.full, nd.neighbors[ps.bestSlot].Rel == topology.Customer
+	}
 }
 
 // pendingUpdate is an update waiting in an output queue for its MRAI timer.
@@ -41,6 +90,9 @@ type pendingUpdate struct {
 
 // outQueue is the per-neighbor output state: the MRAI timer, the queue of
 // rate-limited updates, and the Adj-RIB-Out (what is currently on the wire).
+// All per-prefix tables are prefixMaps: the paper's workload is one prefix
+// per C-event, so the dominant case is a single inline entry with no map
+// allocation at all.
 type outQueue struct {
 	// expiry is when the per-interface MRAI timer expires; a value <= now
 	// means the timer is idle. Used only with PerInterface scope.
@@ -49,35 +101,18 @@ type outQueue struct {
 	scheduled bool
 	// pending holds the latest not-yet-sent update per prefix. A newer
 	// update for the same prefix replaces the queued one (the paper's
-	// "queued update invalidated by a new update is removed"). Allocated
-	// lazily: most queues never rate-limit.
-	pending map[Prefix]pendingUpdate
+	// "queued update invalidated by a new update is removed").
+	pending prefixMap[pendingUpdate]
 	// lastSent is the Adj-RIB-Out: the path currently advertised to this
 	// neighbor per prefix. Absence means not advertised (never, or
-	// withdrawn). Allocated lazily.
-	lastSent map[Prefix]Path
+	// withdrawn).
+	lastSent prefixMap[Path]
 	// prefixExpiry and prefixScheduled are the PerPrefix-scope analogues of
-	// expiry/scheduled, allocated lazily.
-	prefixExpiry    map[Prefix]des.Time
-	prefixScheduled map[Prefix]bool
+	// expiry/scheduled.
+	prefixExpiry    prefixMap[des.Time]
+	prefixScheduled prefixMap[bool]
 	// down marks a failed link; no updates flow and state is cleared.
 	down bool
-}
-
-// setPending queues an update, allocating the map on first use.
-func (q *outQueue) setPending(f Prefix, pu pendingUpdate) {
-	if q.pending == nil {
-		q.pending = make(map[Prefix]pendingUpdate, 1)
-	}
-	q.pending[f] = pu
-}
-
-// setLastSent records the wire state, allocating the map on first use.
-func (q *outQueue) setLastSent(f Prefix, p Path) {
-	if q.lastSent == nil {
-		q.lastSent = make(map[Prefix]Path, 1)
-	}
-	q.lastSent[f] = p
 }
 
 // node is one AS in the simulation.
@@ -100,7 +135,15 @@ type node struct {
 	// out is the per-neighbor output state, parallel to neighbors.
 	out []outQueue
 	// prefixes holds per-prefix routing state, allocated on first contact.
-	prefixes map[Prefix]*prefixState
+	prefixes prefixMap[*prefixState]
+	// psFree recycles prefixStates released by Network.Reset, so repeated
+	// C-events on one Network reuse the ribIn/damp storage instead of
+	// re-allocating it per event.
+	psFree []*prefixState
+	// scratch is a reused buffer for sorted per-prefix iteration on hot
+	// paths (flush drains). Valid only within one event's Fire; never
+	// retained.
+	scratch []Prefix
 
 	// Measurement-window counters (reset by Network.ResetCounters).
 	recvBySlot   []uint32
@@ -113,16 +156,24 @@ type node struct {
 	suppressions uint64
 }
 
-// state returns the node's prefixState for f, allocating it on first use.
+// state returns the node's prefixState for f, taking it from the free list
+// or allocating it on first use.
 func (nd *node) state(f Prefix) *prefixState {
-	ps := nd.prefixes[f]
-	if ps == nil {
+	if ps, ok := nd.prefixes.Get(f); ok {
+		return ps
+	}
+	var ps *prefixState
+	if n := len(nd.psFree); n > 0 {
+		ps = nd.psFree[n-1]
+		nd.psFree[n-1] = nil
+		nd.psFree = nd.psFree[:n-1]
+	} else {
 		ps = &prefixState{
 			ribIn:    make([]Path, len(nd.neighbors)),
 			bestSlot: noneSlot,
 		}
-		nd.prefixes[f] = ps
 	}
+	nd.prefixes.Set(f, ps)
 	return ps
 }
 
@@ -178,24 +229,11 @@ func (nd *node) exportable(j int, full Path, fromCustomerOrSelf bool) bool {
 }
 
 // sortedPrefixes returns the node's known prefixes in ascending order, for
-// deterministic iteration.
+// deterministic iteration. Cold path (link events, consistency checks); the
+// hot flush path uses prefixMap.SortedKeysInto with the node's scratch
+// buffer instead.
 func (nd *node) sortedPrefixes() []Prefix {
-	out := make([]Prefix, 0, len(nd.prefixes))
-	for f := range nd.prefixes {
-		out = append(out, f)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
-// sortedPending returns the queue's pending prefixes in ascending order.
-func (q *outQueue) sortedPending() []Prefix {
-	out := make([]Prefix, 0, len(q.pending))
-	for f := range q.pending {
-		out = append(out, f)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return nd.prefixes.SortedKeysInto(make([]Prefix, 0, nd.prefixes.Len()))
 }
 
 // hashID mixes a node ID with the simulation salt for decision tie-breaks.

@@ -26,10 +26,17 @@ func (p Path) Contains(id topology.NodeID) bool {
 	return false
 }
 
-// Equal reports element-wise equality.
+// Equal reports element-wise equality. Paths are immutable and widely
+// shared (the engine advertises the same cached slice to every neighbor),
+// so two slices with the same backing array are equal by construction; the
+// identity check makes the common "compare a path against itself" case O(1)
+// without changing the result.
 func (p Path) Equal(q Path) bool {
 	if len(p) != len(q) {
 		return false
+	}
+	if len(p) > 0 && &p[0] == &q[0] {
+		return true
 	}
 	for i := range p {
 		if p[i] != q[i] {

@@ -8,7 +8,6 @@
 package des
 
 import (
-	"container/heap"
 	"time"
 )
 
@@ -49,25 +48,66 @@ type item struct {
 	event Event
 }
 
-// eventHeap is a min-heap on (at, seq).
+// eventHeap is a hand-rolled binary min-heap on (at, seq). It deliberately
+// does not go through container/heap: that interface moves every element in
+// and out of the queue as an interface{}, boxing the item struct on each
+// push and pop. The typed sift routines below keep items in the backing
+// slice, so scheduling an event allocates only when the slice must grow.
 type eventHeap []item
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+// less orders the heap by firing time, then by scheduling order (FIFO for
+// same-instant events). Keys are unique because seq never repeats.
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = item{} // release the event for GC
-	*h = old[:n-1]
-	return it
+
+// push appends it and restores the heap invariant.
+func (h *eventHeap) push(it item) {
+	*h = append(*h, it)
+	q := *h
+	// Sift up.
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum item. The caller must ensure the heap
+// is non-empty.
+func (h *eventHeap) pop() item {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = item{} // release the event for GC
+	q = q[:n]
+	*h = q
+	// Sift down.
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		min := l
+		if r := l + 1; r < n && q.less(r, l) {
+			min = r
+		}
+		if !q.less(min, i) {
+			break
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
+	return top
 }
 
 // Scheduler owns the virtual clock and the pending-event queue.
@@ -95,7 +135,7 @@ func (s *Scheduler) At(at Time, e Event) {
 	if at < s.now {
 		panic("des: event scheduled in the past")
 	}
-	heap.Push(&s.queue, item{at: at, seq: s.nextSeq, event: e})
+	s.queue.push(item{at: at, seq: s.nextSeq, event: e})
 	s.nextSeq++
 }
 
@@ -127,7 +167,7 @@ func (s *Scheduler) RunUntil(deadline Time) uint64 {
 		if deadline >= 0 && next.at > deadline {
 			break
 		}
-		heap.Pop(&s.queue)
+		s.queue.pop()
 		s.now = next.at
 		next.event.Fire(s)
 		fired++
@@ -144,7 +184,7 @@ func (s *Scheduler) Step() bool {
 	if len(s.queue) == 0 {
 		return false
 	}
-	next := heap.Pop(&s.queue).(item)
+	next := s.queue.pop()
 	s.now = next.at
 	next.event.Fire(s)
 	s.fired++
@@ -154,6 +194,7 @@ func (s *Scheduler) Step() bool {
 // Reset discards all pending events and rewinds the clock to zero, reusing
 // the queue's storage. Event counters are preserved unless resetCounters.
 func (s *Scheduler) Reset(resetCounters bool) {
+	clear(s.queue) // release the dropped events for GC; keep the storage
 	s.queue = s.queue[:0]
 	s.now = 0
 	s.nextSeq = 0

@@ -1,0 +1,119 @@
+package des
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// refItem mirrors item for the container/heap reference implementation the
+// hand-rolled queue is checked against.
+type refItem struct {
+	at  Time
+	seq uint64
+	id  int
+}
+
+type refHeap []refItem
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x interface{}) { *h = append(*h, x.(refItem)) }
+func (h *refHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// idEvent tags an event with the id of the reference item pushed alongside
+// it, so pop order can be compared across implementations.
+type idEvent int
+
+func (idEvent) Fire(*Scheduler) {}
+
+// TestHeapMatchesContainerHeap drives the typed event heap and a
+// container/heap reference through the same randomized push/pop schedule
+// and asserts identical pop order, including FIFO tie-breaking within
+// same-timestamp bursts.
+func TestHeapMatchesContainerHeap(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		r := rand.New(rand.NewSource(int64(trial) + 1))
+		var got eventHeap
+		var want refHeap
+		var seq uint64
+		id := 0
+		ops := 400 + r.Intn(400)
+		for op := 0; op < ops; op++ {
+			switch {
+			case len(got) > 0 && r.Intn(3) == 0:
+				g := got.pop()
+				w := heap.Pop(&want).(refItem)
+				if g.at != w.at || g.seq != w.seq || int(g.event.(idEvent)) != w.id {
+					t.Fatalf("trial %d op %d: pop mismatch: got (at=%d seq=%d id=%d), want (at=%d seq=%d id=%d)",
+						trial, op, g.at, g.seq, int(g.event.(idEvent)), w.at, w.seq, w.id)
+				}
+			default:
+				// Bias toward a few timestamps so same-instant bursts (the
+				// FIFO tie-break case) are common.
+				at := Time(r.Intn(16)) * Second
+				if r.Intn(4) == 0 {
+					at = Time(r.Int63n(int64(1000 * Second)))
+				}
+				got.push(item{at: at, seq: seq, event: idEvent(id)})
+				heap.Push(&want, refItem{at: at, seq: seq, id: id})
+				seq++
+				id++
+			}
+		}
+		// Drain both; the remaining order must agree exactly.
+		var prev item
+		first := true
+		for len(got) > 0 {
+			g := got.pop()
+			w := heap.Pop(&want).(refItem)
+			if g.at != w.at || g.seq != w.seq || int(g.event.(idEvent)) != w.id {
+				t.Fatalf("trial %d drain: pop mismatch: got (at=%d seq=%d), want (at=%d seq=%d)",
+					trial, g.at, g.seq, w.at, w.seq)
+			}
+			if !first {
+				if g.at < prev.at {
+					t.Fatalf("trial %d: time went backwards: %d after %d", trial, g.at, prev.at)
+				}
+				if g.at == prev.at && g.seq < prev.seq {
+					t.Fatalf("trial %d: FIFO tie-break violated at t=%d: seq %d after %d",
+						trial, g.at, g.seq, prev.seq)
+				}
+			}
+			prev, first = g, false
+		}
+		if want.Len() != 0 {
+			t.Fatalf("trial %d: reference heap still has %d items", trial, want.Len())
+		}
+	}
+}
+
+// TestHeapFIFOWithinBurst pins the tie-break contract directly: events
+// scheduled for the same instant pop in scheduling order.
+func TestHeapFIFOWithinBurst(t *testing.T) {
+	var s Scheduler
+	const burst = 100
+	fired := make([]int, 0, burst)
+	for i := 0; i < burst; i++ {
+		i := i
+		s.At(5*Second, EventFunc(func(*Scheduler) { fired = append(fired, i) }))
+	}
+	s.Run()
+	for i, v := range fired {
+		if v != i {
+			t.Fatalf("burst fired out of order at %d: got %d", i, v)
+		}
+	}
+}
