@@ -5,7 +5,7 @@ GO ?= go
 # Label under which `make bench-kernel` records its run in BENCH_kernel.json.
 BENCH_LABEL ?= current
 
-.PHONY: test race bench bench-kernel build
+.PHONY: test race bench bench-kernel bench-e2e build
 
 build:
 	$(GO) build ./...
@@ -26,3 +26,9 @@ bench:
 bench-kernel:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x ./internal/bgp . \
 		| $(GO) run ./cmd/benchjson -label "$(BENCH_LABEL)" -out BENCH_kernel.json
+
+# bench-e2e runs the end-to-end RunCEvents benchmark (n=1000, cold vs warm
+# start) and records it in BENCH_e2e.json under the same labeling scheme.
+bench-e2e:
+	$(GO) test -run '^$$' -bench 'BenchmarkRunCEvents' -benchmem -benchtime 5x . \
+		| $(GO) run ./cmd/benchjson -label "$(BENCH_LABEL)" -out BENCH_e2e.json

@@ -1,0 +1,59 @@
+package bgpchurn
+
+// End-to-end benchmark of the C-event hot path: one full RunCEvents call at
+// n=1000 (paper-scale topology, reduced origin count) per iteration. This is
+// the number `make bench-e2e` tracks in BENCH_e2e.json: the cold variant
+// pays the full DES initial-propagation flood per origin, the warm variant
+// installs the converged RIB directly (core.Config.WarmStart).
+
+import (
+	"testing"
+
+	"bgpchurn/internal/core"
+)
+
+// benchE2ETopology builds the fixed n=1000 Baseline instance the e2e bench
+// measures on (seed matches the experiment seed for provenance).
+func benchE2ETopology(b *testing.B) *Topology {
+	b.Helper()
+	topo, err := Baseline.Generate(1000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return topo
+}
+
+// benchmarkRunCEvents runs the C-event experiment with the given
+// configuration once per iteration and reports the churn metric so a perf
+// regression that changes results is visible in the same record.
+func benchmarkRunCEvents(b *testing.B, cfg Experiment) {
+	b.ReportAllocs()
+	topo := benchE2ETopology(b)
+	var total float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunCEvents(topo, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = res.TotalUpdates
+	}
+	b.ReportMetric(total, "total-updates")
+}
+
+// BenchmarkRunCEvents measures RunCEvents wall-clock at n=1000 with 20
+// origins, cold (full DES convergence flood per origin) vs warm (direct
+// converged-RIB installation).
+func BenchmarkRunCEvents(b *testing.B) {
+	cfg := DefaultExperiment(1)
+	cfg.Origins = 20
+	cfg.Parallelism = 1 // single worker: measure the kernel, not the pool
+	b.Run("cold", func(b *testing.B) {
+		benchmarkRunCEvents(b, cfg)
+	})
+	b.Run("warm", func(b *testing.B) {
+		warm := cfg
+		warm.WarmStart = true
+		benchmarkRunCEvents(b, warm)
+	})
+}

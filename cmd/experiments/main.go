@@ -49,6 +49,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "master seed")
 		origins  = flag.Int("origins", 0, "override the number of C-event originators")
 		parallel = flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
+		warm     = flag.Bool("warmstart", false, "install the converged pre-event state directly instead of flooding it through the simulator (faster; statistically equivalent but not byte-identical to the default)")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
 		memprof  = flag.String("memprofile", "", "write a heap profile to this file on exit (pprof format)")
 	)
@@ -85,6 +86,7 @@ func main() {
 		outDir:   *outDir,
 		origins:  *origins,
 		parallel: *parallel,
+		warm:     *warm,
 		sched:    bgpchurn.NewScheduler(*parallel),
 		stdout:   os.Stdout,
 	}
@@ -157,6 +159,8 @@ type runner struct {
 	outDir   string
 	origins  int
 	parallel int
+	// warm enables warm-start convergence (Experiment.WarmStart).
+	warm bool
 	// sched runs every sweep: cells execute on its worker pool and figures
 	// that request the same sweep are served from its result cache.
 	sched *bgpchurn.Scheduler
@@ -250,6 +254,7 @@ func (r *runner) experiment(wrate bool) bgpchurn.Experiment {
 		cfg.Origins = r.origins
 	}
 	cfg.Parallelism = r.parallel
+	cfg.WarmStart = r.warm
 	return cfg
 }
 

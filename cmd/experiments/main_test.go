@@ -35,6 +35,13 @@ func TestRunnerExperiment(t *testing.T) {
 	if got := r.experiment(false).Origins; got != 33 {
 		t.Fatalf("origin override = %d", got)
 	}
+	if cfg := r.experiment(false); cfg.WarmStart {
+		t.Fatal("warm start on by default")
+	}
+	r.warm = true
+	if cfg := r.experiment(false); !cfg.WarmStart {
+		t.Fatal("-warmstart not propagated to the experiment config")
+	}
 	full := &runner{seed: 7}
 	if got := full.experiment(false).Origins; got != 100 {
 		t.Fatalf("full-mode origins = %d, want the paper's 100", got)

@@ -70,8 +70,8 @@ func steadyNet() (*Network, topology.NodeID) {
 // path it currently advertises there, for re-announcement benchmarks.
 func coreLink(net *Network) (m *node, slot int, path Path) {
 	m = &net.nodes[1]
-	for j, nb := range m.neighbors {
-		if nb.ID == 0 {
+	for j, id := range m.nbrIDs {
+		if id == 0 {
 			path, ok := m.out[j].lastSent.Get(benchPrefix)
 			if !ok {
 				panic("bench setup: M node does not advertise the prefix to the core")

@@ -35,7 +35,7 @@ func (net *Network) CheckConsistency() error {
 					nd.id, f, ps.bestSlot, slot)
 			}
 		}
-		for j := range nd.neighbors {
+		for j := range nd.nbrIDs {
 			q := &nd.out[j]
 			// (2) no residual queued updates.
 			if n := q.pending.Len(); n != 0 {
@@ -48,7 +48,7 @@ func (net *Network) CheckConsistency() error {
 				}
 				continue
 			}
-			peer := &net.nodes[nd.neighbors[j].ID]
+			peer := &net.nodes[nd.nbrIDs[j]]
 			rev := nd.reverse[j]
 			for _, f := range q.lastSent.SortedKeysInto(nil) {
 				sent, _ := q.lastSent.Get(f)
@@ -82,7 +82,7 @@ func (net *Network) checkAdvertisement(nd *node, j int, f Prefix, sent Path) err
 	ps, ok := nd.prefixes.Get(f)
 	if !ok || ps.bestSlot == noneSlot {
 		return fmt.Errorf("bgp: node %d advertises prefix %d to %d without a best route",
-			nd.id, f, nd.neighbors[j].ID)
+			nd.id, f, nd.nbrIDs[j])
 	}
 	var want Path
 	fromCustomerOrSelf := false
@@ -91,7 +91,7 @@ func (net *Network) checkAdvertisement(nd *node, j int, f Prefix, sent Path) err
 		fromCustomerOrSelf = true
 	} else {
 		want = ps.bestPath.Prepend(nd.id)
-		fromCustomerOrSelf = nd.neighbors[ps.bestSlot].Rel == topology.Customer
+		fromCustomerOrSelf = nd.nbrRels[ps.bestSlot] == topology.Customer
 	}
 	if !sent.Equal(want) {
 		return fmt.Errorf("bgp: node %d prefix %d: wire path %v is not the current best %v",
@@ -104,13 +104,13 @@ func (net *Network) checkAdvertisement(nd *node, j int, f Prefix, sent Path) err
 		}
 		seen[v] = struct{}{}
 	}
-	if sent.Contains(nd.neighbors[j].ID) {
+	if sent.Contains(nd.nbrIDs[j]) {
 		return fmt.Errorf("bgp: node %d prefix %d: path through recipient %d on the wire",
-			nd.id, f, nd.neighbors[j].ID)
+			nd.id, f, nd.nbrIDs[j])
 	}
-	if !fromCustomerOrSelf && nd.neighbors[j].Rel != topology.Customer {
+	if !fromCustomerOrSelf && nd.nbrRels[j] != topology.Customer {
 		return fmt.Errorf("bgp: node %d prefix %d: valley export to %v neighbor %d",
-			nd.id, f, nd.neighbors[j].Rel, nd.neighbors[j].ID)
+			nd.id, f, nd.nbrRels[j], nd.nbrIDs[j])
 	}
 	return nil
 }

@@ -48,10 +48,11 @@ func (net *Network) PerNeighborCounts(id topology.NodeID) []uint32 {
 	return net.nodes[id].recvBySlot
 }
 
-// NeighborRelations returns node id's neighbor list (IDs and relations) in
-// slot order. The slice is owned by the engine and must not be modified.
-func (net *Network) NeighborRelations(id topology.NodeID) []topology.Neighbor {
-	return net.nodes[id].neighbors
+// NeighborRelations returns node id's per-slot neighbor relations in slot
+// order, as a view of the topology's shared CSR adjacency: zero-alloc, owned
+// by the topology, must not be modified.
+func (net *Network) NeighborRelations(id topology.NodeID) []topology.Relation {
+	return net.nodes[id].nbrRels
 }
 
 // RIBSize returns the number of prefixes node id currently has a selected

@@ -105,7 +105,7 @@ func (net *Network) recordFlap(nd *node, slot int32, f Prefix, add float64) (cha
 	d := &net.cfg.Dampening
 	ps := nd.state(f)
 	if ps.damp == nil {
-		ps.damp = make([]dampState, len(nd.neighbors))
+		ps.damp = make([]dampState, len(nd.nbrIDs))
 	}
 	s := &ps.damp[slot]
 	now := net.sched.Now()

@@ -60,14 +60,14 @@ func (net *Network) LinkDown(a, b topology.NodeID) bool {
 // slots resolves the slot of b in a's neighbor list and vice versa.
 func (net *Network) slots(a, b topology.NodeID) (ja, jb int, err error) {
 	ja, jb = -1, -1
-	for j, nb := range net.nodes[a].neighbors {
-		if nb.ID == b {
+	for j, id := range net.nodes[a].nbrIDs {
+		if id == b {
 			ja = j
 			break
 		}
 	}
-	for j, nb := range net.nodes[b].neighbors {
-		if nb.ID == a {
+	for j, id := range net.nodes[b].nbrIDs {
+		if id == a {
 			jb = j
 			break
 		}

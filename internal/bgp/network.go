@@ -12,10 +12,31 @@ import (
 // New, originate or withdraw prefixes, then Run to quiescence. A Network is
 // not safe for concurrent use; run one per goroutine.
 type Network struct {
-	topo  *topology.Topology
+	topo *topology.Topology
+	// adj is the topology's shared CSR adjacency; every node's
+	// nbrIDs/nbrRels/reverse are rows of it. Immutable, shared across
+	// Networks over the same topology.
+	adj   *topology.Adjacency
 	cfg   Config
 	sched des.Scheduler
 	nodes []node
+
+	// tieFlat, recvFlat and outFlat are this network's per-session state in
+	// one contiguous block each, parallel to adj.IDs; node j's rows are
+	// sub-slices. Flat layout keeps the hot loop cache-friendly and lets
+	// Reset clear whole arrays in single passes.
+	tieFlat  []uint64
+	recvFlat []uint32
+	outFlat  []outQueue
+
+	// ws holds WarmStart's scratch arrays, lazily sized to N() on first use
+	// and reused across calls so repeated warm starts on the same network
+	// (one per origin in an experiment) do not reallocate.
+	ws warmScratch
+
+	// paths bump-allocates every path the engine creates (advertisement
+	// bodies, warm-start routes); Reset drops its slab, see pathArena.
+	paths pathArena
 
 	// totalUpdates counts every update processed since the last
 	// ResetCounters, across all nodes.
@@ -47,42 +68,38 @@ func New(topo *topology.Topology, cfg Config) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	net := &Network{topo: topo, cfg: cfg, nodes: make([]node, topo.N())}
+	adj := topo.CSR()
+	if !adj.Symmetric() {
+		return nil, fmt.Errorf("bgp: topology has an asymmetric adjacency")
+	}
+	sessions := len(adj.IDs)
+	net := &Network{
+		topo:     topo,
+		adj:      adj,
+		cfg:      cfg,
+		nodes:    make([]node, topo.N()),
+		tieFlat:  make([]uint64, sessions),
+		recvFlat: make([]uint32, sessions),
+		outFlat:  make([]outQueue, sessions),
+	}
 	master := rng.New(cfg.Seed)
 	salt := master.Uint64()
+	for k, id := range adj.IDs {
+		net.tieFlat[k] = hashID(salt, id)
+	}
 	for i := range net.nodes {
 		nd := &net.nodes[i]
+		lo, hi := adj.Row(topology.NodeID(i))
 		nd.id = topology.NodeID(i)
 		nd.typ = topo.Nodes[i].Type
-		nd.neighbors = topo.Neighbors(nd.id, nil)
+		nd.nbrIDs = adj.IDs[lo:hi:hi]
+		nd.nbrRels = adj.Rels[lo:hi:hi]
+		nd.reverse = adj.Reverse[lo:hi:hi]
+		nd.tieHash = net.tieFlat[lo:hi:hi]
+		nd.recvBySlot = net.recvFlat[lo:hi:hi]
+		nd.out = net.outFlat[lo:hi:hi]
 		nd.src = master.Split()
-		nd.out = make([]outQueue, len(nd.neighbors))
-		nd.tieHash = make([]uint64, len(nd.neighbors))
-		for j, nb := range nd.neighbors {
-			nd.tieHash[j] = hashID(salt, nb.ID)
-		}
-		nd.recvBySlot = make([]uint32, len(nd.neighbors))
-		nd.reverse = make([]int32, len(nd.neighbors))
-	}
-	// Wire reverse slots in a second pass, now that all neighbor lists
-	// exist: reverse[j] is this node's slot in neighbor j's list.
-	slotMaps := make([]map[topology.NodeID]int32, len(net.nodes))
-	for i := range net.nodes {
-		m := make(map[topology.NodeID]int32, len(net.nodes[i].neighbors))
-		for k, nb := range net.nodes[i].neighbors {
-			m[nb.ID] = int32(k)
-		}
-		slotMaps[i] = m
-	}
-	for i := range net.nodes {
-		nd := &net.nodes[i]
-		for j, nb := range nd.neighbors {
-			s, ok := slotMaps[nb.ID][nd.id]
-			if !ok {
-				return nil, fmt.Errorf("bgp: asymmetric adjacency %d-%d", nd.id, nb.ID)
-			}
-			nd.reverse[j] = s
-		}
+		nd.arena = &net.paths
 	}
 	return net, nil
 }
@@ -133,11 +150,15 @@ func (net *Network) Reset(seed uint64) {
 	net.sched.Reset(true)
 	net.totalUpdates = 0
 	net.rateBucket, net.rateCount, net.ratePeak = 0, 0, 0
+	// Drop (never rewind) the path slab: see pathArena.
+	net.paths = pathArena{}
 	master := rng.New(seed)
 	salt := master.Uint64() // same draw order as New
 	for i := range net.nodes {
 		nd := &net.nodes[i]
 		nd.busyUntil = 0
+		clear(nd.inbox) // release parked paths
+		nd.inbox, nd.inboxHead, nd.delivering = nd.inbox[:0], 0, false
 		nd.recvAnnounce, nd.recvWithdraw, nd.sentUpdates = 0, 0, 0
 		nd.bestChanges, nd.suppressions = 0, 0
 		for j := range nd.recvBySlot {
@@ -151,8 +172,8 @@ func (net *Network) Reset(seed uint64) {
 		})
 		nd.prefixes.Clear()
 		nd.src.Reseed(master.Uint64())
-		for j, nb := range nd.neighbors {
-			nd.tieHash[j] = hashID(salt, nb.ID)
+		for j, id := range nd.nbrIDs {
+			nd.tieHash[j] = hashID(salt, id)
 		}
 		for j := range nd.out {
 			q := &nd.out[j]
@@ -221,10 +242,20 @@ func (net *Network) NextHop(id topology.NodeID, f Prefix) topology.NodeID {
 	if ps.bestSlot == selfSlot {
 		return id
 	}
-	return net.nodes[id].neighbors[ps.bestSlot].ID
+	return net.nodes[id].nbrIDs[ps.bestSlot]
 }
 
 // --- event types ---------------------------------------------------------
+
+// inMsg is a message parked in a receiver's inbox: the full delivery
+// payload plus the scheduler ticket reserved for it at transmit time.
+type inMsg struct {
+	tk       des.Ticket
+	fromSlot int32
+	kind     UpdateKind
+	prefix   Prefix
+	path     Path
+}
 
 // procEvent is the completion of processing one received update at a node.
 // procEvents are pooled: transmit takes one from Network.procFree and Fire
@@ -260,7 +291,7 @@ func (e *procEvent) Fire(*des.Scheduler) {
 	if net.updateHook != nil {
 		net.updateHook(UpdateRecord{
 			Time:   net.sched.Now(),
-			From:   nd.neighbors[e.fromSlot].ID,
+			From:   nd.nbrIDs[e.fromSlot],
 			To:     nd.id,
 			Kind:   e.kind,
 			Prefix: e.prefix,
@@ -298,6 +329,22 @@ func (e *procEvent) Fire(*des.Scheduler) {
 	// is NOT pooled — it lives on in the Adj-RIB-In.
 	e.path = nil
 	net.procFree = append(net.procFree, e)
+	// Chain the next parked delivery, if any, under its reserved ticket
+	// (see transmit). Completion times are monotone per receiver, so the
+	// ticket can never be in the past.
+	if nd.inboxHead < len(nd.inbox) {
+		m := nd.inbox[nd.inboxHead]
+		nd.inbox[nd.inboxHead] = inMsg{} // release the path
+		nd.inboxHead++
+		if nd.inboxHead == len(nd.inbox) {
+			nd.inbox, nd.inboxHead = nd.inbox[:0], 0
+		}
+		next := net.newProcEvent()
+		next.to, next.fromSlot, next.kind, next.prefix, next.path = nd.id, m.fromSlot, m.kind, m.prefix, m.path
+		net.sched.AtTicket(m.tk, next)
+	} else {
+		nd.delivering = false
+	}
 	net.applyDecision(nd, prefix, ps)
 }
 
@@ -415,7 +462,7 @@ func (net *Network) applyDecision(nd *node, f Prefix, ps *prefixState) {
 // feeds differences into the rate-limited output queues.
 func (net *Network) reconcile(nd *node, f Prefix, ps *prefixState) {
 	full, fromCustomerOrSelf := nd.advertisement(ps)
-	for j := range nd.neighbors {
+	for j := range nd.nbrIDs {
 		if nd.out[j].down {
 			continue
 		}
@@ -526,16 +573,28 @@ func (net *Network) setDesired(nd *node, j int, f Prefix, want Path) {
 // transmit delivers one update to the neighbor at slot j, modeling the
 // receiver's FIFO queue + single processor: processing completes a uniform
 // (0, MaxProcessingDelay] after the receiver becomes free.
+//
+// Only the receiver's next completion lives in the scheduler queue; while
+// it is pending, further messages park in the receiver's inbox with their
+// tickets reserved here, in arrival order. procEvent.Fire re-schedules the
+// front of the inbox, so deliveries chain one at a time — same fire times,
+// same fire order, a fraction of the queued events.
 func (net *Network) transmit(nd *node, j int, f Prefix, kind UpdateKind, path Path) {
 	nd.sentUpdates++
-	to := &net.nodes[nd.neighbors[j].ID]
+	to := &net.nodes[nd.nbrIDs[j]]
 	start := to.busyUntil
 	if now := net.sched.Now(); start < now {
 		start = now
 	}
 	done := start + des.Time(to.src.UniformDuration(int64(net.cfg.MaxProcessingDelay)))
 	to.busyUntil = done
+	tk := net.sched.Reserve(done)
+	if to.delivering {
+		to.inbox = append(to.inbox, inMsg{tk: tk, fromSlot: nd.reverse[j], kind: kind, prefix: f, path: path})
+		return
+	}
+	to.delivering = true
 	e := net.newProcEvent()
 	e.to, e.fromSlot, e.kind, e.prefix, e.path = to.id, nd.reverse[j], kind, f, path
-	net.sched.At(done, e)
+	net.sched.AtTicket(tk, e)
 }

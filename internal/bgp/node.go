@@ -66,9 +66,9 @@ func (nd *node) advertisement(ps *prefixState) (full Path, fromCustomerOrSelf bo
 		case noneSlot:
 			ps.full = nil
 		case selfSlot:
-			ps.full = Path{nd.id}
+			ps.full = nd.arena.prepend(nd.id, nil)
 		default:
-			ps.full = ps.bestPath.Prepend(nd.id)
+			ps.full = nd.arena.prepend(nd.id, ps.bestPath)
 		}
 		ps.fullValid = true
 	}
@@ -78,7 +78,7 @@ func (nd *node) advertisement(ps *prefixState) (full Path, fromCustomerOrSelf bo
 	case selfSlot:
 		return ps.full, true
 	default:
-		return ps.full, nd.neighbors[ps.bestSlot].Rel == topology.Customer
+		return ps.full, nd.nbrRels[ps.bestSlot] == topology.Customer
 	}
 }
 
@@ -115,11 +115,20 @@ type outQueue struct {
 	down bool
 }
 
-// node is one AS in the simulation.
+// node is one AS in the simulation. All per-neighbor state is laid out as
+// rows of shared flat arrays (struct-of-arrays): nbrIDs/nbrRels/reverse are
+// sub-slices of the topology's CSR adjacency (immutable, shared by every
+// Network over the topology), and tieHash/recvBySlot/out are sub-slices of
+// the Network's own flat per-session arrays. The hot transmit→reconcile
+// loop therefore walks contiguous memory instead of chasing per-node
+// allocations.
 type node struct {
-	id        topology.NodeID
-	typ       topology.NodeType
-	neighbors []topology.Neighbor
+	id  topology.NodeID
+	typ topology.NodeType
+	// nbrIDs[j] and nbrRels[j] are the neighbor's ID and relation at slot
+	// j, in the canonical CSR order (customers, peers, providers).
+	nbrIDs  []topology.NodeID
+	nbrRels []topology.Relation
 	// reverse[j] is this node's slot index in neighbor j's neighbor list,
 	// so messages can be delivered without per-message lookups.
 	reverse []int32
@@ -129,10 +138,23 @@ type node struct {
 	// busyUntil models the single update processor with its FIFO queue: a
 	// message arriving at t completes processing at max(t, busyUntil) + d.
 	busyUntil des.Time
+	// inbox holds messages waiting behind the one delivery event this node
+	// keeps in the scheduler queue (inboxHead indexes the front; delivering
+	// is true while that event is pending). Each message carries the
+	// scheduler ticket reserved at transmit time, so deferred insertion
+	// cannot change the global fire order — it only keeps the hot event
+	// queue at one entry per busy receiver instead of one per in-flight
+	// message.
+	inbox      []inMsg
+	inboxHead  int
+	delivering bool
 	// src is the node's private randomness stream (processing delays,
 	// MRAI jitter).
 	src *rng.Source
-	// out is the per-neighbor output state, parallel to neighbors.
+	// arena is the owning Network's path arena (advertisement bodies are
+	// built in it; see pathArena).
+	arena *pathArena
+	// out is the per-neighbor output state, parallel to nbrIDs.
 	out []outQueue
 	// prefixes holds per-prefix routing state, allocated on first contact.
 	prefixes prefixMap[*prefixState]
@@ -169,7 +191,7 @@ func (nd *node) state(f Prefix) *prefixState {
 		nd.psFree = nd.psFree[:n-1]
 	} else {
 		ps = &prefixState{
-			ribIn:    make([]Path, len(nd.neighbors)),
+			ribIn:    make([]Path, len(nd.nbrIDs)),
 			bestSlot: noneSlot,
 		}
 	}
@@ -193,7 +215,7 @@ func (nd *node) decide(ps *prefixState) (slot int, path Path) {
 		if p == nil || ps.suppressedAt(j) {
 			continue
 		}
-		pref := localPref(nd.neighbors[j].Rel)
+		pref := localPref(nd.nbrRels[j])
 		plen := len(p)
 		h := nd.tieHash[j]
 		better := best == noneSlot ||
@@ -218,14 +240,14 @@ func (nd *node) exportable(j int, full Path, fromCustomerOrSelf bool) bool {
 	}
 	// No-valley: routes from peers/providers go only to customers; routes
 	// from customers (or our own prefixes) go to everyone.
-	if !fromCustomerOrSelf && nd.neighbors[j].Rel != topology.Customer {
+	if !fromCustomerOrSelf && nd.nbrRels[j] != topology.Customer {
 		return false
 	}
 	// Sender-side loop detection: never advertise a path through the
 	// recipient (this also suppresses the advertisement to the next hop,
 	// the paper's "unless its preferred path goes through the customer
 	// itself").
-	return !full.Contains(nd.neighbors[j].ID)
+	return !full.Contains(nd.nbrIDs[j])
 }
 
 // sortedPrefixes returns the node's known prefixes in ascending order, for

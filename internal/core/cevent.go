@@ -62,6 +62,14 @@ type Config struct {
 	Parallelism int
 	// Kind selects the routing event (default: CEvent).
 	Kind EventKind
+	// WarmStart skips the DES initial-propagation flood and installs the
+	// converged pre-event routing state directly (bgp.Network.WarmStart).
+	// The measured DOWN/UP phases then run on per-node RNG streams that the
+	// flood never advanced, so results are statistically equivalent to the
+	// cold path but not byte-identical; the default (false) preserves exact
+	// reproducibility of existing figures. Incompatible with flap dampening,
+	// whose pre-event penalties only a real flood can accrue.
+	WarmStart bool
 }
 
 // DefaultConfig returns the paper's experiment setup (100 origins,
@@ -165,6 +173,59 @@ func RunCEvents(topo *topology.Topology, cfg Config) (*Result, error) {
 	if cfg.Origins <= 0 {
 		return nil, fmt.Errorf("core: Origins must be positive")
 	}
+	if cfg.WarmStart && cfg.BGP.Dampening.Enabled {
+		return nil, fmt.Errorf("core: WarmStart is incompatible with flap dampening (pre-event flap penalties require the real propagation flood)")
+	}
+	origins, err := chooseOrigins(topo, cfg)
+	if err != nil {
+		return nil, err
+	}
+	settle := cfg.Settle
+	if settle == 0 {
+		settle = 2 * cfg.BGP.MRAI
+	}
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(origins) {
+		workers = len(origins)
+	}
+
+	accums := make([]originAccum, len(origins))
+	errs := make([]error, len(origins))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			net := bgp.MustNew(topo, cfg.BGP)
+			for idx := range next {
+				errs[idx] = runOneOrigin(net, topo, origins[idx], cfg.BGP.Seed+uint64(idx)*0x9e3779b97f4a7c15, settle, cfg, &accums[idx])
+			}
+		}()
+	}
+	for i := range origins {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	// Report the first failure by origin index, so the error is independent
+	// of worker scheduling.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	return reduce(topo, origins, accums), nil
+}
+
+// chooseOrigins selects the event originators for one experiment: a
+// deterministic sample of C nodes, preferring multihomed ones for link
+// events.
+func chooseOrigins(topo *topology.Topology, cfg Config) ([]topology.NodeID, error) {
 	cNodes := topo.NodesOfType(topology.C)
 	if len(cNodes) == 0 {
 		return nil, fmt.Errorf("core: topology has no C nodes to originate C-events")
@@ -185,38 +246,7 @@ func RunCEvents(topo *topology.Topology, cfg Config) (*Result, error) {
 			origins = pickOrigins(multi, cfg.Origins, cfg.BGP.Seed)
 		}
 	}
-	settle := cfg.Settle
-	if settle == 0 {
-		settle = 2 * cfg.BGP.MRAI
-	}
-	workers := cfg.Parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(origins) {
-		workers = len(origins)
-	}
-
-	accums := make([]originAccum, len(origins))
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			net := bgp.MustNew(topo, cfg.BGP)
-			for idx := range next {
-				runOneOrigin(net, topo, origins[idx], cfg.BGP.Seed+uint64(idx)*0x9e3779b97f4a7c15, settle, cfg.Kind, &accums[idx])
-			}
-		}()
-	}
-	for i := range origins {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-
-	return reduce(topo, origins, accums), nil
+	return origins, nil
 }
 
 // pickOrigins deterministically samples k distinct C nodes.
@@ -232,35 +262,39 @@ func pickOrigins(cNodes []topology.NodeID, k int, seed uint64) []topology.NodeID
 
 // runOneOrigin performs the full event procedure for one originator and
 // fills acc with its per-node-type statistics.
-func runOneOrigin(net *bgp.Network, topo *topology.Topology, origin topology.NodeID, seed uint64, settle des.Time, kind EventKind, acc *originAccum) {
+func runOneOrigin(net *bgp.Network, topo *topology.Topology, origin topology.NodeID, seed uint64, settle des.Time, cfg Config, acc *originAccum) error {
 	net.Reset(seed)
 
 	// Initial propagation: the prefix exists and the network is converged
-	// and quiet before the event, as in the paper's setup.
-	net.Originate(origin, thePrefix)
-	net.Run()
-	net.Settle(settle)
-	net.ResetCounters()
+	// and quiet before the event, as in the paper's setup. The warm path
+	// installs that state directly; the cold path floods it through the DES
+	// and discards the flood's churn (ResetCounters). Either way counters
+	// are zero and MRAI timers idle when the event fires.
+	if cfg.WarmStart {
+		net.WarmStart(origin, thePrefix)
+	} else {
+		net.Originate(origin, thePrefix)
+		net.Run()
+		net.Settle(settle)
+		net.ResetCounters()
+	}
 
-	down := func() { net.WithdrawPrefix(origin, thePrefix) }
-	up := func() { net.Originate(origin, thePrefix) }
-	if kind == LinkEvent {
+	down := func() error { net.WithdrawPrefix(origin, thePrefix); return nil }
+	up := func() error { net.Originate(origin, thePrefix); return nil }
+	if cfg.Kind == LinkEvent {
+		if len(topo.Nodes[origin].Providers) == 0 {
+			return fmt.Errorf("core: link-event origin %d has no provider link to fail", origin)
+		}
 		provider := topo.Nodes[origin].Providers[0]
-		down = func() {
-			if err := net.FailLink(origin, provider); err != nil {
-				panic(err) // adjacency comes from the topology; cannot fail
-			}
-		}
-		up = func() {
-			if err := net.RestoreLink(origin, provider); err != nil {
-				panic(err)
-			}
-		}
+		down = func() error { return net.FailLink(origin, provider) }
+		up = func() error { return net.RestoreLink(origin, provider) }
 	}
 
 	// DOWN: the owner withdraws the prefix (or its primary link fails).
 	start := net.Now()
-	down()
+	if err := down(); err != nil {
+		return err
+	}
 	net.Run()
 	acc.downSec = (net.Now() - start).Seconds()
 
@@ -268,13 +302,16 @@ func runOneOrigin(net *bgp.Network, topo *topology.Topology, origin topology.Nod
 
 	// UP: the owner re-announces (or the link is restored).
 	start = net.Now()
-	up()
+	if err := up(); err != nil {
+		return err
+	}
 	net.Run()
 	acc.upSec = (net.Now() - start).Seconds()
 
 	acc.total = float64(net.TotalUpdates())
 	acc.peak = float64(net.PeakUpdateRate())
 	collect(net, topo, acc)
+	return nil
 }
 
 // collect reduces per-node per-neighbor counters into per-type factor
@@ -292,12 +329,12 @@ func collect(net *bgp.Network, topo *topology.Topology, acc *originAccum) {
 
 		var relTotal, relActive, relNb [3]float64
 		total := 0.0
-		for j, nb := range rels {
+		for j, rel := range rels {
 			c := float64(counts[j])
-			relNb[nb.Rel]++
-			relTotal[nb.Rel] += c
+			relNb[rel]++
+			relTotal[rel] += c
 			if counts[j] > 0 {
-				relActive[nb.Rel]++
+				relActive[rel]++
 			}
 			total += c
 		}

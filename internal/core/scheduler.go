@@ -1,6 +1,7 @@
 package core
 
 import (
+	"container/list"
 	"fmt"
 	"runtime"
 	"sync"
@@ -26,6 +27,7 @@ type CellKey struct {
 	Origins      int
 	Settle       des.Time
 	Kind         EventKind
+	WarmStart    bool
 	BGP          bgp.Config
 }
 
@@ -38,6 +40,7 @@ func cellKey(scName string, n int, topoSeed uint64, ev Config) CellKey {
 		Origins:      ev.Origins,
 		Settle:       ev.Settle,
 		Kind:         ev.Kind,
+		WarmStart:    ev.WarmStart,
 		BGP:          ev.BGP,
 	}
 }
@@ -113,17 +116,28 @@ type CacheStats struct {
 	Hits int
 	// Misses is the number of cells actually computed.
 	Misses int
+	// Evictions is the number of completed results dropped by the LRU
+	// entry-count cap (see SetCacheLimit).
+	Evictions int
 }
+
+// DefaultCacheCap is the scheduler's default result-cache entry limit. A
+// Result is small (a few KB), so the default accommodates every figure grid
+// the paper needs while bounding a long-lived scheduler (e.g. a service
+// answering what-if queries) to a few MB of cached results.
+const DefaultCacheCap = 512
 
 // Scheduler executes experiment grids on a bounded worker pool with a
 // content-addressed result cache. Each (scenario, size) cell is an
 // independent deterministic job, so cells may run in any order and on any
 // number of workers without changing results; assembly orders cells by the
 // request's size list, making grid output byte-identical to sequential
-// Sweep runs. Cells with equal CellKeys are computed exactly once per
-// scheduler — concurrent duplicates coalesce onto the in-flight
-// computation — which lets figures that share a sweep (Fig. 4–12 all reuse
-// the Baseline sweep) pay for it once.
+// Sweep runs. Cells with equal CellKeys are computed once while cached —
+// concurrent duplicates coalesce onto the in-flight computation — which
+// lets figures that share a sweep (Fig. 4–12 all reuse the Baseline sweep)
+// pay for it once. The cache holds at most SetCacheLimit entries
+// (DefaultCacheCap by default), evicting least-recently-used results; an
+// evicted cell is simply recomputed if requested again.
 //
 // A Scheduler is safe for concurrent use. Set OnCell before the first run.
 type Scheduler struct {
@@ -134,9 +148,11 @@ type Scheduler struct {
 	// cache hit. Calls are serialized; the callback needs no locking.
 	OnCell func(CellStatus)
 
-	mu    sync.Mutex
-	cache map[CellKey]*cacheEntry
-	stats CacheStats
+	mu       sync.Mutex
+	cache    map[CellKey]*cacheEntry
+	lru      *list.List // CellKeys, most recently used at the front
+	cacheCap int
+	stats    CacheStats
 
 	emitMu sync.Mutex
 
@@ -152,6 +168,8 @@ func NewScheduler(parallelism int) *Scheduler {
 	return &Scheduler{
 		parallelism: parallelism,
 		cache:       map[CellKey]*cacheEntry{},
+		lru:         list.New(),
+		cacheCap:    DefaultCacheCap,
 		generate: func(sc scenario.Scenario, n int, seed uint64) (*topology.Topology, error) {
 			return sc.Generate(n, seed)
 		},
@@ -165,6 +183,8 @@ type cacheEntry struct {
 	ready chan struct{}
 	res   *Result
 	err   error
+	// elem is this entry's position in the scheduler's LRU list.
+	elem *list.Element
 }
 
 // CacheStats returns the cache traffic so far.
@@ -172,6 +192,40 @@ func (s *Scheduler) CacheStats() CacheStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.stats
+}
+
+// SetCacheLimit bounds the result cache to at most n completed entries,
+// evicting least-recently-used results immediately if it is over. n <= 0
+// removes the bound. The default is DefaultCacheCap.
+func (s *Scheduler) SetCacheLimit(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cacheCap = n
+	s.evictLocked()
+}
+
+// evictLocked drops least-recently-used completed entries until the cache
+// respects the cap. In-flight entries are never evicted — their waiters are
+// counting on the singleflight slot — so the cache may transiently exceed
+// the cap by the number of concurrent computations. Caller holds s.mu.
+func (s *Scheduler) evictLocked() {
+	if s.cacheCap <= 0 {
+		return
+	}
+	for el := s.lru.Back(); el != nil && s.lru.Len() > s.cacheCap; {
+		prev := el.Prev()
+		key := el.Value.(CellKey)
+		e := s.cache[key]
+		select {
+		case <-e.ready:
+			delete(s.cache, key)
+			s.lru.Remove(el)
+			s.stats.Evictions++
+		default:
+			// Still computing; skip toward the front.
+		}
+		el = prev
+	}
 }
 
 // emit delivers one progress event, serialized.
@@ -190,6 +244,7 @@ func (s *Scheduler) cell(sc scenario.Scenario, n int, topoSeed uint64, ev Config
 	s.mu.Lock()
 	if e, ok := s.cache[key]; ok {
 		s.stats.Hits++
+		s.lru.MoveToFront(e.elem)
 		s.mu.Unlock()
 		start := time.Now()
 		<-e.ready
@@ -197,8 +252,10 @@ func (s *Scheduler) cell(sc scenario.Scenario, n int, topoSeed uint64, ev Config
 		return e.res, e.err
 	}
 	e := &cacheEntry{ready: make(chan struct{})}
+	e.elem = s.lru.PushFront(key)
 	s.cache[key] = e
 	s.stats.Misses++
+	s.evictLocked()
 	s.mu.Unlock()
 
 	if progress != nil {

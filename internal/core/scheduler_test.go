@@ -271,3 +271,135 @@ func TestRunGridInjectedRunError(t *testing.T) {
 		t.Fatalf("partial points = %+v", out[0].Points)
 	}
 }
+
+// fakeCells stubs the scheduler's generate/run seams with trivial results so
+// cache-mechanics tests run without simulations. Returns a per-size run
+// counter.
+func fakeCells(s *Scheduler) map[int]*int64 {
+	runsByN := map[int]*int64{}
+	s.generate = func(sc scenario.Scenario, n int, seed uint64) (*topology.Topology, error) {
+		return &topology.Topology{Nodes: make([]topology.Node, 1)}, nil
+	}
+	s.run = func(topo *topology.Topology, cfg Config) (*Result, error) {
+		return &Result{N: topo.N()}, nil
+	}
+	gen := s.generate
+	s.generate = func(sc scenario.Scenario, n int, seed uint64) (*topology.Topology, error) {
+		if runsByN[n] == nil {
+			runsByN[n] = new(int64)
+		}
+		atomic.AddInt64(runsByN[n], 1)
+		return gen(sc, n, seed)
+	}
+	return runsByN
+}
+
+func TestSchedulerCacheEviction(t *testing.T) {
+	s := NewScheduler(1)
+	s.SetCacheLimit(2)
+	runs := fakeCells(s)
+	ev := testConfig(1, 1)
+	sweep := func(n int) {
+		t.Helper()
+		if _, err := s.RunSweep(scenario.Baseline, SweepConfig{Sizes: []int{n}, TopologySeed: 1, Event: ev}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Three distinct cells through a two-entry cache: the oldest is evicted.
+	sweep(100)
+	sweep(150)
+	sweep(200)
+	if st := s.CacheStats(); st.Evictions != 1 || st.Misses != 3 {
+		t.Fatalf("stats after fill = %+v, want 3 misses / 1 eviction", st)
+	}
+	// The surviving cells are served from cache; the evicted one recomputes.
+	sweep(150)
+	sweep(200)
+	sweep(100)
+	st := s.CacheStats()
+	if st.Hits != 2 {
+		t.Fatalf("stats = %+v, want 2 hits for the retained cells", st)
+	}
+	if got := atomic.LoadInt64(runs[100]); got != 2 {
+		t.Fatalf("evicted cell computed %d times, want 2", got)
+	}
+	// Inserting 100 above evicted the LRU victim 150, leaving {100, 200}.
+	// Recency, not insertion order, decides the next victim: touch 200, then
+	// insert a new cell — the older-but-untouched 100 goes, 200 survives.
+	sweep(200)
+	sweep(250)
+	sweep(200)
+	if got := atomic.LoadInt64(runs[200]); got != 1 {
+		t.Fatalf("recently-used cell recomputed (%d runs), LRU order broken", got)
+	}
+	sweep(100)
+	if got := atomic.LoadInt64(runs[100]); got != 3 {
+		t.Fatalf("cell 100 computed %d times, want 3 (evicted twice)", got)
+	}
+}
+
+func TestSchedulerCacheUnbounded(t *testing.T) {
+	s := NewScheduler(1)
+	s.SetCacheLimit(0)
+	fakeCells(s)
+	ev := testConfig(1, 1)
+	for n := 100; n < 100+2*DefaultCacheCap; n += 1 {
+		if _, err := s.RunSweep(scenario.Baseline, SweepConfig{Sizes: []int{n}, TopologySeed: 1, Event: ev}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.CacheStats(); st.Evictions != 0 {
+		t.Fatalf("unbounded cache evicted %d entries", st.Evictions)
+	}
+	// Re-imposing a limit trims immediately.
+	s.SetCacheLimit(10)
+	st := s.CacheStats()
+	if st.Evictions != 2*DefaultCacheCap-10 {
+		t.Fatalf("SetCacheLimit trimmed %d entries, want %d", st.Evictions, 2*DefaultCacheCap-10)
+	}
+}
+
+func TestSchedulerNeverEvictsInFlight(t *testing.T) {
+	s := NewScheduler(2)
+	s.SetCacheLimit(1)
+	started := make(chan struct{})
+	block := make(chan struct{})
+	s.generate = func(sc scenario.Scenario, n int, seed uint64) (*topology.Topology, error) {
+		if n == 100 {
+			close(started)
+			<-block
+		}
+		return &topology.Topology{Nodes: make([]topology.Node, 1)}, nil
+	}
+	var runs int64
+	s.run = func(topo *topology.Topology, cfg Config) (*Result, error) {
+		atomic.AddInt64(&runs, 1)
+		return &Result{}, nil
+	}
+	ev := testConfig(1, 1)
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.RunSweep(scenario.Baseline, SweepConfig{Sizes: []int{100}, TopologySeed: 1, Event: ev})
+		done <- err
+	}()
+	<-started
+	// A second cell completes while the first is still computing. The cap is
+	// 1, but the in-flight entry must survive the eviction pass.
+	if _, err := s.RunSweep(scenario.Baseline, SweepConfig{Sizes: []int{150}, TopologySeed: 1, Event: ev}); err != nil {
+		t.Fatal(err)
+	}
+	close(block)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// The slow cell must still be cached: requesting it again may not rerun.
+	if _, err := s.RunSweep(scenario.Baseline, SweepConfig{Sizes: []int{100}, TopologySeed: 1, Event: ev}); err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt64(&runs); got != 2 {
+		t.Fatalf("in-flight cell was evicted and recomputed: %d runs, want 2", got)
+	}
+	if st := s.CacheStats(); st.Hits != 1 {
+		t.Fatalf("stats = %+v, want 1 hit on the surviving in-flight cell", st)
+	}
+}

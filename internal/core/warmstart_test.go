@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"bgpchurn/internal/scenario"
+	"bgpchurn/internal/topology"
+)
+
+// TestWarmStartStatisticalEquivalence is the statistical tier of the
+// warm-start soundness argument (the exact tier lives in
+// bgp.TestWarmStartMatchesDES): the measured DOWN/UP phases start from the
+// identical converged state either way, but run on per-node RNG streams the
+// flood never advanced, so per-type churn means must agree within the
+// combined confidence intervals.
+func TestWarmStartStatisticalEquivalence(t *testing.T) {
+	topo, err := scenario.Baseline.Generate(1000, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(21, 30)
+	cold, err := RunCEvents(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.WarmStart = true
+	warm, err := RunCEvents(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, typ := range topology.NodeTypes {
+		c, w := cold.ByType[typ], warm.ByType[typ]
+		if c.Nodes == 0 {
+			continue
+		}
+		if diff, tol := math.Abs(c.U-w.U), c.CI95+w.CI95; diff > tol {
+			t.Errorf("U(%v): cold %.3f±%.3f vs warm %.3f±%.3f (diff %.3f > %.3f)",
+				typ, c.U, c.CI95, w.U, w.CI95, diff, tol)
+		}
+	}
+	// The network-wide mean must also agree to a loose relative tolerance.
+	if rel := math.Abs(cold.TotalUpdates-warm.TotalUpdates) / cold.TotalUpdates; rel > 0.10 {
+		t.Errorf("TotalUpdates: cold %.1f vs warm %.1f (%.1f%% apart)",
+			cold.TotalUpdates, warm.TotalUpdates, 100*rel)
+	}
+}
+
+// TestWarmStartRejectsDampening pins the validation: pre-event flap
+// penalties only accrue during a real flood, so the combination is refused
+// rather than silently producing different suppression behavior.
+func TestWarmStartRejectsDampening(t *testing.T) {
+	topo, err := scenario.Baseline.Generate(200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(5, 2)
+	cfg.WarmStart = true
+	cfg.BGP.Dampening.Enabled = true
+	if _, err := RunCEvents(topo, cfg); err == nil || !strings.Contains(err.Error(), "dampening") {
+		t.Fatalf("WarmStart+Dampening accepted (err=%v), want rejection", err)
+	}
+}
+
+// handTopo builds a topology from explicit provider→customer transit edges,
+// for origin-selection and error-path tests.
+func handTopo(types []topology.NodeType, transit [][2]topology.NodeID) *topology.Topology {
+	topo := &topology.Topology{NumRegions: 1, Nodes: make([]topology.Node, len(types))}
+	for i, typ := range types {
+		topo.Nodes[i] = topology.Node{ID: topology.NodeID(i), Type: typ, Regions: 1}
+	}
+	for _, e := range transit {
+		p, c := e[0], e[1]
+		topo.Nodes[p].Customers = append(topo.Nodes[p].Customers, c)
+		topo.Nodes[c].Providers = append(topo.Nodes[c].Providers, p)
+	}
+	return topo
+}
+
+// TestChooseOriginsMultihomedFallback exercises both branches of the
+// link-event origin selection: with enough multihomed C nodes only those are
+// sampled; with too few, selection falls back to the plain C-node sample.
+func TestChooseOriginsMultihomedFallback(t *testing.T) {
+	// T0 with M1, M2 below it; C3..C8 each multihomed to both Ms.
+	types := []topology.NodeType{topology.T, topology.M, topology.M,
+		topology.C, topology.C, topology.C, topology.C, topology.C, topology.C}
+	var transit [][2]topology.NodeID
+	for _, m := range []topology.NodeID{1, 2} {
+		transit = append(transit, [2]topology.NodeID{0, m})
+		for c := topology.NodeID(3); c <= 8; c++ {
+			transit = append(transit, [2]topology.NodeID{m, c})
+		}
+	}
+	multiTopo := handTopo(types, transit)
+	cfg := testConfig(7, 3)
+	cfg.Kind = LinkEvent
+	origins, err := chooseOrigins(multiTopo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(origins) != 3 {
+		t.Fatalf("got %d origins, want 3", len(origins))
+	}
+	for _, id := range origins {
+		if got := len(multiTopo.Nodes[id].Providers); got < 2 {
+			t.Errorf("link-event origin %d has %d providers, want multihomed", id, got)
+		}
+	}
+
+	// Same shape but only C3 is multihomed: 1 < Origins, so the fallback
+	// must keep the plain sample, which the deterministic shuffle makes
+	// include single-homed nodes.
+	transit = transit[:0]
+	transit = append(transit, [2]topology.NodeID{0, 1}, [2]topology.NodeID{0, 2},
+		[2]topology.NodeID{1, 3}, [2]topology.NodeID{2, 3})
+	for c := topology.NodeID(4); c <= 8; c++ {
+		transit = append(transit, [2]topology.NodeID{1, c})
+	}
+	singleTopo := handTopo(types, transit)
+	origins, err = chooseOrigins(singleTopo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := chooseOrigins(singleTopo, Config{Origins: cfg.Origins, BGP: cfg.BGP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(origins) != len(want) {
+		t.Fatalf("fallback sample has %d origins, plain sample %d", len(origins), len(want))
+	}
+	for i := range origins {
+		if origins[i] != want[i] {
+			t.Fatalf("fallback origins %v differ from the plain C sample %v", origins, want)
+		}
+	}
+}
+
+// TestLinkEventOriginWithoutProviderErrors pins the error path that used to
+// panic inside a worker goroutine: a link-event origin with no provider link
+// to fail now surfaces as an error from RunCEvents.
+func TestLinkEventOriginWithoutProviderErrors(t *testing.T) {
+	// A lone T and an orphan C node with no transit link at all.
+	topo := handTopo([]topology.NodeType{topology.T, topology.C}, nil)
+	cfg := testConfig(3, 1)
+	cfg.Kind = LinkEvent
+	_, err := RunCEvents(topo, cfg)
+	if err == nil || !strings.Contains(err.Error(), "no provider link") {
+		t.Fatalf("RunCEvents = %v, want a no-provider-link error", err)
+	}
+}

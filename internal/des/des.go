@@ -8,6 +8,7 @@
 package des
 
 import (
+	"math/bits"
 	"time"
 )
 
@@ -41,90 +42,312 @@ type EventFunc func(s *Scheduler)
 // Fire calls f(s).
 func (f EventFunc) Fire(s *Scheduler) { f(s) }
 
-// item is a queue entry. seq breaks ties deterministically (FIFO).
-type item struct {
-	at    Time
-	seq   uint64
-	event Event
+// heapKey is a queue entry's sort key plus the slab slot of its event. seq
+// breaks ties deterministically (FIFO); keys never compare equal because
+// seq is unique. idx plays no part in the ordering.
+//
+// The struct is exactly 16 bytes so that the heapArity children scanned by
+// one sift-down level share a single cache line. seq is stored narrowed to
+// uint32 — Reserve panics before the scheduler-wide counter could wrap a
+// key's seq within one epoch (a Reset rewinds it), so the narrowing is
+// loss-free where it matters: among coexisting keys.
+type heapKey struct {
+	at  Time
+	seq uint32
+	idx int32
 }
 
-// eventHeap is a hand-rolled binary min-heap on (at, seq). It deliberately
-// does not go through container/heap: that interface moves every element in
-// and out of the queue as an interface{}, boxing the item struct on each
-// push and pop. The typed sift routines below keep items in the backing
-// slice, so scheduling an event allocates only when the slice must grow.
-type eventHeap []item
-
-// less orders the heap by firing time, then by scheduling order (FIFO for
-// same-instant events). Keys are unique because seq never repeats.
-func (h eventHeap) less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports whether a fires strictly before b: earlier time, or FIFO
+// (lower seq) among same-instant events.
+func before(a, b heapKey) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
 
-// push appends it and restores the heap invariant.
-func (h *eventHeap) push(it item) {
-	*h = append(*h, it)
-	q := *h
-	// Sift up.
-	i := len(q) - 1
+// eventHeap is a hand-rolled 4-ary min-heap on (at, seq). It deliberately
+// does not go through container/heap: that interface moves every element in
+// and out of the queue as an interface{}, boxing entries on each push and
+// pop. The typed sift routines below keep entries in the backing slices, so
+// scheduling an event allocates only when the slices must grow.
+//
+// Layout and arity are chosen for the sift routines, the hottest loops in
+// the simulator: events sit in a stable slab addressed by heapKey.idx, so
+// sifting moves only plain 16-byte keys — no interface copies and, since
+// keys are pointer-free, no GC write barriers — and the arity of 4 halves
+// the tree depth relative to a binary heap. Both sift routines move keys
+// into a hole rather than swapping, writing each displaced key once. The
+// pop order is a pure function of the (at, seq) keys — unique by
+// construction — so the layout cannot reorder events.
+type eventHeap struct {
+	keys []heapKey
+	slab []Event // stable event storage; keys[i].idx addresses it
+	free []int32 // recycled slab slots
+}
+
+const heapArity = 4
+
+func (h *eventHeap) len() int { return len(h.keys) }
+
+// push inserts an entry and restores the heap invariant.
+func (h *eventHeap) push(at Time, seq uint32, e Event) {
+	var idx int32
+	if n := len(h.free); n > 0 {
+		idx = h.free[n-1]
+		h.free = h.free[:n-1]
+		h.slab[idx] = e
+	} else {
+		idx = int32(len(h.slab))
+		h.slab = append(h.slab, e)
+	}
+	k := heapKey{at: at, seq: seq, idx: idx}
+	h.keys = append(h.keys, k)
+	keys := h.keys
+	// Sift up: walk the hole toward the root, pulling parents down.
+	i := len(keys) - 1
 	for i > 0 {
-		parent := (i - 1) / 2
-		if !q.less(i, parent) {
+		parent := (i - 1) / heapArity
+		if !before(k, keys[parent]) {
 			break
 		}
-		q[i], q[parent] = q[parent], q[i]
+		keys[i] = keys[parent]
 		i = parent
 	}
+	keys[i] = k
 }
 
-// pop removes and returns the minimum item. The caller must ensure the heap
-// is non-empty.
-func (h *eventHeap) pop() item {
-	q := *h
-	top := q[0]
-	n := len(q) - 1
-	q[0] = q[n]
-	q[n] = item{} // release the event for GC
-	q = q[:n]
-	*h = q
-	// Sift down.
+// pop removes and returns the minimum entry. The caller must ensure the
+// heap is non-empty.
+func (h *eventHeap) pop() (heapKey, Event) {
+	keys := h.keys
+	topK := keys[0]
+	e := h.slab[topK.idx]
+	h.slab[topK.idx] = nil // release the event for GC
+	h.free = append(h.free, topK.idx)
+	n := len(keys) - 1
+	lastK := keys[n]
+	h.keys = keys[:n]
+	keys = keys[:n]
+	// Sift down: walk the root hole toward the leaves, pulling the smallest
+	// child up, until the former last key fits.
 	i := 0
 	for {
-		l := 2*i + 1
-		if l >= n {
+		c := heapArity*i + 1
+		if c >= n {
 			break
 		}
-		min := l
-		if r := l + 1; r < n && q.less(r, l) {
-			min = r
+		end := c + heapArity
+		if end > n {
+			end = n
 		}
-		if !q.less(min, i) {
+		min, mv := c, keys[c]
+		for k := c + 1; k < end; k++ {
+			if before(keys[k], mv) {
+				min, mv = k, keys[k]
+			}
+		}
+		if before(lastK, mv) {
 			break
 		}
-		q[i], q[min] = q[min], q[i]
+		keys[i] = mv
 		i = min
 	}
-	return top
+	if n > 0 {
+		keys[i] = lastK
+	}
+	return topK, e
+}
+
+// reset discards all entries, keeping the storage.
+func (h *eventHeap) reset() {
+	clear(h.slab) // release the dropped events for GC
+	h.keys = h.keys[:0]
+	h.slab = h.slab[:0]
+	h.free = h.free[:0]
+}
+
+// The pending queue is split in two bands: events scheduled less than
+// ringHorizon ahead of the clock go to a bucketed time ring with O(1) pops,
+// everything further out to the 4-ary far heap. The split is a pure
+// performance device — correctness never depends on it, because every pop
+// compares both band minima under the same (at, seq) order. It exploits the
+// workload's shape: the queue is dominated by message deliveries, which
+// always enter within MaxProcessingDelay (sub-second) of now, while the
+// sparse slow timers (MRAI flushes, dampening reuse: tens of virtual
+// seconds) stay out of the hot band entirely.
+
+// Ring geometry: ringBuckets buckets of 2^ringShift virtual nanoseconds
+// (≈1.05 ms), spanning ≈134 ms. ringHorizon is one bucket short of the full
+// span so that the absolute bucket numbers of coexisting entries — all in
+// [now, now+ringHorizon] — cover at most ringBuckets distinct values and a
+// masked slot never holds two epochs at once.
+const (
+	ringShift   = 20
+	ringBuckets = 128
+	ringMask    = ringBuckets - 1
+	ringHorizon = Time((ringBuckets - 1) << ringShift)
+)
+
+// ringBucket is one time slice of the ring: entries[head:] is the bucket's
+// live content, sorted by (at, seq). head advances on pop so the front is
+// removed without memmove; the bucket rewinds when it empties.
+type ringBucket struct {
+	entries []heapKey
+	head    int
+}
+
+// timeRing is a calendar queue over the next ringHorizon of virtual time.
+// push appends into the target bucket with a short insertion sort (buckets
+// hold a handful of entries), pop takes the front of the first non-empty
+// bucket at or after the clock's bucket — no sifting at all, which is what
+// makes it beat the heap for the delivery-dominated near band. A two-word
+// occupancy bitmap makes skipping empty buckets O(1). Events live in the
+// same stable-slab arrangement as eventHeap, keyed by heapKey.idx.
+type timeRing struct {
+	buckets [ringBuckets]ringBucket
+	occ     [ringBuckets / 64]uint64 // occupancy bitmap over masked indices
+	cur     int64                    // absolute bucket number (at>>ringShift), ≤ every entry's
+	count   int
+	slab    []Event
+	free    []int32
+}
+
+func (r *timeRing) len() int { return r.count }
+
+// push inserts an entry; at must be within ringHorizon of the clock (the
+// Scheduler routes by that rule).
+func (r *timeRing) push(at Time, seq uint32, e Event) {
+	var idx int32
+	if n := len(r.free); n > 0 {
+		idx = r.free[n-1]
+		r.free = r.free[:n-1]
+		r.slab[idx] = e
+	} else {
+		idx = int32(len(r.slab))
+		r.slab = append(r.slab, e)
+	}
+	k := heapKey{at: at, seq: seq, idx: idx}
+	ab := int64(at) >> ringShift
+	if r.count == 0 || ab < r.cur {
+		r.cur = ab
+	}
+	m := int(ab) & ringMask
+	b := &r.buckets[m]
+	b.entries = append(b.entries, k)
+	// Insertion sort within the bucket's live region; buckets are tiny.
+	for i := len(b.entries) - 1; i > b.head && before(k, b.entries[i-1]); i-- {
+		b.entries[i] = b.entries[i-1]
+		b.entries[i-1] = k
+	}
+	r.occ[m>>6] |= 1 << (m & 63)
+	r.count++
+}
+
+// advance moves cur forward to the first non-empty bucket. The caller must
+// ensure the ring is non-empty. All entries sit within ringBuckets of cur,
+// so a single wrapping scan of the occupancy bitmap finds the right
+// absolute bucket.
+func (r *timeRing) advance() {
+	m := int(r.cur) & ringMask
+	if x := r.occ[m>>6] >> (m & 63); x != 0 {
+		r.cur += int64(bits.TrailingZeros64(x))
+		return
+	}
+	for i := 1; i <= len(r.occ); i++ {
+		w := (m>>6 + i) % len(r.occ)
+		if r.occ[w] != 0 {
+			next := w<<6 + bits.TrailingZeros64(r.occ[w])
+			r.cur += int64((next - m + ringBuckets) & ringMask)
+			return
+		}
+	}
+	panic("des: timeRing.advance on empty ring")
+}
+
+// min returns the earliest entry's key without removing it. The caller must
+// ensure the ring is non-empty.
+func (r *timeRing) min() heapKey {
+	b := &r.buckets[int(r.cur)&ringMask]
+	if b.head >= len(b.entries) {
+		r.advance()
+		b = &r.buckets[int(r.cur)&ringMask]
+	}
+	return b.entries[b.head]
+}
+
+// pop removes and returns the earliest entry. The caller must ensure the
+// ring is non-empty.
+func (r *timeRing) pop() (heapKey, Event) {
+	k := r.min() // positions cur on the first non-empty bucket
+	m := int(r.cur) & ringMask
+	b := &r.buckets[m]
+	b.head++
+	if b.head == len(b.entries) {
+		b.entries = b.entries[:0]
+		b.head = 0
+		r.occ[m>>6] &^= 1 << (m & 63)
+	}
+	r.count--
+	e := r.slab[k.idx]
+	r.slab[k.idx] = nil // release the event for GC
+	r.free = append(r.free, k.idx)
+	return k, e
+}
+
+// reset discards all entries, keeping the storage.
+func (r *timeRing) reset() {
+	for i := range r.buckets {
+		r.buckets[i].entries = r.buckets[i].entries[:0]
+		r.buckets[i].head = 0
+	}
+	for i := range r.occ {
+		r.occ[i] = 0
+	}
+	r.cur = 0
+	r.count = 0
+	clear(r.slab) // release the dropped events for GC
+	r.slab = r.slab[:0]
+	r.free = r.free[:0]
 }
 
 // Scheduler owns the virtual clock and the pending-event queue.
 // The zero value is a ready-to-use scheduler at time 0.
 type Scheduler struct {
 	now     Time
-	queue   eventHeap
+	near    timeRing  // events scheduled < ringHorizon from their push time
+	far     eventHeap // events scheduled >= ringHorizon ahead
 	nextSeq uint64
 	fired   uint64
 	stopped bool
+}
+
+// peek returns the key of the earliest pending event. The caller must
+// ensure at least one event is pending.
+func (s *Scheduler) peek() heapKey {
+	if s.near.len() == 0 {
+		return s.far.keys[0]
+	}
+	if nk := s.near.min(); s.far.len() == 0 || before(nk, s.far.keys[0]) {
+		return nk
+	}
+	return s.far.keys[0]
+}
+
+// popNext removes and returns the earliest pending event. The caller must
+// ensure at least one event is pending.
+func (s *Scheduler) popNext() (heapKey, Event) {
+	if s.far.len() == 0 || (s.near.len() > 0 && before(s.near.min(), s.far.keys[0])) {
+		return s.near.pop()
+	}
+	return s.far.pop()
 }
 
 // Now returns the current virtual time.
 func (s *Scheduler) Now() Time { return s.now }
 
 // Len returns the number of pending events.
-func (s *Scheduler) Len() int { return len(s.queue) }
+func (s *Scheduler) Len() int { return s.near.len() + s.far.len() }
 
 // Fired returns the number of events executed so far.
 func (s *Scheduler) Fired() uint64 { return s.fired }
@@ -132,11 +355,52 @@ func (s *Scheduler) Fired() uint64 { return s.fired }
 // At schedules e to fire at the absolute virtual time at. Scheduling in the
 // past (before Now) panics: it would silently reorder causality.
 func (s *Scheduler) At(at Time, e Event) {
+	s.AtTicket(s.Reserve(at), e)
+}
+
+// Ticket is a reserved queue position: the (time, sequence) key an event
+// scheduled at reservation time would have received. It lets a caller that
+// serializes its own work — a FIFO receiver draining one message at a time —
+// keep only its next event in the scheduler queue while later ones wait
+// outside it, without perturbing the global fire order: the deferred event
+// fires exactly when and in the order it would have had it been scheduled
+// eagerly.
+type Ticket struct {
+	at  Time
+	seq uint64
+}
+
+// Time returns the virtual time the ticket is reserved for.
+func (tk Ticket) Time() Time { return tk.at }
+
+// Reserve allocates the queue position an event scheduled now for time at
+// would get, without inserting anything. Redeem it with AtTicket.
+// Reserving in the past panics, like At.
+func (s *Scheduler) Reserve(at Time) Ticket {
 	if at < s.now {
 		panic("des: event scheduled in the past")
 	}
-	s.queue.push(item{at: at, seq: s.nextSeq, event: e})
+	if s.nextSeq >= 1<<32 {
+		// heapKey narrows seq to uint32; wrapping would corrupt FIFO order
+		// silently. One epoch never comes close (Reset rewinds the counter).
+		panic("des: sequence counter exhausted; Reset the scheduler")
+	}
+	tk := Ticket{at: at, seq: s.nextSeq}
 	s.nextSeq++
+	return tk
+}
+
+// AtTicket schedules e at the reserved position tk. The reservation's time
+// must not have passed yet.
+func (s *Scheduler) AtTicket(tk Ticket, e Event) {
+	if tk.at < s.now {
+		panic("des: ticketed event scheduled in the past")
+	}
+	if tk.at-s.now >= ringHorizon {
+		s.far.push(tk.at, uint32(tk.seq), e)
+	} else {
+		s.near.push(tk.at, uint32(tk.seq), e)
+	}
 }
 
 // After schedules e to fire d nanoseconds from now.
@@ -162,14 +426,13 @@ func (s *Scheduler) Run() uint64 {
 func (s *Scheduler) RunUntil(deadline Time) uint64 {
 	s.stopped = false
 	var fired uint64
-	for len(s.queue) > 0 && !s.stopped {
-		next := s.queue[0]
-		if deadline >= 0 && next.at > deadline {
+	for s.Len() > 0 && !s.stopped {
+		if deadline >= 0 && s.peek().at > deadline {
 			break
 		}
-		s.queue.pop()
-		s.now = next.at
-		next.event.Fire(s)
+		k, e := s.popNext()
+		s.now = k.at
+		e.Fire(s)
 		fired++
 		s.fired++
 	}
@@ -181,12 +444,12 @@ func (s *Scheduler) RunUntil(deadline Time) uint64 {
 
 // Step fires exactly one event if any is pending and reports whether it did.
 func (s *Scheduler) Step() bool {
-	if len(s.queue) == 0 {
+	if s.Len() == 0 {
 		return false
 	}
-	next := s.queue.pop()
-	s.now = next.at
-	next.event.Fire(s)
+	k, e := s.popNext()
+	s.now = k.at
+	e.Fire(s)
 	s.fired++
 	return true
 }
@@ -194,8 +457,8 @@ func (s *Scheduler) Step() bool {
 // Reset discards all pending events and rewinds the clock to zero, reusing
 // the queue's storage. Event counters are preserved unless resetCounters.
 func (s *Scheduler) Reset(resetCounters bool) {
-	clear(s.queue) // release the dropped events for GC; keep the storage
-	s.queue = s.queue[:0]
+	s.near.reset()
+	s.far.reset()
 	s.now = 0
 	s.nextSeq = 0
 	s.stopped = false
@@ -207,8 +470,8 @@ func (s *Scheduler) Reset(resetCounters bool) {
 // PeekTime returns the firing time of the earliest pending event.
 // ok is false when the queue is empty.
 func (s *Scheduler) PeekTime() (at Time, ok bool) {
-	if len(s.queue) == 0 {
+	if s.Len() == 0 {
 		return 0, false
 	}
-	return s.queue[0].at, true
+	return s.peek().at, true
 }

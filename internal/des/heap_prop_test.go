@@ -3,6 +3,7 @@ package des
 import (
 	"container/heap"
 	"math/rand"
+	"sort"
 	"testing"
 )
 
@@ -10,7 +11,7 @@ import (
 // hand-rolled queue is checked against.
 type refItem struct {
 	at  Time
-	seq uint64
+	seq uint32
 	id  int
 }
 
@@ -48,17 +49,17 @@ func TestHeapMatchesContainerHeap(t *testing.T) {
 		r := rand.New(rand.NewSource(int64(trial) + 1))
 		var got eventHeap
 		var want refHeap
-		var seq uint64
+		var seq uint32
 		id := 0
 		ops := 400 + r.Intn(400)
 		for op := 0; op < ops; op++ {
 			switch {
-			case len(got) > 0 && r.Intn(3) == 0:
-				g := got.pop()
+			case got.len() > 0 && r.Intn(3) == 0:
+				g, e := got.pop()
 				w := heap.Pop(&want).(refItem)
-				if g.at != w.at || g.seq != w.seq || int(g.event.(idEvent)) != w.id {
+				if g.at != w.at || g.seq != w.seq || int(e.(idEvent)) != w.id {
 					t.Fatalf("trial %d op %d: pop mismatch: got (at=%d seq=%d id=%d), want (at=%d seq=%d id=%d)",
-						trial, op, g.at, g.seq, int(g.event.(idEvent)), w.at, w.seq, w.id)
+						trial, op, g.at, g.seq, int(e.(idEvent)), w.at, w.seq, w.id)
 				}
 			default:
 				// Bias toward a few timestamps so same-instant bursts (the
@@ -67,19 +68,19 @@ func TestHeapMatchesContainerHeap(t *testing.T) {
 				if r.Intn(4) == 0 {
 					at = Time(r.Int63n(int64(1000 * Second)))
 				}
-				got.push(item{at: at, seq: seq, event: idEvent(id)})
+				got.push(at, seq, idEvent(id))
 				heap.Push(&want, refItem{at: at, seq: seq, id: id})
 				seq++
 				id++
 			}
 		}
 		// Drain both; the remaining order must agree exactly.
-		var prev item
+		var prev heapKey
 		first := true
-		for len(got) > 0 {
-			g := got.pop()
+		for got.len() > 0 {
+			g, e := got.pop()
 			w := heap.Pop(&want).(refItem)
-			if g.at != w.at || g.seq != w.seq || int(g.event.(idEvent)) != w.id {
+			if g.at != w.at || g.seq != w.seq || int(e.(idEvent)) != w.id {
 				t.Fatalf("trial %d drain: pop mismatch: got (at=%d seq=%d), want (at=%d seq=%d)",
 					trial, g.at, g.seq, w.at, w.seq)
 			}
@@ -114,6 +115,80 @@ func TestHeapFIFOWithinBurst(t *testing.T) {
 	for i, v := range fired {
 		if v != i {
 			t.Fatalf("burst fired out of order at %d: got %d", i, v)
+		}
+	}
+}
+
+// TestSchedulerSplitQueueOrdering drives the split ring+heap scheduler with
+// delays straddling ringHorizon — including events scheduled from inside
+// firing events, the way protocol timers behave — and asserts the global
+// fire order matches the (at, seq) sort exactly. The near/far split must be
+// invisible. Delays are biased toward the ring's sore spots: zero delays,
+// exact bucket-boundary multiples, both sides of ringHorizon, and in-ring
+// chains long enough to wrap the ring many times over.
+func TestSchedulerSplitQueueOrdering(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		r := rand.New(rand.NewSource(int64(trial) + 77))
+		var s Scheduler
+		type rec struct {
+			at  Time
+			seq int
+		}
+		var fired []rec
+		var want []rec
+		seq := 0
+		// schedule queues an event d from now and recursively schedules a
+		// few follow-ups when it fires, mixing short and long delays.
+		var schedule func(d Time, depth int)
+		schedule = func(d Time, depth int) {
+			at := s.Now() + d
+			id := seq
+			seq++
+			want = append(want, rec{at, id})
+			s.After(d, EventFunc(func(s *Scheduler) {
+				fired = append(fired, rec{s.Now(), id})
+				if depth > 0 {
+					for k := 0; k < 1+r.Intn(2); k++ {
+						var nd Time
+						switch r.Intn(6) {
+						case 0:
+							nd = 0
+						case 1:
+							nd = Time(r.Int63n(int64(ringHorizon)))
+						case 2:
+							nd = Time(int64(r.Intn(ringBuckets)) << ringShift)
+						case 3:
+							nd = ringHorizon - Time(r.Intn(3))
+						case 4:
+							nd = ringHorizon + Time(r.Intn(3))
+						default:
+							nd = Time(r.Int63n(int64(40 * Second)))
+						}
+						schedule(nd, depth-1)
+					}
+				}
+			}))
+		}
+		for i := 0; i < 30; i++ {
+			schedule(Time(r.Int63n(int64(3*ringHorizon))), 3)
+		}
+		s.Run()
+		if len(fired) != seq {
+			t.Fatalf("trial %d: fired %d of %d events", trial, len(fired), seq)
+		}
+		// The reference order is the (at, seq) sort of everything scheduled;
+		// seq here equals scheduling order because every At call increments
+		// the scheduler's own sequence in lockstep.
+		sort.Slice(want, func(i, j int) bool {
+			if want[i].at != want[j].at {
+				return want[i].at < want[j].at
+			}
+			return want[i].seq < want[j].seq
+		})
+		for i := range want {
+			if fired[i] != want[i] {
+				t.Fatalf("trial %d: fire order diverged at %d: got %+v, want %+v", trial, i, fired[i], want[i])
+			}
 		}
 	}
 }

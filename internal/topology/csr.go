@@ -1,0 +1,106 @@
+package topology
+
+// Adjacency is the flattened CSR (compressed sparse row) view of a
+// topology's neighbor lists. Row i spans [Offsets[i], Offsets[i+1]) in the
+// column arrays; within a row, slots follow the canonical Neighbors order
+// (customers, then peers, then providers), so a CSR slot index is
+// interchangeable with the slot index every simulation engine uses.
+//
+// The arrays are immutable once built and shared by every consumer of the
+// topology: simulation engines lay their per-neighbor state out parallel to
+// them and sub-slice rows instead of allocating per-node neighbor lists,
+// which keeps the hot transmit→decide→reconcile loop walking contiguous
+// memory.
+type Adjacency struct {
+	// Offsets has length N+1; node i's slots are Offsets[i]..Offsets[i+1].
+	Offsets []int32
+	// IDs[k] is the neighbor node ID at slot k.
+	IDs []NodeID
+	// Rels[k] is the relation of IDs[k] as seen from the row's node.
+	Rels []Relation
+	// Reverse[k] is the row node's slot index inside neighbor IDs[k]'s row,
+	// so a message can be attributed to its sending session without a
+	// lookup. -1 marks an asymmetric adjacency (invalid topology).
+	Reverse []int32
+}
+
+// Degree returns node id's total neighbor count.
+func (a *Adjacency) Degree(id NodeID) int {
+	return int(a.Offsets[id+1] - a.Offsets[id])
+}
+
+// Row returns node id's slot range [lo, hi) in the column arrays.
+func (a *Adjacency) Row(id NodeID) (lo, hi int32) {
+	return a.Offsets[id], a.Offsets[id+1]
+}
+
+// Symmetric reports whether every slot found its reverse slot, i.e. the
+// adjacency lists agree in both directions.
+func (a *Adjacency) Symmetric() bool {
+	for _, r := range a.Reverse {
+		if r < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// CSR returns the topology's flattened adjacency, building it on first use
+// and caching it; the result is shared and must not be mutated. Safe for
+// concurrent use: parallel experiment workers running separate networks
+// over one topology share a single copy.
+func (t *Topology) CSR() *Adjacency {
+	t.csrOnce.Do(func() { t.csr = buildCSR(t) })
+	return t.csr
+}
+
+// buildCSR flattens the per-node neighbor lists into one CSR block.
+func buildCSR(t *Topology) *Adjacency {
+	n := t.N()
+	a := &Adjacency{Offsets: make([]int32, n+1)}
+	total := 0
+	for i := range t.Nodes {
+		total += t.Nodes[i].Degree()
+		a.Offsets[i+1] = int32(total)
+	}
+	a.IDs = make([]NodeID, total)
+	a.Rels = make([]Relation, total)
+	a.Reverse = make([]int32, total)
+
+	// slotOf maps a directed edge (from, to) to the slot of `to` in
+	// `from`'s row, packed into one uint64 key.
+	slotOf := make(map[uint64]int32, total)
+	edge := func(from, to NodeID) uint64 {
+		return uint64(uint32(from))<<32 | uint64(uint32(to))
+	}
+	for i := range t.Nodes {
+		nd := &t.Nodes[i]
+		k := a.Offsets[i]
+		put := func(id NodeID, rel Relation) {
+			a.IDs[k] = id
+			a.Rels[k] = rel
+			slotOf[edge(nd.ID, id)] = k - a.Offsets[i]
+			k++
+		}
+		for _, v := range nd.Customers {
+			put(v, Customer)
+		}
+		for _, v := range nd.Peers {
+			put(v, Peer)
+		}
+		for _, v := range nd.Providers {
+			put(v, Provider)
+		}
+	}
+	for i := range t.Nodes {
+		lo, hi := a.Offsets[i], a.Offsets[i+1]
+		for k := lo; k < hi; k++ {
+			if s, ok := slotOf[edge(a.IDs[k], NodeID(i))]; ok {
+				a.Reverse[k] = s
+			} else {
+				a.Reverse[k] = -1
+			}
+		}
+	}
+	return a
+}

@@ -13,6 +13,7 @@ package topology
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"bgpchurn/internal/graph"
 )
@@ -155,6 +156,13 @@ type Topology struct {
 	Nodes      []Node
 	NumRegions int
 	Seed       uint64 // generator seed, kept for provenance
+
+	// csrOnce/csr lazily cache the flattened CSR adjacency (see CSR);
+	// unexported so struct-literal construction and serialization are
+	// unaffected. The sync.Once makes a Topology non-copyable, which it
+	// already was by contract (immutable, shared by pointer).
+	csrOnce sync.Once
+	csr     *Adjacency
 }
 
 // N returns the number of nodes.
