@@ -5,7 +5,7 @@ GO ?= go
 # Label under which `make bench-kernel` records its run in BENCH_kernel.json.
 BENCH_LABEL ?= current
 
-.PHONY: test race bench bench-kernel bench-e2e build
+.PHONY: test race bench bench-kernel bench-e2e obs-guard build
 
 build:
 	$(GO) build ./...
@@ -32,3 +32,10 @@ bench-kernel:
 bench-e2e:
 	$(GO) test -run '^$$' -bench 'BenchmarkRunCEvents' -benchmem -benchtime 5x . \
 		| $(GO) run ./cmd/benchjson -label "$(BENCH_LABEL)" -out BENCH_e2e.json
+
+# obs-guard mirrors the CI job of the same name: instrumentation must not
+# allocate beyond the warm baseline plus a fixed per-run setup budget.
+obs-guard:
+	$(GO) vet ./internal/obs/ ./cmd/benchguard/
+	$(GO) test -run '^$$' -bench 'BenchmarkRunCEvents/(warm|obs)' -benchmem -benchtime 3x . \
+		| $(GO) run ./cmd/benchguard -base BenchmarkRunCEvents/warm -guard BenchmarkRunCEvents/obs

@@ -56,4 +56,13 @@ func BenchmarkRunCEvents(b *testing.B) {
 		warm.WarmStart = true
 		benchmarkRunCEvents(b, warm)
 	})
+	// obs: warm run with a full metrics hub attached. The CI obs-guard job
+	// compares its allocs/op against the warm baseline — enabled probes must
+	// not allocate on the steady-state path.
+	b.Run("obs", func(b *testing.B) {
+		instrumented := cfg
+		instrumented.WarmStart = true
+		instrumented.Obs = NewObsMetrics()
+		benchmarkRunCEvents(b, instrumented)
+	})
 }

@@ -35,6 +35,7 @@ import (
 	"bgpchurn/internal/compact"
 	"bgpchurn/internal/core"
 	"bgpchurn/internal/inference"
+	"bgpchurn/internal/obs"
 	"bgpchurn/internal/scenario"
 	"bgpchurn/internal/stats"
 	"bgpchurn/internal/topology"
@@ -366,3 +367,65 @@ func DefaultMonitorTrace(seed uint64) MonitorTraceParams { return trace.Default(
 
 // GenerateMonitorTrace synthesizes a daily update-count series.
 func GenerateMonitorTrace(p MonitorTraceParams) ([]float64, error) { return trace.Generate(p) }
+
+// --- Observability layer --------------------------------------------------
+
+// ObsMetrics is the instrumentation hub: sharded atomic counters, gauges
+// and histograms covering the DES kernel, the BGP engine, the experiment
+// scheduler and topology generation (see internal/obs). Attach one hub per
+// run via Experiment.Obs, Scheduler.SetObs and Network.SetObs; probes are
+// allocation-free and never perturb simulation determinism.
+type ObsMetrics = obs.Metrics
+
+// ObsServer serves a hub's metrics over HTTP (/metrics Prometheus text,
+// /debug/vars expvar, /debug/pprof/ profiles).
+type ObsServer = obs.Server
+
+// UpdateTrace is a bounded ring buffer of processed updates, exportable as
+// JSONL. Attach via Experiment.Trace.
+type UpdateTrace = obs.UpdateTrace
+
+// TraceRecord is one UpdateTrace entry: virtual time, sender, receiver,
+// prefix and update kind.
+type TraceRecord = obs.TraceRecord
+
+// Manifest is the per-run provenance record (config, seeds, toolchain,
+// per-cell timings, cache traffic, final metric snapshot).
+type Manifest = obs.Manifest
+
+// CellTiming is one Manifest entry per grid-cell progress event.
+type CellTiming = obs.CellTiming
+
+// ManifestCacheCounts mirrors CacheStats inside a Manifest.
+type ManifestCacheCounts = obs.CacheCounts
+
+// NewObsMetrics builds a hub with every simulator metric registered.
+func NewObsMetrics() *ObsMetrics { return obs.New() }
+
+// ServeObs starts the metrics exposition server on addr (":0" picks a free
+// port).
+func ServeObs(addr string, m *ObsMetrics) (*ObsServer, error) { return obs.Serve(addr, m) }
+
+// NewUpdateTrace creates an update-trace ring holding up to capacity
+// records (<= 0 selects the default, 65536).
+func NewUpdateTrace(capacity int) *UpdateTrace { return obs.NewUpdateTrace(capacity) }
+
+// ReadManifest loads and validates a manifest written by Manifest.WriteFile.
+func ReadManifest(path string) (*Manifest, error) { return obs.ReadManifest(path) }
+
+// ReadTraceJSONL parses a stream written by UpdateTrace.WriteJSONL.
+func ReadTraceJSONL(r io.Reader) ([]TraceRecord, error) { return obs.ReadTraceJSONL(r) }
+
+// InstrumentTopologyGeneration routes topology-generation metrics into the
+// hub (process-wide; pass nil to detach).
+func InstrumentTopologyGeneration(m *ObsMetrics) {
+	if m == nil {
+		topology.SetObsProbes(nil)
+		return
+	}
+	topology.SetObsProbes(m.NewTopoProbes())
+}
+
+// GitRevision returns the VCS revision embedded in the binary ("unknown"
+// for unstamped builds).
+func GitRevision() string { return obs.GitRevision() }

@@ -1,0 +1,114 @@
+// Command benchguard compares two benchmarks from one `go test -bench` run
+// and fails when the guarded benchmark regresses past a tolerance, so CI can
+// enforce invariants like "instrumentation adds no allocations". It reads
+// the benchmark output on stdin (pass -benchmem for allocation metrics):
+//
+//	go test -run '^$' -bench 'BenchmarkRunCEvents/(warm|obs)' -benchmem -benchtime 3x . \
+//	    | go run ./cmd/benchguard -base BenchmarkRunCEvents/warm -guard BenchmarkRunCEvents/obs
+//
+// The guard passes when
+//
+//	guard(metric) <= base(metric) * (1 + tolerance) + slack
+//
+// With the defaults (-metric allocs/op, -tolerance 0, -slack 16) this allows
+// the obs variant a fixed setup budget (probe-block attachment per run) but
+// no per-event allocations: any probe that allocates on the steady-state
+// path multiplies with the event count and blows far past the slack.
+// Exit status: 0 pass, 1 regression, 2 usage or parse error.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	var (
+		base      = flag.String("base", "", "baseline benchmark name (required; GOMAXPROCS suffix ignored)")
+		guard     = flag.String("guard", "", "guarded benchmark name (required)")
+		metric    = flag.String("metric", "allocs/op", "unit to compare, as printed by go test (e.g. allocs/op, B/op, ns/op)")
+		tolerance = flag.Float64("tolerance", 0, "allowed relative overhead (0.02 = 2%)")
+		slack     = flag.Float64("slack", 16, "allowed absolute overhead in metric units")
+	)
+	flag.Parse()
+	if *base == "" || *guard == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -base and -guard are required")
+		os.Exit(2)
+	}
+
+	results := map[string]map[string]float64{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the run through for the log
+		name, metrics, ok := parseLine(line)
+		if ok {
+			results[name] = metrics
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+
+	bm, okB := results[*base]
+	gm, okG := results[*guard]
+	if !okB || !okG {
+		fatal(fmt.Errorf("missing benchmark on stdin: base %q found=%v, guard %q found=%v", *base, okB, *guard, okG))
+	}
+	bv, okB := bm[*metric]
+	gv, okG := gm[*metric]
+	if !okB || !okG {
+		fatal(fmt.Errorf("metric %q missing: base has it=%v, guard has it=%v (did you pass -benchmem?)", *metric, okB, okG))
+	}
+
+	limit := bv*(1+*tolerance) + *slack
+	if gv > limit {
+		fmt.Fprintf(os.Stderr, "benchguard: FAIL %s %s = %g exceeds %g (base %g * %g + slack %g)\n",
+			*guard, *metric, gv, limit, bv, 1+*tolerance, *slack)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchguard: ok %s %s = %g within %g (base %g)\n", *guard, *metric, gv, limit, bv)
+}
+
+// parseLine extracts the benchmark name (GOMAXPROCS suffix stripped) and its
+// "value unit" pairs from one result line.
+func parseLine(line string) (string, map[string]float64, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return "", nil, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", nil, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+		return "", nil, false
+	}
+	metrics := map[string]float64{}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		metrics[fields[i+1]] = v
+	}
+	if len(metrics) == 0 {
+		return "", nil, false
+	}
+	return name, metrics, true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(2)
+}

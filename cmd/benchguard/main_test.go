@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	name, m, ok := parseLine("BenchmarkRunCEvents/obs-8 \t 2\t  31562582 ns/op\t      4429 total-updates\t 3898864 B/op\t    7281 allocs/op")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if name != "BenchmarkRunCEvents/obs" {
+		t.Fatalf("name = %q, want GOMAXPROCS suffix stripped", name)
+	}
+	if m["allocs/op"] != 7281 || m["B/op"] != 3898864 || m["ns/op"] != 31562582 || m["total-updates"] != 4429 {
+		t.Fatalf("metrics = %v", m)
+	}
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \tbgpchurn\t0.2s",
+		"BenchmarkBroken",
+		"Benchmark  notanumber  1 ns/op",
+	} {
+		if _, _, ok := parseLine(line); ok {
+			t.Errorf("%q should not parse as a result line", line)
+		}
+	}
+}

@@ -43,15 +43,20 @@ import (
 
 func main() {
 	var (
-		figs     = flag.String("fig", "all", "comma-separated figure numbers (1,4,...,12) or 'all'")
-		fast     = flag.Bool("fast", false, "reduced sizes and origins (for a quick look)")
-		outDir   = flag.String("out", "", "directory for CSV output (created if missing)")
-		seed     = flag.Uint64("seed", 1, "master seed")
-		origins  = flag.Int("origins", 0, "override the number of C-event originators")
-		parallel = flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
-		warm     = flag.Bool("warmstart", false, "install the converged pre-event state directly instead of flooding it through the simulator (faster; statistically equivalent but not byte-identical to the default)")
-		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
-		memprof  = flag.String("memprofile", "", "write a heap profile to this file on exit (pprof format)")
+		figs      = flag.String("fig", "all", "comma-separated figure numbers (1,4,...,12) or 'all'")
+		fast      = flag.Bool("fast", false, "reduced sizes and origins (for a quick look)")
+		outDir    = flag.String("out", "", "directory for CSV output (created if missing)")
+		seed      = flag.Uint64("seed", 1, "master seed")
+		origins   = flag.Int("origins", 0, "override the number of C-event originators")
+		parallel  = flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
+		warm      = flag.Bool("warmstart", false, "install the converged pre-event state directly instead of flooding it through the simulator (faster; statistically equivalent but not byte-identical to the default)")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
+		memprof   = flag.String("memprofile", "", "write a heap profile to this file on exit (pprof format)")
+		obsAddr   = flag.String("obs", "", "serve live metrics on this address (e.g. :8080; :0 picks a free port): /metrics, /debug/vars, /debug/pprof/")
+		manifest  = flag.String("manifest", "results/manifest.json", "write the run manifest (config, seeds, timings, counters) to this file; empty disables")
+		logFormat = flag.String("log-format", "text", "cell progress log format: text or json")
+		tracePath = flag.String("trace", "", "write a JSONL trace of the most recent updates to this file (bounded ring)")
+		traceCap  = flag.Int("trace-cap", 0, "update-trace ring capacity in records (0 = 65536)")
 	)
 	flag.Parse()
 
@@ -89,11 +94,29 @@ func main() {
 		warm:     *warm,
 		sched:    bgpchurn.NewScheduler(*parallel),
 		stdout:   os.Stdout,
+		metrics:  bgpchurn.NewObsMetrics(),
 	}
-	logCell := report.CellLogger(os.Stdout)
+	r.sched.SetObs(r.metrics)
+	bgpchurn.InstrumentTopologyGeneration(r.metrics)
+	if *tracePath != "" {
+		r.trace = bgpchurn.NewUpdateTrace(*traceCap)
+	}
+	if *obsAddr != "" {
+		srv, err := bgpchurn.ServeObs(*obsAddr, r.metrics)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("obs: serving /metrics, /debug/vars, /debug/pprof/ on http://%s\n", srv.Addr())
+	}
+	logCell, err := report.NewCellLogger(os.Stdout, *logFormat)
+	if err != nil {
+		fatal(err)
+	}
 	r.sched.OnCell = func(cs bgpchurn.CellStatus) {
+		r.recordCell(cs)
 		logCell(report.CellEvent{
-			Scenario: cs.Scenario, N: cs.N, State: cs.State.String(),
+			Scenario: cs.Scenario, N: cs.N, Seed: cs.Seed, State: cs.State.String(),
 			Elapsed: cs.Elapsed, Err: cs.Err,
 		})
 	}
@@ -138,10 +161,12 @@ func main() {
 	if err := r.prefetch(wanted); err != nil {
 		fatal(err)
 	}
+	var ran []string
 	for _, f := range figures {
 		if !wanted[f.id] {
 			continue
 		}
+		ran = append(ran, f.id)
 		fmt.Printf("=== Figure %s: %s ===\n", f.id, f.des)
 		if err := f.fn(r); err != nil {
 			fatal(fmt.Errorf("figure %s: %w", f.id, err))
@@ -151,6 +176,34 @@ func main() {
 	st := r.sched.CacheStats()
 	fmt.Printf("done in %v (grid cells computed: %d, cache hits: %d)\n",
 		time.Since(start).Round(time.Second), st.Misses, st.Hits)
+
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath, r.trace); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: %s (%d records, %d overwritten)\n", *tracePath, r.trace.Len(), r.trace.Dropped())
+	}
+	if *manifest != "" {
+		cfgMap := map[string]string{}
+		flag.VisitAll(func(f *flag.Flag) { cfgMap[f.Name] = f.Value.String() })
+		if err := r.writeManifest(*manifest, cfgMap, ran, time.Since(start)); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("manifest: %s\n", *manifest)
+	}
+}
+
+// writeTrace exports the update-trace ring as JSONL.
+func writeTrace(path string, tr *bgpchurn.UpdateTrace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 type runner struct {
@@ -167,6 +220,59 @@ type runner struct {
 	// stdout receives tables and plots (os.Stdout in the binary; a buffer
 	// or io.Discard in tests).
 	stdout io.Writer
+	// metrics is the run's instrumentation hub, attached to the scheduler,
+	// every worker network, and topology generation.
+	metrics *bgpchurn.ObsMetrics
+	// trace, when non-nil, captures the most recent updates (-trace flag).
+	trace *bgpchurn.UpdateTrace
+	// cells accumulates manifest entries, one per OnCell progress event
+	// except "start". Appends happen inside the serialized OnCell callback.
+	cells []bgpchurn.CellTiming
+}
+
+// recordCell stores one scheduler progress event for the run manifest.
+func (r *runner) recordCell(cs bgpchurn.CellStatus) {
+	if cs.State == bgpchurn.CellStart {
+		return
+	}
+	ct := bgpchurn.CellTiming{
+		Scenario:  cs.Scenario,
+		N:         cs.N,
+		Seed:      cs.Seed,
+		State:     cs.State.String(),
+		ElapsedMS: float64(cs.Elapsed) / float64(time.Millisecond),
+	}
+	if cs.Err != nil {
+		ct.Err = cs.Err.Error()
+	}
+	r.cells = append(r.cells, ct)
+}
+
+// writeManifest assembles and writes the run manifest: provenance, the
+// effective configuration, per-cell timings, the scheduler's cache traffic
+// and the final metric snapshot.
+func (r *runner) writeManifest(path string, config map[string]string, figures []string, wall time.Duration) error {
+	st := r.sched.CacheStats()
+	mf := &bgpchurn.Manifest{
+		SchemaVersion: 1,
+		CreatedAt:     time.Now().UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		GitRevision:   bgpchurn.GitRevision(),
+		Command:       os.Args,
+		Config:        config,
+		Seed:          r.seed,
+		Figures:       figures,
+		Cells:         r.cells,
+		Cache:         bgpchurn.ManifestCacheCounts{Hits: st.Hits, Misses: st.Misses, Evictions: st.Evictions},
+		WallSeconds:   wall.Seconds(),
+	}
+	if r.cells == nil {
+		mf.Cells = []bgpchurn.CellTiming{}
+	}
+	if r.metrics != nil {
+		mf.Counters = r.metrics.Snapshot()
+	}
+	return mf.WriteFile(path)
 }
 
 // sweepVariant names one (scenario, protocol) sweep a figure depends on.
@@ -255,6 +361,8 @@ func (r *runner) experiment(wrate bool) bgpchurn.Experiment {
 	}
 	cfg.Parallelism = r.parallel
 	cfg.WarmStart = r.warm
+	cfg.Obs = r.metrics
+	cfg.Trace = r.trace
 	return cfg
 }
 

@@ -2,10 +2,12 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"bgpchurn"
 )
@@ -170,5 +172,81 @@ func TestFig4FastGoldenCSV(t *testing.T) {
 	}
 	if !bytes.Equal(got, want.Bytes()) {
 		t.Errorf("scheduler CSV differs from sequential sweep CSV:\nscheduler:\n%s\nsequential:\n%s", got, want.Bytes())
+	}
+}
+
+func TestRecordCellSkipsStartAndConvertsFields(t *testing.T) {
+	r := fastRunner(1)
+	r.recordCell(bgpchurn.CellStatus{Scenario: "Baseline", N: 1000, State: bgpchurn.CellStart})
+	if len(r.cells) != 0 {
+		t.Fatal("start events must not appear in the manifest")
+	}
+	r.recordCell(bgpchurn.CellStatus{
+		Scenario: "Baseline", N: 1000, Seed: 1001,
+		State: bgpchurn.CellDone, Elapsed: 1500 * time.Millisecond,
+	})
+	r.recordCell(bgpchurn.CellStatus{
+		Scenario: "Tree", N: 2000, Seed: 2001,
+		State: bgpchurn.CellFailed, Err: errors.New("boom"),
+	})
+	if len(r.cells) != 2 {
+		t.Fatalf("recorded %d cells, want 2", len(r.cells))
+	}
+	if c := r.cells[0]; c.Scenario != "Baseline" || c.N != 1000 || c.Seed != 1001 ||
+		c.State != "done" || c.ElapsedMS != 1500 || c.Err != "" {
+		t.Fatalf("done cell = %+v", c)
+	}
+	if c := r.cells[1]; c.State != "failed" || c.Err != "boom" {
+		t.Fatalf("failed cell = %+v", c)
+	}
+}
+
+// TestWriteManifestEndToEnd runs a real (fast, fig 4) instrumented sweep
+// and checks the written manifest against the scheduler's own accounting:
+// cache counts, per-cell entries, and the counter snapshot.
+func TestWriteManifestEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	r := fastRunner(1)
+	r.outDir = dir
+	r.metrics = bgpchurn.NewObsMetrics()
+	r.sched.SetObs(r.metrics)
+	r.sched.OnCell = r.recordCell
+	if err := r.fig4(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, "manifest.json")
+	cfgMap := map[string]string{"fast": "true", "seed": "1"}
+	if err := r.writeManifest(path, cfgMap, []string{"4"}, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	mf, err := bgpchurn.ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mf.SchemaVersion != 1 || mf.Seed != 1 || mf.Config["fast"] != "true" ||
+		len(mf.Figures) != 1 || mf.Figures[0] != "4" {
+		t.Fatalf("manifest header = %+v", mf)
+	}
+	st := r.sched.CacheStats()
+	if mf.Cache.Hits != st.Hits || mf.Cache.Misses != st.Misses || mf.Cache.Evictions != st.Evictions {
+		t.Fatalf("manifest cache %+v != scheduler stats %+v", mf.Cache, st)
+	}
+	if len(mf.Cells) != len(r.sizes()) {
+		t.Fatalf("manifest has %d cells, want one per sweep size (%d)", len(mf.Cells), len(r.sizes()))
+	}
+	for _, c := range mf.Cells {
+		if c.State != "done" || c.Scenario != bgpchurn.Baseline.Name || c.Seed == 0 {
+			t.Fatalf("unexpected cell entry: %+v", c)
+		}
+	}
+	if got := mf.Counters["bgpchurn_core_cells_computed_total"]; got != float64(st.Misses) {
+		t.Fatalf("cells_computed counter = %v, want %d", got, st.Misses)
+	}
+	if mf.Counters["bgpchurn_bgp_updates_processed_total"] <= 0 {
+		t.Fatal("no processed updates in manifest counter snapshot")
+	}
+	if mf.WallSeconds != 2 {
+		t.Fatalf("wall seconds = %v", mf.WallSeconds)
 	}
 }

@@ -100,6 +100,36 @@ func TestScheduledGridIdenticalToSequential(t *testing.T) {
 	}
 }
 
+func TestResultIdenticalWithObs(t *testing.T) {
+	// Instrumentation must be invisible to the simulation: probes never read
+	// the virtual clock, consume RNG, or reorder events, so a run with a
+	// metrics hub and update trace attached is byte-identical to a bare run.
+	topo, err := Baseline.Generate(400, 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for variant, cfg := range protocolVariants(37, 5) {
+		bare, err := RunCEvents(topo, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		instrumented := cfg
+		instrumented.Obs = NewObsMetrics()
+		instrumented.Trace = NewUpdateTrace(1024)
+		got, err := RunCEvents(topo, instrumented)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fingerprint(got) != fingerprint(bare) {
+			t.Fatalf("%s: attaching obs changed the result:\nbare %s\nobs  %s",
+				variant, fingerprint(bare), fingerprint(got))
+		}
+		if instrumented.Obs.Snapshot()["bgpchurn_bgp_updates_processed_total"] <= 0 {
+			t.Fatalf("%s: instrumented run recorded no processed updates", variant)
+		}
+	}
+}
+
 func TestRunSweepRepeatable(t *testing.T) {
 	// Two independent schedulers over the same seeds must agree exactly —
 	// the cache key covers every input that determines a cell's result.

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"bgpchurn/internal/des"
+	"bgpchurn/internal/obs"
 	"bgpchurn/internal/topology"
 )
 
@@ -197,5 +198,29 @@ func TestSteadyStateZeroAlloc(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("unchanged-best applyDecision allocates %.1f objects, want 0", allocs)
+	}
+}
+
+// TestSteadyStateZeroAllocObs is TestSteadyStateZeroAlloc with
+// instrumentation attached: enabled probes must preserve the kernel's
+// zero-allocation steady state, not just disabled ones.
+func TestSteadyStateZeroAllocObs(t *testing.T) {
+	net, _ := steadyNet()
+	net.SetObs(obs.New())
+	m, slot, path := coreLink(net)
+	for i := 0; i < 16; i++ {
+		net.transmit(m, slot, benchPrefix, Announce, path)
+		net.sched.Run()
+	}
+	before := net.probes.AnnouncementsSent.Load()
+	allocs := testing.AllocsPerRun(200, func() {
+		net.transmit(m, slot, benchPrefix, Announce, path)
+		net.sched.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state transmit/fire with obs enabled allocates %.1f objects per update, want 0", allocs)
+	}
+	if net.probes.AnnouncementsSent.Load() <= before {
+		t.Fatal("probes attached but announcement counter did not advance")
 	}
 }

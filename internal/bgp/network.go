@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"bgpchurn/internal/des"
+	"bgpchurn/internal/obs"
 	"bgpchurn/internal/rng"
 	"bgpchurn/internal/topology"
 )
@@ -50,6 +51,9 @@ type Network struct {
 	// updateHook, when set, observes every processed update (see
 	// SetUpdateHook).
 	updateHook func(UpdateRecord)
+	// probes is the protocol engine's observability block; nil when
+	// disabled (see SetObs). Probe sites are single nil checks then.
+	probes *obs.BGPProbes
 
 	// procFree, flushFree and prefixFlushFree recycle the dominant event
 	// kinds: an event returns its receiver to the free list at the end of
@@ -113,6 +117,25 @@ func MustNew(topo *topology.Topology, cfg Config) *Network {
 	return net
 }
 
+// SetObs attaches the metrics hub to this network: the protocol engine,
+// its embedded event scheduler and the path arena all get probe blocks on
+// fresh shards. Pass nil to detach. Call before the first event is
+// scheduled — the kernel's occupancy gauges assume an empty queue at
+// attach time. Probes never read the virtual clock, consume randomness or
+// change event order, so instrumented runs are byte-identical to bare
+// ones.
+func (net *Network) SetObs(m *obs.Metrics) {
+	if m == nil {
+		net.probes = nil
+		net.sched.SetProbes(nil)
+		net.paths.probe = nil
+		return
+	}
+	net.probes = m.NewBGPProbes()
+	net.sched.SetProbes(m.NewDESProbes())
+	net.paths.probe = net.probes.ArenaBytes
+}
+
 // Topology returns the underlying topology.
 func (net *Network) Topology() *topology.Topology { return net.topo }
 
@@ -150,8 +173,8 @@ func (net *Network) Reset(seed uint64) {
 	net.sched.Reset(true)
 	net.totalUpdates = 0
 	net.rateBucket, net.rateCount, net.ratePeak = 0, 0, 0
-	// Drop (never rewind) the path slab: see pathArena.
-	net.paths = pathArena{}
+	// Drop (never rewind) the path slab, keeping the probe: see pathArena.
+	net.paths = pathArena{probe: net.paths.probe}
 	master := rng.New(seed)
 	salt := master.Uint64() // same draw order as New
 	for i := range net.nodes {
@@ -276,7 +299,13 @@ func (net *Network) newProcEvent() *procEvent {
 		e := net.procFree[n-1]
 		net.procFree[n-1] = nil
 		net.procFree = net.procFree[:n-1]
+		if p := net.probes; p != nil {
+			p.PoolHits.Inc()
+		}
 		return e
+	}
+	if p := net.probes; p != nil {
+		p.PoolMisses.Inc()
 	}
 	return &procEvent{net: net}
 }
@@ -288,6 +317,9 @@ func (e *procEvent) Fire(*des.Scheduler) {
 	nd.recvBySlot[e.fromSlot]++
 	net.totalUpdates++
 	net.tickRate()
+	if p := net.probes; p != nil {
+		p.UpdatesProcessed.Inc()
+	}
 	if net.updateHook != nil {
 		net.updateHook(UpdateRecord{
 			Time:   net.sched.Now(),
@@ -362,7 +394,13 @@ func (net *Network) newFlushEvent() *flushEvent {
 		e := net.flushFree[n-1]
 		net.flushFree[n-1] = nil
 		net.flushFree = net.flushFree[:n-1]
+		if p := net.probes; p != nil {
+			p.PoolHits.Inc()
+		}
 		return e
+	}
+	if p := net.probes; p != nil {
+		p.PoolMisses.Inc()
 	}
 	return &flushEvent{net: net}
 }
@@ -376,6 +414,9 @@ func (e *flushEvent) Fire(*des.Scheduler) {
 	slot := int(e.slot)
 	net.flushFree = append(net.flushFree, e)
 	q.scheduled = false
+	if p := net.probes; p != nil {
+		p.MRAIFlushes.Inc()
+	}
 	if q.down || q.pending.Len() == 0 {
 		return
 	}
@@ -412,7 +453,13 @@ func (net *Network) newPrefixFlushEvent() *prefixFlushEvent {
 		e := net.prefixFlushFree[n-1]
 		net.prefixFlushFree[n-1] = nil
 		net.prefixFlushFree = net.prefixFlushFree[:n-1]
+		if p := net.probes; p != nil {
+			p.PoolHits.Inc()
+		}
 		return e
+	}
+	if p := net.probes; p != nil {
+		p.PoolMisses.Inc()
 	}
 	return &prefixFlushEvent{net: net}
 }
@@ -425,6 +472,9 @@ func (e *prefixFlushEvent) Fire(*des.Scheduler) {
 	slot, f := int(e.slot), e.prefix
 	net.prefixFlushFree = append(net.prefixFlushFree, e)
 	q.prefixScheduled.Delete(f)
+	if p := net.probes; p != nil {
+		p.PrefixMRAIFlushes.Inc()
+	}
 	if q.down {
 		return
 	}
@@ -581,6 +631,13 @@ func (net *Network) setDesired(nd *node, j int, f Prefix, want Path) {
 // same fire order, a fraction of the queued events.
 func (net *Network) transmit(nd *node, j int, f Prefix, kind UpdateKind, path Path) {
 	nd.sentUpdates++
+	if p := net.probes; p != nil {
+		if kind == Withdraw {
+			p.WithdrawalsSent.Inc()
+		} else {
+			p.AnnouncementsSent.Inc()
+		}
+	}
 	to := &net.nodes[nd.nbrIDs[j]]
 	start := to.busyUntil
 	if now := net.sched.Now(); start < now {
@@ -591,6 +648,9 @@ func (net *Network) transmit(nd *node, j int, f Prefix, kind UpdateKind, path Pa
 	tk := net.sched.Reserve(done)
 	if to.delivering {
 		to.inbox = append(to.inbox, inMsg{tk: tk, fromSlot: nd.reverse[j], kind: kind, prefix: f, path: path})
+		if p := net.probes; p != nil {
+			p.InboxDeferrals.Inc()
+		}
 		return
 	}
 	to.delivering = true

@@ -3,7 +3,9 @@ package bgp
 import (
 	"fmt"
 	"strings"
+	"unsafe"
 
+	"bgpchurn/internal/obs"
 	"bgpchurn/internal/topology"
 )
 
@@ -68,7 +70,13 @@ func (p Path) Clone() Path {
 type pathArena struct {
 	buf []topology.NodeID
 	off int
+	// probe, when non-nil, accumulates bytes handed out (not slab bytes
+	// reserved) into bgpchurn_bgp_path_arena_bytes_total.
+	probe *obs.Cell
 }
+
+// nodeIDBytes is the arena's allocation unit for byte accounting.
+const nodeIDBytes = uint64(unsafe.Sizeof(topology.NodeID(0)))
 
 // pathArenaSlab is the slab size in NodeIDs (32 KiB): large enough that a
 // full C-event at paper scale stays within a handful of slabs, small enough
@@ -90,6 +98,9 @@ func (a *pathArena) prepend(id topology.NodeID, p Path) Path {
 	a.off += n
 	c[0] = id
 	copy(c[1:], p)
+	if a.probe != nil {
+		a.probe.Add(uint64(n) * nodeIDBytes)
+	}
 	return Path(c)
 }
 

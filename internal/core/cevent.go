@@ -13,6 +13,7 @@ import (
 
 	"bgpchurn/internal/bgp"
 	"bgpchurn/internal/des"
+	"bgpchurn/internal/obs"
 	"bgpchurn/internal/rng"
 	"bgpchurn/internal/stats"
 	"bgpchurn/internal/topology"
@@ -70,6 +71,15 @@ type Config struct {
 	// reproducibility of existing figures. Incompatible with flap dampening,
 	// whose pre-event penalties only a real flood can accrue.
 	WarmStart bool
+	// Obs, when non-nil, attaches instrumentation to every worker network
+	// (see internal/obs). Metrics never affect results, and are excluded
+	// from the scheduler's cache key for the same reason Parallelism is.
+	Obs *obs.Metrics
+	// Trace, when non-nil, records every processed update into the bounded
+	// ring (time, from, to, prefix, kind). Meant for debugging sessions, not
+	// steady-state runs: appending takes a mutex, though it never allocates.
+	// Excluded from the cache key like Obs.
+	Trace *obs.UpdateTrace
 }
 
 // DefaultConfig returns the paper's experiment setup (100 origins,
@@ -201,6 +211,20 @@ func RunCEvents(topo *topology.Topology, cfg Config) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			net := bgp.MustNew(topo, cfg.BGP)
+			if cfg.Obs != nil {
+				net.SetObs(cfg.Obs)
+			}
+			if tr := cfg.Trace; tr != nil {
+				net.SetUpdateHook(func(u bgp.UpdateRecord) {
+					tr.Append(obs.TraceRecord{
+						T:      int64(u.Time),
+						From:   int32(u.From),
+						To:     int32(u.To),
+						Prefix: int32(u.Prefix),
+						Kind:   uint8(u.Kind),
+					})
+				})
+			}
 			for idx := range next {
 				errs[idx] = runOneOrigin(net, topo, origins[idx], cfg.BGP.Seed+uint64(idx)*0x9e3779b97f4a7c15, settle, cfg, &accums[idx])
 			}

@@ -7,10 +7,12 @@ package core
 // RunCEvents' origin-level parallelism — under the race detector.
 
 import (
+	"io"
 	"sync"
 	"testing"
 
 	"bgpchurn/internal/bgp"
+	"bgpchurn/internal/obs"
 	"bgpchurn/internal/scenario"
 )
 
@@ -72,6 +74,79 @@ func TestRaceGridAcrossScenarios(t *testing.T) {
 		if len(sr.Points) != 2 {
 			t.Fatalf("request %d: %d points", i, len(sr.Points))
 		}
+	}
+}
+
+// TestRaceOnCellSerialized documents and enforces the OnCell contract: the
+// scheduler serializes all OnCell invocations, so a callback may mutate
+// plain (unsynchronized) state. The callback below deliberately uses a bare
+// int and slice append — if two workers ever invoked OnCell concurrently,
+// the race detector would flag it and the count would drift.
+func TestRaceOnCellSerialized(t *testing.T) {
+	s := NewScheduler(8)
+	var calls int          // intentionally unsynchronized
+	var states []CellState // ditto
+	s.OnCell = func(cs CellStatus) {
+		calls++
+		states = append(states, cs.State)
+	}
+	ev := testConfig(23, 3)
+	reqs := []GridRequest{
+		{Scenario: scenario.Baseline, Sizes: []int{150, 250}, TopologySeed: 23, Event: ev},
+		{Scenario: scenario.Tree, Sizes: []int{150, 250}, TopologySeed: 23, Event: ev},
+	}
+	if _, err := s.RunGrid(reqs); err != nil {
+		t.Fatal(err)
+	}
+	// 4 unique cells, each emitting a start and a done event.
+	if calls != 8 || len(states) != 8 {
+		t.Fatalf("OnCell fired %d times with %d recorded states, want 8/8", calls, len(states))
+	}
+}
+
+// TestRaceObsScrapeDuringGrid runs a grid with instrumentation attached
+// while a goroutine continuously scrapes the Prometheus exposition and
+// snapshot — the reader/writer paths of the sharded counters, histograms
+// and the trace ring must be race-free.
+func TestRaceObsScrapeDuringGrid(t *testing.T) {
+	m := obs.New()
+	tr := obs.NewUpdateTrace(256)
+	s := NewScheduler(4)
+	s.SetObs(m)
+	ev := testConfig(29, 3)
+	ev.Obs = m
+	ev.Trace = tr
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				m.WritePrometheus(io.Discard)
+				m.Snapshot()
+				tr.Snapshot()
+			}
+		}
+	}()
+
+	cfg := SweepConfig{Sizes: []int{150, 250}, TopologySeed: 29, Event: ev}
+	_, err := s.RunSweep(scenario.Baseline, cfg)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	if snap["bgpchurn_core_cells_computed_total"] != 2 {
+		t.Fatalf("cells_computed = %v, want 2", snap["bgpchurn_core_cells_computed_total"])
+	}
+	if snap["bgpchurn_bgp_updates_processed_total"] <= 0 {
+		t.Fatal("no BGP updates counted while instrumented")
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"bgpchurn/internal/bgp"
 	"bgpchurn/internal/des"
+	"bgpchurn/internal/obs"
 	"bgpchurn/internal/scenario"
 	"bgpchurn/internal/topology"
 )
@@ -80,6 +81,8 @@ type CellStatus struct {
 	// Scenario and N name the grid cell.
 	Scenario string
 	N        int
+	// Seed is the cell's effective topology seed (request seed + N).
+	Seed uint64
 	// State says what happened.
 	State CellState
 	// Elapsed is the computation time (CellDone/CellFailed) or the time
@@ -156,6 +159,10 @@ type Scheduler struct {
 
 	emitMu sync.Mutex
 
+	// probes is the scheduler's observability block; nil when disabled
+	// (see SetObs).
+	probes *obs.CoreProbes
+
 	// generate and run are seams for tests (counting hooks, fault
 	// injection); they default to Scenario.Generate and RunCEvents.
 	generate func(sc scenario.Scenario, n int, seed uint64) (*topology.Topology, error)
@@ -185,6 +192,19 @@ type cacheEntry struct {
 	err   error
 	// elem is this entry's position in the scheduler's LRU list.
 	elem *list.Element
+}
+
+// SetObs attaches the metrics hub: cache traffic and per-cell wall times
+// flow into it from then on. Pass nil to detach. Counting is additive to
+// CacheStats and has no effect on results.
+func (s *Scheduler) SetObs(m *obs.Metrics) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m == nil {
+		s.probes = nil
+		return
+	}
+	s.probes = m.NewCoreProbes()
 }
 
 // CacheStats returns the cache traffic so far.
@@ -221,6 +241,9 @@ func (s *Scheduler) evictLocked() {
 			delete(s.cache, key)
 			s.lru.Remove(el)
 			s.stats.Evictions++
+			if p := s.probes; p != nil {
+				p.CacheEvictions.Inc()
+			}
 		default:
 			// Still computing; skip toward the front.
 		}
@@ -241,14 +264,19 @@ func (s *Scheduler) emit(cs CellStatus) {
 // cell computes or fetches one grid cell.
 func (s *Scheduler) cell(sc scenario.Scenario, n int, topoSeed uint64, ev Config, progress func(string, int)) (*Result, error) {
 	key := cellKey(sc.Name, n, topoSeed, ev)
+	seed := topoSeed + uint64(n)
 	s.mu.Lock()
+	probes := s.probes
 	if e, ok := s.cache[key]; ok {
 		s.stats.Hits++
 		s.lru.MoveToFront(e.elem)
 		s.mu.Unlock()
 		start := time.Now()
 		<-e.ready
-		s.emit(CellStatus{Scenario: sc.Name, N: n, State: CellCached, Elapsed: time.Since(start), Err: e.err})
+		if probes != nil {
+			probes.CellsCached.Inc()
+		}
+		s.emit(CellStatus{Scenario: sc.Name, N: n, Seed: seed, State: CellCached, Elapsed: time.Since(start), Err: e.err})
 		return e.res, e.err
 	}
 	e := &cacheEntry{ready: make(chan struct{})}
@@ -263,9 +291,9 @@ func (s *Scheduler) cell(sc scenario.Scenario, n int, topoSeed uint64, ev Config
 		progress(sc.Name, n)
 		s.emitMu.Unlock()
 	}
-	s.emit(CellStatus{Scenario: sc.Name, N: n, State: CellStart})
+	s.emit(CellStatus{Scenario: sc.Name, N: n, Seed: seed, State: CellStart})
 	start := time.Now()
-	topo, err := s.generate(sc, n, topoSeed+uint64(n))
+	topo, err := s.generate(sc, n, seed)
 	var res *Result
 	if err == nil {
 		res, err = s.run(topo, ev)
@@ -275,11 +303,20 @@ func (s *Scheduler) cell(sc scenario.Scenario, n int, topoSeed uint64, ev Config
 	}
 	e.res, e.err = res, err
 	close(e.ready)
+	elapsed := time.Since(start)
 	state := CellDone
 	if err != nil {
 		state = CellFailed
 	}
-	s.emit(CellStatus{Scenario: sc.Name, N: n, State: state, Elapsed: time.Since(start), Err: err})
+	if probes != nil {
+		if err != nil {
+			probes.CellsFailed.Inc()
+		} else {
+			probes.CellsComputed.Inc()
+			probes.ObserveCell(elapsed)
+		}
+	}
+	s.emit(CellStatus{Scenario: sc.Name, N: n, Seed: seed, State: state, Elapsed: elapsed, Err: err})
 	return res, err
 }
 

@@ -10,6 +10,8 @@ package des
 import (
 	"math/bits"
 	"time"
+
+	"bgpchurn/internal/obs"
 )
 
 // Time is a virtual timestamp in nanoseconds since simulation start.
@@ -320,7 +322,16 @@ type Scheduler struct {
 	nextSeq uint64
 	fired   uint64
 	stopped bool
+	// probes is the kernel's observability block; nil when disabled, so
+	// every probe site below is a single nil check in that case. Probes
+	// never read the clock or affect queue order.
+	probes *obs.DESProbes
 }
+
+// SetProbes attaches (or, with nil, detaches) an observability probe block.
+// Call it while the queue is empty: occupancy gauges track pushes and pops
+// made while attached, so attaching mid-flight would skew them.
+func (s *Scheduler) SetProbes(p *obs.DESProbes) { s.probes = p }
 
 // peek returns the key of the earliest pending event. The caller must
 // ensure at least one event is pending.
@@ -338,7 +349,13 @@ func (s *Scheduler) peek() heapKey {
 // ensure at least one event is pending.
 func (s *Scheduler) popNext() (heapKey, Event) {
 	if s.far.len() == 0 || (s.near.len() > 0 && before(s.near.min(), s.far.keys[0])) {
+		if p := s.probes; p != nil {
+			p.RingOcc.Add(-1)
+		}
 		return s.near.pop()
+	}
+	if p := s.probes; p != nil {
+		p.FarOcc.Add(-1)
 	}
 	return s.far.pop()
 }
@@ -398,8 +415,18 @@ func (s *Scheduler) AtTicket(tk Ticket, e Event) {
 	}
 	if tk.at-s.now >= ringHorizon {
 		s.far.push(tk.at, uint32(tk.seq), e)
+		if p := s.probes; p != nil {
+			p.Scheduled.Inc()
+			p.FarPushes.Inc()
+			p.FarOcc.Add(1)
+		}
 	} else {
 		s.near.push(tk.at, uint32(tk.seq), e)
+		if p := s.probes; p != nil {
+			p.Scheduled.Inc()
+			p.RingPushes.Inc()
+			p.RingOcc.Add(1)
+		}
 	}
 }
 
@@ -435,6 +462,9 @@ func (s *Scheduler) RunUntil(deadline Time) uint64 {
 		e.Fire(s)
 		fired++
 		s.fired++
+		if p := s.probes; p != nil {
+			p.Fired.Inc()
+		}
 	}
 	if deadline >= 0 && s.now < deadline && !s.stopped {
 		s.now = deadline
@@ -451,12 +481,20 @@ func (s *Scheduler) Step() bool {
 	s.now = k.at
 	e.Fire(s)
 	s.fired++
+	if p := s.probes; p != nil {
+		p.Fired.Inc()
+	}
 	return true
 }
 
 // Reset discards all pending events and rewinds the clock to zero, reusing
 // the queue's storage. Event counters are preserved unless resetCounters.
 func (s *Scheduler) Reset(resetCounters bool) {
+	if p := s.probes; p != nil {
+		// The discarded events never pop, so release their occupancy here.
+		p.RingOcc.Add(-int64(s.near.len()))
+		p.FarOcc.Add(-int64(s.far.len()))
+	}
 	s.near.reset()
 	s.far.reset()
 	s.now = 0

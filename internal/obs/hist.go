@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket sharded histogram. Bucket semantics follow
+// Prometheus: an observation v lands in the first bucket whose upper bound
+// is >= v (bounds are inclusive), and observations above the last bound
+// land in the implicit +Inf overflow bucket. Buckets are fixed at
+// construction — no resizing, no allocation on Observe.
+type Histogram struct {
+	name, help string
+	bounds     []float64 // ascending upper bounds; +Inf is implicit
+	shards     []histShard
+	mask       uint32
+}
+
+// histShard is one shard's bucket counts plus the shard's running sum.
+// counts has len(bounds)+1 entries; the last is the +Inf overflow bucket.
+// The sum is stored as float64 bits updated by CAS — observations are per
+// cell/generation (not per simulated event), so the CAS loop is cold.
+type histShard struct {
+	counts  []atomic.Uint64
+	sumBits atomic.Uint64
+	_       [cacheLineSize - 8]byte
+}
+
+func newHistogram(name, help string, bounds []float64, shards int) *Histogram {
+	if !sort.Float64sAreSorted(bounds) {
+		panic("obs: histogram bounds must be ascending")
+	}
+	h := &Histogram{
+		name:   name,
+		help:   help,
+		bounds: append([]float64(nil), bounds...),
+		shards: make([]histShard, shards),
+		mask:   uint32(shards - 1),
+	}
+	for i := range h.shards {
+		h.shards[i].counts = make([]atomic.Uint64, len(bounds)+1)
+	}
+	return h
+}
+
+// Name returns the exposition name.
+func (h *Histogram) Name() string { return h.name }
+
+// Observe records one value on the given shard.
+func (h *Histogram) Observe(s ShardID, v float64) {
+	sh := &h.shards[uint32(s)&h.mask]
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v (bounds inclusive)
+	sh.counts[i].Add(1)
+	for {
+		old := sh.sumBits.Load()
+		if sh.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// HistSnapshot is a merged point-in-time view of a histogram.
+type HistSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts[i] is the number of
+	// observations in bucket i (NOT cumulative). Counts has one more entry
+	// than Bounds: the +Inf overflow bucket.
+	Bounds []float64
+	Counts []uint64
+	// Count and Sum are the total observation count and value sum.
+	Count uint64
+	Sum   float64
+}
+
+// Snapshot merges all shards.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.bounds)+1),
+	}
+	for i := range h.shards {
+		sh := &h.shards[i]
+		for b := range sh.counts {
+			s.Counts[b] += sh.counts[b].Load()
+		}
+		s.Sum += math.Float64frombits(sh.sumBits.Load())
+	}
+	for _, c := range s.Counts {
+		s.Count += c
+	}
+	return s
+}

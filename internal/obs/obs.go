@@ -1,0 +1,256 @@
+// Package obs is the instrumentation substrate the whole simulator reports
+// into: sharded cache-line-padded atomic counters and gauges, fixed-bucket
+// histograms, an optional bounded update-trace ring, per-run manifests, and
+// live exposition over HTTP (Prometheus text format, expvar, pprof).
+//
+// The package is designed so the kernel's zero-allocation steady state
+// survives instrumentation. Probe call sites in hot paths hold a pointer to
+// a pre-resolved probe block (see probes.go) that is nil when observability
+// is off, so a disabled probe compiles down to one nil check. An enabled
+// probe performs plain atomic adds on memory that no other goroutine
+// increments: every consumer (a Network, a Scheduler) gets its own shard of
+// each metric, and shards are padded to the cache line so two consumers
+// never contend on one line. Nothing on the probe path allocates, takes a
+// lock, consumes randomness, or reads the virtual clock — instrumentation
+// cannot perturb simulation order or RNG draws, which keeps the determinism
+// tier byte-identical with obs enabled. The memory model is documented in
+// DESIGN.md ("Observability: probe memory model").
+//
+// obs deliberately imports only the standard library and none of the
+// simulator's packages, so every layer (des, bgp, core, topology) can
+// depend on it without cycles.
+package obs
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// cacheLineSize is the assumed cache-line granularity for shard padding.
+// 64 bytes covers x86-64 and current arm64 server cores; on CPUs with
+// larger lines the only cost is some residual false sharing.
+const cacheLineSize = 64
+
+// ShardID selects one shard of every sharded metric. IDs are handed out
+// round-robin by Metrics.Shard; values beyond the shard count wrap (the
+// cell lookup masks them), so any uint32 is safe.
+type ShardID uint32
+
+// Cell is one counter shard: an atomic uint64 padded to a full cache line
+// so adjacent cells (other shards, other metrics) never share a line with
+// it. Hot paths pre-resolve the cells they increment (see probes.go) and
+// call Inc/Add directly — one atomic add on exclusive memory, no alloc.
+type Cell struct {
+	n atomic.Uint64
+	_ [cacheLineSize - 8]byte
+}
+
+// Inc adds 1.
+func (c *Cell) Inc() { c.n.Add(1) }
+
+// Add adds d.
+func (c *Cell) Add(d uint64) { c.n.Add(d) }
+
+// Load returns the shard's current value.
+func (c *Cell) Load() uint64 { return c.n.Load() }
+
+// GaugeCell is one gauge shard. Deltas may be negative; the gauge's value
+// is the sum over shards, so a consumer that increments on one shard and
+// decrements on the same shard keeps the global sum exact.
+type GaugeCell struct {
+	n atomic.Int64
+	_ [cacheLineSize - 8]byte
+}
+
+// Add applies a (possibly negative) delta.
+func (g *GaugeCell) Add(d int64) { g.n.Add(d) }
+
+// Load returns the shard's current value.
+func (g *GaugeCell) Load() int64 { return g.n.Load() }
+
+// Counter is a monotonically increasing sharded metric.
+type Counter struct {
+	name, help string
+	cells      []Cell
+	mask       uint32
+	// scale divides the raw value at exposition time (e.g. nanoseconds
+	// stored, seconds exposed); 0 means 1.
+	scale float64
+}
+
+// Name returns the exposition name.
+func (c *Counter) Name() string { return c.name }
+
+// Cell returns the shard's cell for direct (pre-resolved) incrementing.
+func (c *Counter) Cell(s ShardID) *Cell { return &c.cells[uint32(s)&c.mask] }
+
+// Add adds d on the given shard.
+func (c *Counter) Add(s ShardID, d uint64) { c.Cell(s).Add(d) }
+
+// Value returns the sum over all shards.
+func (c *Counter) Value() uint64 {
+	var sum uint64
+	for i := range c.cells {
+		sum += c.cells[i].n.Load()
+	}
+	return sum
+}
+
+// scaled returns the exposition value (raw sum divided by the scale).
+func (c *Counter) scaled() float64 {
+	v := float64(c.Value())
+	if c.scale != 0 {
+		v /= c.scale
+	}
+	return v
+}
+
+// Gauge is a sharded metric that can go up and down (queue occupancy).
+type Gauge struct {
+	name, help string
+	cells      []GaugeCell
+	mask       uint32
+}
+
+// Name returns the exposition name.
+func (g *Gauge) Name() string { return g.name }
+
+// Cell returns the shard's cell for direct incrementing.
+func (g *Gauge) Cell(s ShardID) *GaugeCell { return &g.cells[uint32(s)&g.mask] }
+
+// Add applies a delta on the given shard.
+func (g *Gauge) Add(s ShardID, d int64) { g.Cell(s).Add(d) }
+
+// Value returns the sum over all shards.
+func (g *Gauge) Value() int64 {
+	var sum int64
+	for i := range g.cells {
+		sum += g.cells[i].n.Load()
+	}
+	return sum
+}
+
+// Metrics is the hub: every metric the simulator exports, pre-registered
+// with stable names so exposition order is deterministic. Create one per
+// run with New, hand it to the layers (core.Config.Obs, Scheduler.SetObs,
+// bgp.Network.SetObs, topology.SetObsProbes) and serve or snapshot it.
+// All methods are safe for concurrent use; increments may race with
+// scrapes, which read each shard atomically (per-metric totals are exact
+// for quiescent metrics and at worst one event stale for live ones).
+type Metrics struct {
+	shards    uint32 // power of two
+	nextShard atomic.Uint32
+
+	// DES instruments the discrete-event kernel (internal/des).
+	DES struct {
+		EventsScheduled *Counter // queue insertions (ring + far heap)
+		EventsFired     *Counter // events executed
+		RingPushes      *Counter // near-band (timeRing) insertions
+		FarPushes       *Counter // far-heap insertions
+		RingOccupancy   *Gauge   // events currently in the time ring
+		FarOccupancy    *Gauge   // events currently in the far heap
+	}
+
+	// BGP instruments the protocol engine (internal/bgp).
+	BGP struct {
+		AnnouncementsSent *Counter // updates transmitted, kind Announce
+		WithdrawalsSent   *Counter // updates transmitted, kind Withdraw
+		UpdatesProcessed  *Counter // procEvent completions
+		MRAIFlushes       *Counter // per-interface flush events fired
+		PrefixMRAIFlushes *Counter // per-prefix flush events fired
+		EventPoolHits     *Counter // pooled events reused
+		EventPoolMisses   *Counter // pooled events freshly allocated
+		PathArenaBytes    *Counter // bytes bump-allocated for AS paths
+		InboxDeferrals    *Counter // deliveries parked behind a busy receiver
+	}
+
+	// Core instruments the experiment scheduler (internal/core).
+	Core struct {
+		CellsComputed  *Counter   // grid cells actually computed
+		CellsCached    *Counter   // grid cells served from the result cache
+		CellsFailed    *Counter   // grid cells that ended in an error
+		CacheEvictions *Counter   // results dropped by the LRU cap
+		CellSeconds    *Histogram // wall time per computed cell
+	}
+
+	// Topo instruments topology generation (internal/topology).
+	Topo struct {
+		Generated  *Counter   // topologies generated
+		Nodes      *Counter   // nodes created across all generations
+		Edges      *Counter   // links created across all generations
+		GenSeconds *Histogram // wall time per generation
+	}
+
+	// registration order, for deterministic exposition.
+	counters []*Counter
+	gauges   []*Gauge
+	hists    []*Histogram
+}
+
+// New builds a metrics hub with every simulator metric registered. The
+// shard count is the smallest power of two covering GOMAXPROCS, capped at
+// 64 (beyond that the padding cost outweighs contention savings).
+func New() *Metrics {
+	shards := uint32(1)
+	for int(shards) < runtime.GOMAXPROCS(0) && shards < 64 {
+		shards <<= 1
+	}
+	m := &Metrics{shards: shards}
+
+	m.DES.EventsScheduled = m.counter("bgpchurn_des_events_scheduled_total", "Events inserted into the pending queue (time ring + far heap).")
+	m.DES.EventsFired = m.counter("bgpchurn_des_events_fired_total", "Events executed by the schedulers.")
+	m.DES.RingPushes = m.counter("bgpchurn_des_ring_pushes_total", "Insertions into the near-band time ring.")
+	m.DES.FarPushes = m.counter("bgpchurn_des_far_pushes_total", "Insertions into the far 4-ary heap.")
+	m.DES.RingOccupancy = m.gauge("bgpchurn_des_ring_occupancy", "Events currently pending in the time ring.")
+	m.DES.FarOccupancy = m.gauge("bgpchurn_des_far_occupancy", "Events currently pending in the far heap.")
+
+	m.BGP.AnnouncementsSent = m.counter("bgpchurn_bgp_announcements_sent_total", "Announce updates transmitted.")
+	m.BGP.WithdrawalsSent = m.counter("bgpchurn_bgp_withdrawals_sent_total", "Withdraw updates transmitted.")
+	m.BGP.UpdatesProcessed = m.counter("bgpchurn_bgp_updates_processed_total", "Updates fully processed by receivers.")
+	m.BGP.MRAIFlushes = m.counter("bgpchurn_bgp_mrai_flushes_total", "Per-interface MRAI flush events fired.")
+	m.BGP.PrefixMRAIFlushes = m.counter("bgpchurn_bgp_prefix_mrai_flushes_total", "Per-prefix MRAI flush events fired.")
+	m.BGP.EventPoolHits = m.counter("bgpchurn_bgp_event_pool_hits_total", "Pooled simulation events reused from a free list.")
+	m.BGP.EventPoolMisses = m.counter("bgpchurn_bgp_event_pool_misses_total", "Pooled simulation events freshly allocated.")
+	m.BGP.PathArenaBytes = m.counter("bgpchurn_bgp_path_arena_bytes_total", "Bytes bump-allocated for AS paths in the path arenas.")
+	m.BGP.InboxDeferrals = m.counter("bgpchurn_bgp_inbox_deferrals_total", "Deliveries parked in a receiver inbox behind an in-flight event.")
+
+	m.Core.CellsComputed = m.counter("bgpchurn_core_cells_computed_total", "Experiment grid cells computed.")
+	m.Core.CellsCached = m.counter("bgpchurn_core_cells_cached_total", "Experiment grid cells served from the result cache.")
+	m.Core.CellsFailed = m.counter("bgpchurn_core_cells_failed_total", "Experiment grid cells that failed.")
+	m.Core.CacheEvictions = m.counter("bgpchurn_core_cache_evictions_total", "Cached results evicted by the LRU cap.")
+	m.Core.CellSeconds = m.histogram("bgpchurn_core_cell_seconds", "Wall-clock seconds per computed grid cell.",
+		[]float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300})
+
+	m.Topo.Generated = m.counter("bgpchurn_topo_generated_total", "Topologies generated.")
+	m.Topo.Nodes = m.counter("bgpchurn_topo_nodes_total", "Nodes created by topology generation.")
+	m.Topo.Edges = m.counter("bgpchurn_topo_edges_total", "Links created by topology generation.")
+	m.Topo.GenSeconds = m.histogram("bgpchurn_topo_gen_seconds", "Wall-clock seconds per topology generation.",
+		[]float64{0.0001, 0.001, 0.01, 0.05, 0.1, 0.5, 1, 5, 10})
+
+	return m
+}
+
+// Shard hands out the next shard ID, round-robin. Each consumer (one
+// Network, one Scheduler) takes one ID at setup time and uses it for all
+// its metrics, giving it private cache lines up to the shard count.
+func (m *Metrics) Shard() ShardID {
+	return ShardID((m.nextShard.Add(1) - 1) & (m.shards - 1))
+}
+
+func (m *Metrics) counter(name, help string) *Counter {
+	c := &Counter{name: name, help: help, cells: make([]Cell, m.shards), mask: m.shards - 1}
+	m.counters = append(m.counters, c)
+	return c
+}
+
+func (m *Metrics) gauge(name, help string) *Gauge {
+	g := &Gauge{name: name, help: help, cells: make([]GaugeCell, m.shards), mask: m.shards - 1}
+	m.gauges = append(m.gauges, g)
+	return g
+}
+
+func (m *Metrics) histogram(name, help string, bounds []float64) *Histogram {
+	h := newHistogram(name, help, bounds, int(m.shards))
+	m.hists = append(m.hists, h)
+	return h
+}

@@ -1,0 +1,118 @@
+package obs
+
+import "time"
+
+// Probe blocks are the hot-path handles into a Metrics hub: small structs
+// of pre-resolved shard cells that a consumer stores in one pointer field,
+// nil when observability is disabled. The indirection is resolved once at
+// setup (New*Probes picks a shard and looks up every cell), so an enabled
+// probe site is "load field, atomic add" and a disabled one is a single
+// nil check — no map lookups, no name hashing, no allocation.
+
+// DESProbes instruments one des.Scheduler instance.
+type DESProbes struct {
+	Scheduled  *Cell // events inserted into the pending queue
+	Fired      *Cell // events executed
+	RingPushes *Cell // near-band insertions
+	FarPushes  *Cell // far-heap insertions
+	RingOcc    *GaugeCell
+	FarOcc     *GaugeCell
+}
+
+// NewDESProbes resolves a kernel probe block on a fresh shard.
+func (m *Metrics) NewDESProbes() *DESProbes {
+	s := m.Shard()
+	return &DESProbes{
+		Scheduled:  m.DES.EventsScheduled.Cell(s),
+		Fired:      m.DES.EventsFired.Cell(s),
+		RingPushes: m.DES.RingPushes.Cell(s),
+		FarPushes:  m.DES.FarPushes.Cell(s),
+		RingOcc:    m.DES.RingOccupancy.Cell(s),
+		FarOcc:     m.DES.FarOccupancy.Cell(s),
+	}
+}
+
+// BGPProbes instruments one bgp.Network instance.
+type BGPProbes struct {
+	AnnouncementsSent *Cell
+	WithdrawalsSent   *Cell
+	UpdatesProcessed  *Cell
+	MRAIFlushes       *Cell
+	PrefixMRAIFlushes *Cell
+	PoolHits          *Cell
+	PoolMisses        *Cell
+	ArenaBytes        *Cell
+	InboxDeferrals    *Cell
+}
+
+// NewBGPProbes resolves a protocol probe block on a fresh shard.
+func (m *Metrics) NewBGPProbes() *BGPProbes {
+	s := m.Shard()
+	return &BGPProbes{
+		AnnouncementsSent: m.BGP.AnnouncementsSent.Cell(s),
+		WithdrawalsSent:   m.BGP.WithdrawalsSent.Cell(s),
+		UpdatesProcessed:  m.BGP.UpdatesProcessed.Cell(s),
+		MRAIFlushes:       m.BGP.MRAIFlushes.Cell(s),
+		PrefixMRAIFlushes: m.BGP.PrefixMRAIFlushes.Cell(s),
+		PoolHits:          m.BGP.EventPoolHits.Cell(s),
+		PoolMisses:        m.BGP.EventPoolMisses.Cell(s),
+		ArenaBytes:        m.BGP.PathArenaBytes.Cell(s),
+		InboxDeferrals:    m.BGP.InboxDeferrals.Cell(s),
+	}
+}
+
+// CoreProbes instruments one core.Scheduler instance.
+type CoreProbes struct {
+	CellsComputed  *Cell
+	CellsCached    *Cell
+	CellsFailed    *Cell
+	CacheEvictions *Cell
+	cellSeconds    *Histogram
+	shard          ShardID
+}
+
+// NewCoreProbes resolves an experiment-scheduler probe block on a fresh
+// shard.
+func (m *Metrics) NewCoreProbes() *CoreProbes {
+	s := m.Shard()
+	return &CoreProbes{
+		CellsComputed:  m.Core.CellsComputed.Cell(s),
+		CellsCached:    m.Core.CellsCached.Cell(s),
+		CellsFailed:    m.Core.CellsFailed.Cell(s),
+		CacheEvictions: m.Core.CacheEvictions.Cell(s),
+		cellSeconds:    m.Core.CellSeconds,
+		shard:          s,
+	}
+}
+
+// ObserveCell records one computed cell's wall time.
+func (p *CoreProbes) ObserveCell(d time.Duration) {
+	p.cellSeconds.Observe(p.shard, d.Seconds())
+}
+
+// TopoProbes instruments topology generation.
+type TopoProbes struct {
+	Generated *Cell
+	Nodes     *Cell
+	Edges     *Cell
+	genSec    *Histogram
+	shard     ShardID
+}
+
+// NewTopoProbes resolves a topology-generation probe block on a fresh
+// shard.
+func (m *Metrics) NewTopoProbes() *TopoProbes {
+	s := m.Shard()
+	return &TopoProbes{
+		Generated: m.Topo.Generated.Cell(s),
+		Nodes:     m.Topo.Nodes.Cell(s),
+		Edges:     m.Topo.Edges.Cell(s),
+		genSec:    m.Topo.GenSeconds,
+		shard:     s,
+	}
+}
+
+// ObserveGen records one generation's wall time.
+func (p *TopoProbes) ObserveGen(d time.Duration) {
+	p.genSec.Observe(p.shard, d.Seconds())
+}

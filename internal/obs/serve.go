@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// Server exposes a Metrics hub over HTTP for live inspection of long
+// sweeps:
+//
+//	/metrics       Prometheus text exposition
+//	/debug/vars    expvar JSON (runtime memstats + the "bgpchurn" snapshot)
+//	/debug/pprof/  net/http/pprof profiles
+//
+// Close shuts the listener down; in-flight scrapes are aborted.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// expvarMetrics is the hub the process-global expvar "bgpchurn" variable
+// reads. expvar registration is global and permanent, so the variable is
+// published once and always reflects the most recently served hub (tests
+// start many servers in one process).
+var (
+	expvarMetrics atomic.Pointer[Metrics]
+	expvarOnce    sync.Once
+)
+
+func publishExpvar(m *Metrics) {
+	expvarMetrics.Store(m)
+	expvarOnce.Do(func() {
+		expvar.Publish("bgpchurn", expvar.Func(func() any {
+			if mm := expvarMetrics.Load(); mm != nil {
+				return mm.Snapshot()
+			}
+			return nil
+		}))
+	})
+}
+
+// Serve starts the exposition server on addr (":0" picks a free port) and
+// returns immediately; the server runs until Close.
+func Serve(addr string, m *Metrics) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	publishExpvar(m)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = m.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address (host:port), useful with ":0".
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases the port.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceAppendAndSnapshotOrder(t *testing.T) {
+	tr := NewUpdateTrace(4)
+	for i := 0; i < 3; i++ {
+		tr.Append(TraceRecord{T: int64(i), From: int32(i), To: int32(i + 1), Prefix: 0, Kind: 0})
+	}
+	if tr.Len() != 3 || tr.Dropped() != 0 {
+		t.Fatalf("Len=%d Dropped=%d, want 3/0", tr.Len(), tr.Dropped())
+	}
+	s := tr.Snapshot()
+	for i, r := range s {
+		if r.T != int64(i) {
+			t.Fatalf("Snapshot[%d].T = %d, want %d (oldest first)", i, r.T, i)
+		}
+	}
+}
+
+func TestTraceWrapOverwritesOldest(t *testing.T) {
+	tr := NewUpdateTrace(4)
+	for i := 0; i < 10; i++ {
+		tr.Append(TraceRecord{T: int64(i)})
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", tr.Dropped())
+	}
+	s := tr.Snapshot()
+	for i, want := range []int64{6, 7, 8, 9} {
+		if s[i].T != want {
+			t.Fatalf("Snapshot[%d].T = %d, want %d", i, s[i].T, want)
+		}
+	}
+}
+
+func TestTraceJSONLRoundTrip(t *testing.T) {
+	tr := NewUpdateTrace(8)
+	want := []TraceRecord{
+		{T: 100, From: 1, To: 2, Prefix: 0, Kind: 0},
+		{T: 250, From: 2, To: 3, Prefix: 0, Kind: 1},
+		{T: 300, From: 3, To: 1, Prefix: 1, Kind: 0},
+	}
+	for _, r := range want {
+		tr.Append(r)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != len(want) {
+		t.Fatalf("wrote %d lines, want %d", got, len(want))
+	}
+	got, err := ReadTraceJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTraceJSONLSkipsBlankReportsBadLine(t *testing.T) {
+	in := "{\"t\":1,\"from\":0,\"to\":1,\"prefix\":0,\"kind\":0}\n\n{\"t\":2,\"from\":1,\"to\":0,\"prefix\":0,\"kind\":1}\n"
+	recs, err := ReadTraceJSONL(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	_, err = ReadTraceJSONL(strings.NewReader("{\"t\":1}\nnot-json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("want error naming line 2, got %v", err)
+	}
+}
+
+func TestTraceAppendAllocFree(t *testing.T) {
+	tr := NewUpdateTrace(16)
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Append(TraceRecord{T: 1, From: 2, To: 3})
+	})
+	if allocs != 0 {
+		t.Fatalf("Append allocated %.1f per run, want 0", allocs)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if got := (TraceRecord{Kind: 0}).KindString(); got != "announce" {
+		t.Fatalf("Kind 0 = %q", got)
+	}
+	if got := (TraceRecord{Kind: 1}).KindString(); got != "withdraw" {
+		t.Fatalf("Kind 1 = %q", got)
+	}
+}

@@ -164,6 +164,8 @@ type CellEvent struct {
 	// Scenario and N name the grid cell.
 	Scenario string
 	N        int
+	// Seed is the cell's effective topology seed.
+	Seed uint64
 	// State is "start", "done", "cached" or "failed".
 	State string
 	// Elapsed is the cell's computation (or cache-wait) time.
@@ -189,9 +191,11 @@ func FormatCellEvent(e CellEvent) string {
 }
 
 // CellLogger returns a callback that writes one FormatCellEvent line per
-// event to w, for wiring a scheduler's OnCell to a terminal.
+// event to w, for wiring a scheduler's OnCell to a terminal. It is
+// NewCellLogger's text format, kept as the zero-configuration entry point.
 func CellLogger(w io.Writer) func(CellEvent) {
-	return func(e CellEvent) { fmt.Fprintln(w, FormatCellEvent(e)) }
+	logCell, _ := NewCellLogger(w, "text")
+	return logCell
 }
 
 // plotMaxWidth caps the chart width; longer series are resampled.

@@ -2,6 +2,7 @@ package topology
 
 import (
 	"fmt"
+	"time"
 
 	"bgpchurn/internal/rng"
 )
@@ -18,6 +19,13 @@ func Generate(p Params) (*Topology, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	// Probes are resolved up front so the uninstrumented path pays one
+	// atomic load per call and never touches the wall clock.
+	var start time.Time
+	probes := genProbes.Load()
+	if probes != nil {
+		start = time.Now()
+	}
 	g := &builder{
 		p:     p,
 		r:     rng.New(p.Seed),
@@ -31,6 +39,9 @@ func Generate(p Params) (*Topology, error) {
 	g.prepareCones()
 	g.addMPeering()
 	g.addCPPeering()
+	if probes != nil {
+		instrumentGen(probes, start, g.topo.N(), len(g.edges))
+	}
 	return g.topo, nil
 }
 

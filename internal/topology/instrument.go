@@ -1,0 +1,28 @@
+package topology
+
+import (
+	"sync/atomic"
+	"time"
+
+	"bgpchurn/internal/obs"
+)
+
+// genProbes is the package-wide probe block for Generate. Topology
+// generation has no long-lived per-consumer object to hang probes on (it
+// is a free function called from many goroutines), so the block lives in
+// an atomic pointer: nil — the default — costs one atomic load per
+// Generate call, nothing per node or edge.
+var genProbes atomic.Pointer[obs.TopoProbes]
+
+// SetObsProbes attaches (or, with nil, detaches) generation metrics.
+// Typically called once per process by the binary that owns the metrics
+// hub: SetObsProbes(m.NewTopoProbes()).
+func SetObsProbes(p *obs.TopoProbes) { genProbes.Store(p) }
+
+// instrumentGen records one successful generation.
+func instrumentGen(p *obs.TopoProbes, start time.Time, nodes, edges int) {
+	p.Generated.Inc()
+	p.Nodes.Add(uint64(nodes))
+	p.Edges.Add(uint64(edges))
+	p.ObserveGen(time.Since(start))
+}
