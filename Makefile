@@ -5,7 +5,7 @@ GO ?= go
 # Label under which `make bench-kernel` records its run in BENCH_kernel.json.
 BENCH_LABEL ?= current
 
-.PHONY: test race bench bench-kernel bench-e2e obs-guard build
+.PHONY: test race bench bench-kernel bench-e2e obs-guard resume-smoke resume-guard build
 
 build:
 	$(GO) build ./...
@@ -39,3 +39,19 @@ obs-guard:
 	$(GO) vet ./internal/obs/ ./cmd/benchguard/
 	$(GO) test -run '^$$' -bench 'BenchmarkRunCEvents/(warm|obs)' -benchmem -benchtime 3x . \
 		| $(GO) run ./cmd/benchguard -base BenchmarkRunCEvents/warm -guard BenchmarkRunCEvents/obs
+
+# resume-smoke exercises crash recovery across real processes: run the -fast
+# grid, SIGINT it partway, rerun with -resume, and require that only the
+# missing cells are recomputed and every CSV is byte-identical to an
+# uninterrupted reference. Mirrors the CI resume-guard job.
+resume-smoke:
+	./scripts/resume_smoke.sh
+
+# resume-guard enforces the checkpointing cost contract: appending a cell to
+# the journal is a fixed per-cell budget (JSON encode + hash + one write,
+# ~30 allocs — hence the raised slack), never a per-event cost. Anything
+# that made journaling scale with the event count would blow past the slack
+# by orders of magnitude.
+resume-guard:
+	$(GO) test -run '^$$' -bench 'BenchmarkRunCEvents/(warm|journal)' -benchmem -benchtime 3x . \
+		| $(GO) run ./cmd/benchguard -base BenchmarkRunCEvents/warm -guard BenchmarkRunCEvents/journal -slack 48

@@ -7,6 +7,7 @@ package bgpchurn
 // installs the converged RIB directly (core.Config.WarmStart).
 
 import (
+	"path/filepath"
 	"testing"
 
 	"bgpchurn/internal/core"
@@ -64,5 +65,35 @@ func BenchmarkRunCEvents(b *testing.B) {
 		instrumented.WarmStart = true
 		instrumented.Obs = NewObsMetrics()
 		benchmarkRunCEvents(b, instrumented)
+	})
+	// journal: warm run followed by the crash-safe checkpoint the scheduler
+	// appends after every cell. The resume-guard comparison against the warm
+	// baseline enforces that checkpointing stays a fixed per-cell cost (JSON
+	// encode + hash + one write) and adds nothing that scales with the event
+	// count — the kernel loop itself never touches the journal.
+	b.Run("journal", func(b *testing.B) {
+		b.ReportAllocs()
+		warm := cfg
+		warm.WarmStart = true
+		topo := benchE2ETopology(b)
+		j, err := OpenJournal(filepath.Join(b.TempDir(), "cells.journal"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer j.Close()
+		key := core.CellKey{Scenario: "BASELINE", N: 1000, TopologySeed: 1, Origins: warm.Origins, WarmStart: true}
+		var total float64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := core.RunCEvents(topo, warm)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := j.Append(key, res); err != nil {
+				b.Fatal(err)
+			}
+			total = res.TotalUpdates
+		}
+		b.ReportMetric(total, "total-updates")
 	})
 }

@@ -9,6 +9,7 @@ package bgpchurn
 // prints the quantities the corresponding figure plots.
 
 import (
+	"context"
 	"testing"
 
 	"bgpchurn/internal/bgp"
@@ -31,7 +32,7 @@ func benchExperiment(seed uint64) Experiment {
 // parallel; results byte-identical to the sequential path).
 func mustSweep(b *testing.B, sc Scenario, cfg SweepConfig) *SweepResult {
 	b.Helper()
-	sw, err := RunSweep(sc, cfg)
+	sw, err := RunSweep(context.Background(), sc, cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func mustSweep(b *testing.B, sc Scenario, cfg SweepConfig) *SweepResult {
 // SweepResult per request, sharing identical cells across requests.
 func mustGrid(b *testing.B, reqs []GridRequest) []*SweepResult {
 	b.Helper()
-	out, err := RunGrid(reqs)
+	out, err := RunGrid(context.Background(), reqs)
 	if err != nil {
 		b.Fatal(err)
 	}

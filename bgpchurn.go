@@ -29,6 +29,7 @@
 package bgpchurn
 
 import (
+	"context"
 	"io"
 
 	"bgpchurn/internal/bgp"
@@ -254,10 +255,14 @@ type CacheStats = core.CacheStats
 
 // Cell progress states.
 const (
-	CellStart  = core.CellStart
-	CellDone   = core.CellDone
-	CellCached = core.CellCached
-	CellFailed = core.CellFailed
+	CellStart       = core.CellStart
+	CellDone        = core.CellDone
+	CellCached      = core.CellCached
+	CellFailed      = core.CellFailed
+	CellResumed     = core.CellResumed
+	CellRetried     = core.CellRetried
+	CellQuarantined = core.CellQuarantined
+	CellCancelled   = core.CellCancelled
 )
 
 // NewScheduler returns an experiment scheduler running at most parallelism
@@ -267,12 +272,54 @@ func NewScheduler(parallelism int) *Scheduler { return core.NewScheduler(paralle
 // RunSweep runs one scenario sweep with cells in parallel on a one-off
 // scheduler. Results are byte-identical to Sweep on the same config; use
 // NewScheduler directly to share the result cache across sweeps.
-func RunSweep(sc Scenario, cfg SweepConfig) (*SweepResult, error) { return core.RunSweep(sc, cfg) }
+func RunSweep(ctx context.Context, sc Scenario, cfg SweepConfig) (*SweepResult, error) {
+	return core.RunSweep(ctx, sc, cfg)
+}
 
 // RunGrid executes every (scenario, size) cell of the requests in parallel
 // on a one-off scheduler, one SweepResult per request. Identical cells
-// across requests are computed once.
-func RunGrid(reqs []GridRequest) ([]*SweepResult, error) { return core.RunGrid(reqs) }
+// across requests are computed once. Cancelling ctx stops new cells and
+// drains in-flight ones.
+func RunGrid(ctx context.Context, reqs []GridRequest) ([]*SweepResult, error) {
+	return core.RunGrid(ctx, reqs)
+}
+
+// --- Fault tolerance layer ------------------------------------------------
+
+// CellPanicError reports a panic recovered inside one scheduler cell
+// worker; the panicking cell is isolated and the rest of the grid runs on.
+type CellPanicError = core.CellPanicError
+
+// CellTimeoutError reports a cell that exceeded Experiment.CellTimeout.
+type CellTimeoutError = core.CellTimeoutError
+
+// CellQuarantinedError reports a cell whose transient faults exhausted the
+// scheduler's retry budget (see Scheduler.SetRetryPolicy).
+type CellQuarantinedError = core.CellQuarantinedError
+
+// IsTransient reports whether err is a retryable cell fault (recovered
+// panic or per-cell timeout).
+func IsTransient(err error) bool { return core.IsTransient(err) }
+
+// IsQuarantined reports whether err carries a CellQuarantinedError.
+func IsQuarantined(err error) bool { return core.IsQuarantined(err) }
+
+// Journal is the scheduler's crash-safe cell checkpoint writer (JSONL with
+// per-record content hashes). Attach via Scheduler.SetJournal.
+type Journal = core.Journal
+
+// JournalRecord is one replayable checkpoint: a cell key and its result.
+type JournalRecord = core.JournalRecord
+
+// OpenJournal opens (or atomically creates) a cell journal for appending.
+func OpenJournal(path string) (*Journal, error) { return core.OpenJournal(path) }
+
+// LoadJournal reads a cell journal for Scheduler.Resume. A torn final line
+// (the signature of a crash mid-append) is tolerated and reported via
+// truncated; corruption anywhere else is an error.
+func LoadJournal(path string) (records []JournalRecord, truncated bool, err error) {
+	return core.LoadJournal(path)
+}
 
 // PaperSizes returns the paper's x-axis: 1000..10000 step 1000.
 func PaperSizes() []int { return core.PaperSizes() }

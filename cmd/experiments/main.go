@@ -25,15 +25,19 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"bgpchurn"
@@ -41,33 +45,62 @@ import (
 	"bgpchurn/internal/stats"
 )
 
+// Exit codes. Distinct codes let wrappers (CI, Makefiles) tell an
+// interrupted run — resumable with -resume — from a genuine failure.
+const (
+	exitOK          = 0   // all selected figures rendered
+	exitError       = 1   // hard failure (bad config, I/O error, permanent cell error)
+	exitUsage       = 2   // flag parsing failed
+	exitQuarantined = 3   // run completed but one or more cells were quarantined
+	exitInterrupted = 130 // cancelled by SIGINT/SIGTERM (128 + SIGINT)
+)
+
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole binary behind a testable seam: parse flags, execute,
+// return the exit code. Cleanup happens in defers, so every exit path
+// flushes profiles, the journal, and the obs server.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		figs      = flag.String("fig", "all", "comma-separated figure numbers (1,4,...,12) or 'all'")
-		fast      = flag.Bool("fast", false, "reduced sizes and origins (for a quick look)")
-		outDir    = flag.String("out", "", "directory for CSV output (created if missing)")
-		seed      = flag.Uint64("seed", 1, "master seed")
-		origins   = flag.Int("origins", 0, "override the number of C-event originators")
-		parallel  = flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
-		warm      = flag.Bool("warmstart", false, "install the converged pre-event state directly instead of flooding it through the simulator (faster; statistically equivalent but not byte-identical to the default)")
-		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
-		memprof   = flag.String("memprofile", "", "write a heap profile to this file on exit (pprof format)")
-		obsAddr   = flag.String("obs", "", "serve live metrics on this address (e.g. :8080; :0 picks a free port): /metrics, /debug/vars, /debug/pprof/")
-		manifest  = flag.String("manifest", "results/manifest.json", "write the run manifest (config, seeds, timings, counters) to this file; empty disables")
-		logFormat = flag.String("log-format", "text", "cell progress log format: text or json")
-		tracePath = flag.String("trace", "", "write a JSONL trace of the most recent updates to this file (bounded ring)")
-		traceCap  = flag.Int("trace-cap", 0, "update-trace ring capacity in records (0 = 65536)")
+		figs        = fs.String("fig", "all", "comma-separated figure numbers (1,4,...,12) or 'all'")
+		fast        = fs.Bool("fast", false, "reduced sizes and origins (for a quick look)")
+		outDir      = fs.String("out", "", "directory for CSV output (created if missing)")
+		seed        = fs.Uint64("seed", 1, "master seed")
+		origins     = fs.Int("origins", 0, "override the number of C-event originators")
+		parallel    = fs.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
+		warm        = fs.Bool("warmstart", false, "install the converged pre-event state directly instead of flooding it through the simulator (faster; statistically equivalent but not byte-identical to the default)")
+		cpuprof     = fs.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
+		memprof     = fs.String("memprofile", "", "write a heap profile to this file on exit (pprof format)")
+		obsAddr     = fs.String("obs", "", "serve live metrics on this address (e.g. :8080; :0 picks a free port): /metrics, /debug/vars, /debug/pprof/")
+		manifest    = fs.String("manifest", "results/manifest.json", "write the run manifest (config, seeds, timings, counters) to this file; empty disables")
+		logFormat   = fs.String("log-format", "text", "cell progress log format: text or json")
+		tracePath   = fs.String("trace", "", "write a JSONL trace of the most recent updates to this file (bounded ring)")
+		traceCap    = fs.Int("trace-cap", 0, "update-trace ring capacity in records (0 = 65536)")
+		journalPath = fs.String("journal", "results/cells.journal", "cell checkpoint journal (JSONL); empty disables checkpointing")
+		resume      = fs.Bool("resume", false, "replay the cell journal into the scheduler cache before running, so only missing cells are recomputed")
+		retries     = fs.Int("retries", 0, "recompute a cell up to this many times after a transient fault (panic, timeout) before quarantining it")
+		cellTimeout = fs.Duration("cell-timeout", 0, "per-cell wall-clock deadline (0 = none); a timed-out cell counts as a transient fault")
 	)
-	flag.Parse()
+	if err := fs.Parse(argv); err != nil {
+		return exitUsage
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "experiments:", err)
+		return exitError
+	}
 
 	if *cpuprof != "" {
 		f, err := os.Create(*cpuprof)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -75,28 +108,39 @@ func main() {
 		defer func() {
 			f, err := os.Create(*memprof)
 			if err != nil {
-				fatal(err)
+				fmt.Fprintln(stderr, "experiments: heap profile:", err)
+				return
 			}
 			defer f.Close()
 			runtime.GC() // settle the heap so the profile shows live objects
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fatal(err)
+				fmt.Fprintln(stderr, "experiments: heap profile:", err)
 			}
 		}()
 	}
 
+	// Graceful shutdown: the first SIGINT/SIGTERM cancels the grid context —
+	// no new cells start, in-flight cells drain, the journal and manifest
+	// are flushed, and the run exits with exitInterrupted. A second signal
+	// kills the process the hard way (signal.NotifyContext resets delivery).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	r := &runner{
-		seed:     *seed,
-		fast:     *fast,
-		outDir:   *outDir,
-		origins:  *origins,
-		parallel: *parallel,
-		warm:     *warm,
-		sched:    bgpchurn.NewScheduler(*parallel),
-		stdout:   os.Stdout,
-		metrics:  bgpchurn.NewObsMetrics(),
+		ctx:         ctx,
+		seed:        *seed,
+		fast:        *fast,
+		outDir:      *outDir,
+		origins:     *origins,
+		parallel:    *parallel,
+		warm:        *warm,
+		cellTimeout: *cellTimeout,
+		sched:       bgpchurn.NewScheduler(*parallel),
+		stdout:      stdout,
+		metrics:     bgpchurn.NewObsMetrics(),
 	}
 	r.sched.SetObs(r.metrics)
+	r.sched.SetRetryPolicy(*retries, 0)
 	bgpchurn.InstrumentTopologyGeneration(r.metrics)
 	if *tracePath != "" {
 		r.trace = bgpchurn.NewUpdateTrace(*traceCap)
@@ -104,25 +148,48 @@ func main() {
 	if *obsAddr != "" {
 		srv, err := bgpchurn.ServeObs(*obsAddr, r.metrics)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		defer srv.Close()
-		fmt.Printf("obs: serving /metrics, /debug/vars, /debug/pprof/ on http://%s\n", srv.Addr())
+		fmt.Fprintf(stdout, "obs: serving /metrics, /debug/vars, /debug/pprof/ on http://%s\n", srv.Addr())
 	}
-	logCell, err := report.NewCellLogger(os.Stdout, *logFormat)
+	if *journalPath != "" {
+		if *resume {
+			recs, truncated, err := bgpchurn.LoadJournal(*journalPath)
+			switch {
+			case errors.Is(err, os.ErrNotExist):
+				fmt.Fprintf(stdout, "resume: no journal at %s, starting fresh\n", *journalPath)
+			case err != nil:
+				return fail(err)
+			default:
+				seeded := r.sched.Resume(recs)
+				fmt.Fprintf(stdout, "resume: seeded %d cells from %s\n", seeded, *journalPath)
+				if truncated {
+					fmt.Fprintf(stdout, "resume: dropped a torn final journal line (crash mid-append); that cell will be recomputed\n")
+				}
+			}
+		}
+		j, err := bgpchurn.OpenJournal(*journalPath)
+		if err != nil {
+			return fail(err)
+		}
+		defer j.Close()
+		r.sched.SetJournal(j)
+	}
+	logCell, err := report.NewCellLogger(stdout, *logFormat)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	r.sched.OnCell = func(cs bgpchurn.CellStatus) {
 		r.recordCell(cs)
 		logCell(report.CellEvent{
 			Scenario: cs.Scenario, N: cs.N, Seed: cs.Seed, State: cs.State.String(),
-			Elapsed: cs.Elapsed, Err: cs.Err,
+			Attempt: cs.Attempt, Elapsed: cs.Elapsed, Err: cs.Err,
 		})
 	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	}
 
@@ -156,41 +223,98 @@ func main() {
 		{"ext", (*runner).extensions, "extensions: L-events, exploration, burstiness"},
 	}
 	start := time.Now()
+	var runErr error
 	// Warm the scheduler cache: every sweep the selected figures need runs
 	// as one parallel scenario×size grid, each unique cell exactly once.
+	// Quarantined cells do not abort the run — figures that depend on them
+	// are skipped below while everything else renders.
 	if err := r.prefetch(wanted); err != nil {
-		fatal(err)
-	}
-	var ran []string
-	for _, f := range figures {
-		if !wanted[f.id] {
-			continue
+		switch {
+		case errors.Is(err, context.Canceled):
+			r.interrupted = true
+		case bgpchurn.IsQuarantined(err):
+			// Reported per-figure and in the summary.
+		default:
+			runErr = err
 		}
-		ran = append(ran, f.id)
-		fmt.Printf("=== Figure %s: %s ===\n", f.id, f.des)
-		if err := f.fn(r); err != nil {
-			fatal(fmt.Errorf("figure %s: %w", f.id, err))
-		}
-		fmt.Println()
 	}
-	st := r.sched.CacheStats()
-	fmt.Printf("done in %v (grid cells computed: %d, cache hits: %d)\n",
-		time.Since(start).Round(time.Second), st.Misses, st.Hits)
+	var ran, skipped []string
+	if runErr == nil && !r.interrupted {
+		for _, f := range figures {
+			if !wanted[f.id] {
+				continue
+			}
+			if ctx.Err() != nil {
+				r.interrupted = true
+				break
+			}
+			fmt.Fprintf(stdout, "=== Figure %s: %s ===\n", f.id, f.des)
+			if err := f.fn(r); err != nil {
+				if errors.Is(err, context.Canceled) {
+					r.interrupted = true
+					break
+				}
+				if bgpchurn.IsQuarantined(err) {
+					skipped = append(skipped, f.id)
+					fmt.Fprintf(stderr, "experiments: figure %s skipped (quarantined cell): %v\n", f.id, err)
+					fmt.Fprintln(stdout)
+					continue
+				}
+				runErr = fmt.Errorf("figure %s: %w", f.id, err)
+				break
+			}
+			ran = append(ran, f.id)
+			fmt.Fprintln(stdout)
+		}
+	}
 
+	// Epilogue: summary, quarantine report, trace, journal and manifest all
+	// flush regardless of how the run ended, so an interrupted run leaves a
+	// complete checkpoint behind for -resume.
+	st := r.sched.CacheStats()
+	fmt.Fprintf(stdout, "done in %v (grid cells computed: %d, cache hits: %d, resumed: %d, retries: %d, quarantined: %d, cancelled: %d)\n",
+		time.Since(start).Round(time.Second), st.Misses, st.Hits, st.Resumed, st.Retries, st.Quarantined, st.Cancelled)
+	quarantined := r.sched.Quarantined()
+	for _, q := range quarantined {
+		fmt.Fprintf(stderr, "experiments: quarantined: %v\n", q)
+	}
+	if len(skipped) > 0 {
+		fmt.Fprintf(stderr, "experiments: figures skipped due to quarantined cells: %s\n", strings.Join(skipped, ","))
+	}
 	if *tracePath != "" {
-		if err := writeTrace(*tracePath, r.trace); err != nil {
-			fatal(err)
+		if err := writeTrace(*tracePath, r.trace); err != nil && runErr == nil {
+			runErr = err
+		} else if err == nil {
+			fmt.Fprintf(stdout, "trace: %s (%d records, %d overwritten)\n", *tracePath, r.trace.Len(), r.trace.Dropped())
 		}
-		fmt.Printf("trace: %s (%d records, %d overwritten)\n", *tracePath, r.trace.Len(), r.trace.Dropped())
+	}
+	if j := r.sched.Journal(); j != nil {
+		if err := j.Err(); err != nil {
+			fmt.Fprintf(stderr, "experiments: journal incomplete (results are unaffected): %v\n", err)
+		} else if j.Appended() > 0 {
+			fmt.Fprintf(stdout, "journal: %s (%d cells checkpointed)\n", j.Path(), j.Appended())
+		}
 	}
 	if *manifest != "" {
 		cfgMap := map[string]string{}
-		flag.VisitAll(func(f *flag.Flag) { cfgMap[f.Name] = f.Value.String() })
-		if err := r.writeManifest(*manifest, cfgMap, ran, time.Since(start)); err != nil {
-			fatal(err)
+		fs.VisitAll(func(f *flag.Flag) { cfgMap[f.Name] = f.Value.String() })
+		if err := r.writeManifest(*manifest, cfgMap, ran, time.Since(start)); err != nil && runErr == nil {
+			runErr = err
+		} else if err == nil {
+			fmt.Fprintf(stdout, "manifest: %s\n", *manifest)
 		}
-		fmt.Printf("manifest: %s\n", *manifest)
 	}
+
+	switch {
+	case runErr != nil:
+		return fail(runErr)
+	case r.interrupted:
+		fmt.Fprintln(stderr, "experiments: interrupted; rerun with -resume to finish from the journal")
+		return exitInterrupted
+	case len(quarantined) > 0 || len(skipped) > 0:
+		return exitQuarantined
+	}
+	return exitOK
 }
 
 // writeTrace exports the update-trace ring as JSONL.
@@ -207,6 +331,9 @@ func writeTrace(path string, tr *bgpchurn.UpdateTrace) error {
 }
 
 type runner struct {
+	// ctx is the run's cancellation context (signal-driven in the binary;
+	// nil means context.Background).
+	ctx      context.Context
 	seed     uint64
 	fast     bool
 	outDir   string
@@ -214,6 +341,11 @@ type runner struct {
 	parallel int
 	// warm enables warm-start convergence (Experiment.WarmStart).
 	warm bool
+	// cellTimeout is the per-cell deadline (-cell-timeout; 0 = none).
+	cellTimeout time.Duration
+	// interrupted records that the run was cancelled by a signal, for the
+	// manifest.
+	interrupted bool
 	// sched runs every sweep: cells execute on its worker pool and figures
 	// that request the same sweep are served from its result cache.
 	sched *bgpchurn.Scheduler
@@ -242,6 +374,9 @@ func (r *runner) recordCell(cs bgpchurn.CellStatus) {
 		State:     cs.State.String(),
 		ElapsedMS: float64(cs.Elapsed) / float64(time.Millisecond),
 	}
+	if cs.Attempt > 1 {
+		ct.Attempts = cs.Attempt
+	}
 	if cs.Err != nil {
 		ct.Err = cs.Err.Error()
 	}
@@ -263,16 +398,52 @@ func (r *runner) writeManifest(path string, config map[string]string, figures []
 		Seed:          r.seed,
 		Figures:       figures,
 		Cells:         r.cells,
-		Cache:         bgpchurn.ManifestCacheCounts{Hits: st.Hits, Misses: st.Misses, Evictions: st.Evictions},
-		WallSeconds:   wall.Seconds(),
+		Cache: bgpchurn.ManifestCacheCounts{
+			Hits: st.Hits, Misses: st.Misses, Evictions: st.Evictions,
+			Resumed: st.Resumed, Retries: st.Retries,
+			Quarantined: st.Quarantined, Cancelled: st.Cancelled,
+		},
+		Outcomes:    cellOutcomes(r.cells),
+		Interrupted: r.interrupted,
+		WallSeconds: wall.Seconds(),
 	}
 	if r.cells == nil {
 		mf.Cells = []bgpchurn.CellTiming{}
+	}
+	if j := r.sched.Journal(); j != nil {
+		mf.Journal = j.Path()
+		mf.JournalCells = j.Appended()
 	}
 	if r.metrics != nil {
 		mf.Counters = r.metrics.Snapshot()
 	}
 	return mf.WriteFile(path)
+}
+
+// cellOutcomes folds per-cell progress events into final outcome counts.
+// "retried" events are intermediate — the cell's final event carries its
+// attempt count — so a cell that succeeded after retries counts once, as
+// "retried", and a first-try success counts as "ok".
+func cellOutcomes(cells []bgpchurn.CellTiming) map[string]int {
+	if len(cells) == 0 {
+		return nil
+	}
+	out := map[string]int{}
+	for _, c := range cells {
+		switch c.State {
+		case "retried":
+			// Intermediate event, not an outcome.
+		case "done":
+			if c.Attempts > 1 {
+				out["retried"]++
+			} else {
+				out["ok"]++
+			}
+		default:
+			out[c.State]++
+		}
+	}
+	return out
 }
 
 // sweepVariant names one (scenario, protocol) sweep a figure depends on.
@@ -335,9 +506,9 @@ func (r *runner) prefetch(wanted map[string]bool) error {
 		}
 		return !reqs[i].Event.BGP.RateLimitWithdrawals
 	})
-	fmt.Printf("scheduling %d sweeps (%d grid cells, parallelism %d)...\n",
+	fmt.Fprintf(r.stdout, "scheduling %d sweeps (%d grid cells, parallelism %d)...\n",
 		len(reqs), len(reqs)*len(r.sizes()), r.workers())
-	_, err := r.sched.RunGrid(reqs)
+	_, err := r.sched.RunGrid(r.ctx, reqs)
 	return err
 }
 
@@ -361,6 +532,7 @@ func (r *runner) experiment(wrate bool) bgpchurn.Experiment {
 	}
 	cfg.Parallelism = r.parallel
 	cfg.WarmStart = r.warm
+	cfg.CellTimeout = r.cellTimeout
 	cfg.Obs = r.metrics
 	cfg.Trace = r.trace
 	return cfg
@@ -378,7 +550,7 @@ func (r *runner) workers() int {
 // this is pure cache traffic (hits are logged by the OnCell callback);
 // results are byte-identical to the sequential bgpchurn.Sweep.
 func (r *runner) sweep(sc bgpchurn.Scenario, wrate bool) (*bgpchurn.SweepResult, error) {
-	return r.sched.RunSweep(sc, bgpchurn.SweepConfig{
+	return r.sched.RunSweep(r.ctx, sc, bgpchurn.SweepConfig{
 		Sizes:        r.sizes(),
 		TopologySeed: r.seed,
 		Event:        r.experiment(wrate),
@@ -746,9 +918,4 @@ func (r *runner) extensions() error {
 		return t.WriteCSV(f)
 	}
 	return nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
 }

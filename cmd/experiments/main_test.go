@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"io"
 	"os"
@@ -172,6 +173,160 @@ func TestFig4FastGoldenCSV(t *testing.T) {
 	}
 	if !bytes.Equal(got, want.Bytes()) {
 		t.Errorf("scheduler CSV differs from sequential sweep CSV:\nscheduler:\n%s\nsequential:\n%s", got, want.Bytes())
+	}
+}
+
+// TestKillAndResumeByteIdenticalCSV is the crash-recovery property test:
+// a run cancelled mid-grid leaves a journal from which a fresh process
+// recomputes only the missing cells — and the resumed run's figure CSV is
+// byte-identical to an uninterrupted run's.
+func TestKillAndResumeByteIdenticalCSV(t *testing.T) {
+	refDir, resDir := t.TempDir(), t.TempDir()
+	journal := filepath.Join(t.TempDir(), "cells.journal")
+
+	// Reference: uninterrupted run.
+	ref := fastRunner(1)
+	ref.outDir = refDir
+	if err := ref.fig4(); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join(refDir, "fig4.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: cancel the grid context as soon as the first cell
+	// completes; in-flight cells drain, the rest are abandoned.
+	interrupted := fastRunner(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	interrupted.ctx = ctx
+	j, err := bgpchurn.OpenJournal(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interrupted.sched.SetJournal(j)
+	interrupted.sched.OnCell = func(cs bgpchurn.CellStatus) {
+		if cs.State == bgpchurn.CellDone {
+			cancel()
+		}
+	}
+	if err := interrupted.fig4(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run: want context.Canceled, got %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	checkpointed := j.Appended()
+	if checkpointed < 1 || checkpointed >= len(interrupted.sizes()) {
+		t.Fatalf("journal has %d cells, want a strict subset of %d", checkpointed, len(interrupted.sizes()))
+	}
+
+	// Resumed run in a "fresh process": new runner, journal replayed.
+	resumed := fastRunner(1)
+	resumed.outDir = resDir
+	recs, truncated, err := bgpchurn.LoadJournal(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncated {
+		t.Fatal("cleanly closed journal reported a torn tail")
+	}
+	if got := resumed.sched.Resume(recs); got != checkpointed {
+		t.Fatalf("Resume seeded %d cells, journal had %d", got, checkpointed)
+	}
+	var resumedCells int
+	resumed.sched.OnCell = func(cs bgpchurn.CellStatus) {
+		if cs.State == bgpchurn.CellResumed {
+			resumedCells++
+		}
+	}
+	if err := resumed.fig4(); err != nil {
+		t.Fatal(err)
+	}
+	if resumedCells != checkpointed {
+		t.Fatalf("resumed-cell events = %d, want %d (every journaled cell a cache hit)", resumedCells, checkpointed)
+	}
+	st := resumed.sched.CacheStats()
+	if st.Misses != len(resumed.sizes())-checkpointed {
+		t.Fatalf("resumed run computed %d cells, want only the %d missing ones",
+			st.Misses, len(resumed.sizes())-checkpointed)
+	}
+
+	got, err := os.ReadFile(filepath.Join(resDir, "fig4.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("resumed CSV differs from uninterrupted run:\nresumed:\n%s\nreference:\n%s", got, want)
+	}
+}
+
+// TestRunExitCodes drives the whole binary through its testable seam.
+func TestRunExitCodes(t *testing.T) {
+	if code := run([]string{"-no-such-flag"}, io.Discard, io.Discard); code != exitUsage {
+		t.Fatalf("bad flag: exit %d, want %d", code, exitUsage)
+	}
+	if code := run([]string{"-fig", "nope", "-manifest", "", "-journal", ""}, io.Discard, io.Discard); code != exitOK {
+		t.Fatalf("no matching figures: exit %d, want %d (vacuous success)", code, exitOK)
+	}
+	// Figure 1 runs no sweeps, so this exercises the full pipeline —
+	// journal, manifest, epilogue — in milliseconds.
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "manifest.json")
+	journal := filepath.Join(dir, "cells.journal")
+	code := run([]string{"-fig", "1", "-fast", "-manifest", manifest, "-journal", journal}, io.Discard, io.Discard)
+	if code != exitOK {
+		t.Fatalf("fig 1 run: exit %d, want %d", code, exitOK)
+	}
+	mf, err := bgpchurn.ReadManifest(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mf.Interrupted {
+		t.Fatal("clean run marked interrupted")
+	}
+	if len(mf.Figures) != 1 || mf.Figures[0] != "1" {
+		t.Fatalf("manifest figures = %v", mf.Figures)
+	}
+	// The journal was created with a valid header even though no cells ran.
+	recs, truncated, err := bgpchurn.LoadJournal(journal)
+	if err != nil || truncated || len(recs) != 0 {
+		t.Fatalf("fresh journal: recs=%v truncated=%v err=%v", recs, truncated, err)
+	}
+	// A -resume rerun of the same figure also succeeds.
+	if code := run([]string{"-fig", "1", "-fast", "-resume", "-manifest", "", "-journal", journal}, io.Discard, io.Discard); code != exitOK {
+		t.Fatalf("resume rerun: exit %d, want %d", code, exitOK)
+	}
+}
+
+func TestCellOutcomes(t *testing.T) {
+	cells := []bgpchurn.CellTiming{
+		{State: "done"},
+		{State: "done", Attempts: 3},
+		{State: "retried", Attempts: 1}, // intermediate: not an outcome
+		{State: "retried", Attempts: 2}, // intermediate: not an outcome
+		{State: "cached"},
+		{State: "resumed"},
+		{State: "quarantined", Attempts: 2},
+		{State: "cancelled"},
+		{State: "failed"},
+	}
+	got := cellOutcomes(cells)
+	want := map[string]int{
+		"ok": 1, "retried": 1, "cached": 1, "resumed": 1,
+		"quarantined": 1, "cancelled": 1, "failed": 1,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("outcomes = %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("outcomes[%s] = %d, want %d (full: %v)", k, got[k], v, got)
+		}
+	}
+	if cellOutcomes(nil) != nil {
+		t.Fatal("empty cell list must fold to nil outcomes")
 	}
 }
 

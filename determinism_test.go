@@ -9,6 +9,7 @@ package bgpchurn
 // WRATE and NO-WRATE protocol variants.
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -76,7 +77,7 @@ func TestScheduledGridIdenticalToSequential(t *testing.T) {
 		want := fingerprintSweep(seq)
 		for _, par := range []int{1, 4, runtime.NumCPU()} {
 			sched := NewScheduler(par)
-			got, err := sched.RunSweep(Baseline, sweepCfg)
+			got, err := sched.RunSweep(context.Background(), Baseline, sweepCfg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -87,7 +88,7 @@ func TestScheduledGridIdenticalToSequential(t *testing.T) {
 		}
 		// And through a multi-request grid, where the scheduler interleaves
 		// this sweep with another scenario's cells.
-		out, err := RunGrid([]GridRequest{
+		out, err := RunGrid(context.Background(), []GridRequest{
 			{Scenario: Baseline, Sizes: sizes, TopologySeed: 9, Event: cfg},
 			{Scenario: Tree, Sizes: sizes, TopologySeed: 9, Event: cfg},
 		})
@@ -134,11 +135,11 @@ func TestRunSweepRepeatable(t *testing.T) {
 	// Two independent schedulers over the same seeds must agree exactly —
 	// the cache key covers every input that determines a cell's result.
 	cfg := SweepConfig{Sizes: []int{200, 300}, TopologySeed: 31, Event: protocolVariants(31, 4)["WRATE"]}
-	a, err := RunSweep(Baseline, cfg)
+	a, err := RunSweep(context.Background(), Baseline, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunSweep(Baseline, cfg)
+	b, err := RunSweep(context.Background(), Baseline, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

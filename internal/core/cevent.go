@@ -7,9 +7,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"bgpchurn/internal/bgp"
 	"bgpchurn/internal/des"
@@ -80,6 +82,13 @@ type Config struct {
 	// steady-state runs: appending takes a mutex, though it never allocates.
 	// Excluded from the cache key like Obs.
 	Trace *obs.UpdateTrace
+	// CellTimeout, when positive, bounds the wall-clock time of each grid
+	// cell run through the scheduler. A cell exceeding it fails with a
+	// CellTimeoutError — a transient fault that is retried, then
+	// quarantined. Like Parallelism it cannot change what a result is, only
+	// whether it arrives, so it is excluded from the scheduler's cache key.
+	// Ignored by direct RunCEvents calls (no deadline).
+	CellTimeout time.Duration
 }
 
 // DefaultConfig returns the paper's experiment setup (100 origins,
@@ -177,6 +186,17 @@ type originAccum struct {
 // With cfg.Kind == LinkEvent the same procedure fails and restores the
 // origin's primary transit link instead.
 func RunCEvents(topo *topology.Topology, cfg Config) (*Result, error) {
+	return RunCEventsContext(context.Background(), topo, cfg)
+}
+
+// RunCEventsContext is RunCEvents under a context: cancellation (or a
+// deadline) stops the experiment at the next origin boundary — origins
+// already simulated finish normally, no new ones start — and returns
+// ctx.Err(). A cancelled experiment never returns a partial Result.
+func RunCEventsContext(ctx context.Context, topo *topology.Topology, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := cfg.BGP.Validate(); err != nil {
 		return nil, err
 	}
@@ -226,15 +246,29 @@ func RunCEvents(topo *topology.Topology, cfg Config) (*Result, error) {
 				})
 			}
 			for idx := range next {
+				if err := ctx.Err(); err != nil {
+					errs[idx] = err
+					continue
+				}
 				errs[idx] = runOneOrigin(net, topo, origins[idx], cfg.BGP.Seed+uint64(idx)*0x9e3779b97f4a7c15, settle, cfg, &accums[idx])
 			}
 		}()
 	}
+	delivered := 0
+feed:
 	for i := range origins {
-		next <- i
+		select {
+		case next <- i:
+			delivered++
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
+	if delivered < len(origins) {
+		return nil, ctx.Err()
+	}
 	// Report the first failure by origin index, so the error is independent
 	// of worker scheduling.
 	for _, err := range errs {

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"time"
+)
+
+// Fault taxonomy of the experiment scheduler. A cell computation can end
+// three ways short of success:
+//
+//   - a *transient* fault (CellPanicError, CellTimeoutError): the worker
+//     survived it and the scheduler may retry the cell, up to its retry
+//     budget, after which the cell is quarantined (CellQuarantinedError);
+//   - a *permanent* error (anything else: invalid configuration, a topology
+//     that cannot host the scenario): retrying a deterministic simulation
+//     with identical inputs cannot change the outcome, so the error is
+//     reported immediately;
+//   - a *cancellation* (the grid context was cancelled or timed out as a
+//     whole): the cell is abandoned without being cached, so a resumed run
+//     recomputes it.
+
+// CellPanicError reports a panic recovered inside one cell worker: the
+// panicking cell is isolated (other cells keep running) and the panic value
+// and stack are preserved for the summary and manifest.
+type CellPanicError struct {
+	// Key names the cell whose computation panicked.
+	Key CellKey
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+// Error renders the panic without the stack (which can be multiple KB);
+// callers that want the stack read the field.
+func (e *CellPanicError) Error() string {
+	return fmt.Sprintf("cell %s n=%d panicked: %v", e.Key.Scenario, e.Key.N, e.Value)
+}
+
+// CellTimeoutError reports a cell that exceeded Config.CellTimeout. The
+// grid keeps running; the cell counts as a transient fault (a loaded
+// machine can starve one worker) and is retried, then quarantined.
+type CellTimeoutError struct {
+	// Key names the timed-out cell.
+	Key CellKey
+	// Timeout is the configured per-cell deadline.
+	Timeout time.Duration
+}
+
+func (e *CellTimeoutError) Error() string {
+	return fmt.Sprintf("cell %s n=%d exceeded its %v deadline", e.Key.Scenario, e.Key.N, e.Timeout)
+}
+
+// Is lets errors.Is(err, context.DeadlineExceeded) keep working on wrapped
+// cell timeouts.
+func (e *CellTimeoutError) Is(target error) bool { return target == context.DeadlineExceeded }
+
+// CellQuarantinedError reports a cell whose transient faults exhausted the
+// scheduler's retry budget. The cell is excluded from the sweep's points;
+// every other cell of the grid still completes, and the quarantined cell is
+// surfaced in the run summary and manifest instead of failing the process.
+type CellQuarantinedError struct {
+	// Key names the quarantined cell.
+	Key CellKey
+	// Attempts is the total number of computations tried (1 + retries).
+	Attempts int
+	// Last is the fault of the final attempt.
+	Last error
+}
+
+func (e *CellQuarantinedError) Error() string {
+	return fmt.Sprintf("cell %s n=%d quarantined after %d attempts: %v", e.Key.Scenario, e.Key.N, e.Attempts, e.Last)
+}
+
+// Unwrap exposes the final fault, so errors.As reaches the underlying
+// CellPanicError or CellTimeoutError through the quarantine wrapper.
+func (e *CellQuarantinedError) Unwrap() error { return e.Last }
+
+// IsTransient reports whether err is a fault the scheduler may retry: a
+// recovered panic or a per-cell timeout (possibly wrapped). Permanent
+// errors — invalid configurations, impossible topologies — are not, and
+// neither is grid-level cancellation.
+func IsTransient(err error) bool {
+	var pe *CellPanicError
+	var te *CellTimeoutError
+	return errors.As(err, &pe) || errors.As(err, &te)
+}
+
+// IsQuarantined reports whether err carries a CellQuarantinedError, i.e.
+// the run completed but left one or more cells quarantined.
+func IsQuarantined(err error) bool {
+	var qe *CellQuarantinedError
+	return errors.As(err, &qe)
+}
+
+// keyHash returns a stable 64-bit digest of a cell key (FNV-1a over its
+// canonical JSON). It seeds the cell's deterministic retry-backoff RNG and
+// validates journal records, so it must depend only on the key's value.
+func keyHash(key CellKey) uint64 {
+	b, err := json.Marshal(key)
+	if err != nil {
+		// CellKey is a plain value struct; Marshal cannot fail on it. Keep a
+		// stable fallback anyway rather than panicking inside error handling.
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}

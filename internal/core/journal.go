@@ -1,0 +1,287 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// The cell journal is the scheduler's crash-safe checkpoint: one JSONL file
+// under the run's results directory recording every successfully computed
+// (CellKey, Result) pair. A restarted run replays the journal into the
+// scheduler's singleflight cache (Scheduler.Resume), so only cells absent
+// from the journal — never-computed, quarantined, or in flight when the
+// process died — are recomputed.
+//
+// Crash-safety model (documented in DESIGN.md, "Failure model"):
+//
+//   - the file is created atomically: the header line is written to a temp
+//     file in the same directory and renamed into place, so a journal path
+//     either does not exist or starts with a valid header;
+//   - each record is appended with a single write and fsynced, and embeds a
+//     content hash (FNV-1a over the record's canonical JSON) — a torn or
+//     half-flushed final line fails validation and is tolerated on load;
+//   - corruption anywhere before the final line means the file was edited
+//     or the filesystem lied, which resume must not paper over: Load
+//     returns an error instead of silently dropping interior records.
+//
+// Checkpointing happens once per computed cell — never inside the DES event
+// loop — so the kernel's zero-allocation steady state is untouched (see
+// `make resume-smoke` and the journal benchguard assertion).
+
+// journalMagic identifies the file type in the header line.
+const journalMagic = "bgpchurn-cells"
+
+// JournalVersion is the current journal layout; bump on breaking changes.
+const JournalVersion = 1
+
+// journalHeader is the first line of every journal file.
+type journalHeader struct {
+	Journal string `json:"journal"`
+	Version int    `json:"version"`
+}
+
+// journalCell is the hashed payload of one record line.
+type journalCell struct {
+	Key    CellKey `json:"key"`
+	Result *Result `json:"result"`
+}
+
+// journalLine is one record as stored: the payload plus its content hash.
+// Cell stays a RawMessage on load so the hash is verified over the exact
+// stored bytes, not a re-marshalled approximation.
+type journalLine struct {
+	Sum  string          `json:"sum"`
+	Cell json.RawMessage `json:"cell"`
+}
+
+// JournalRecord is one replayable checkpoint: a cell key and its result.
+type JournalRecord struct {
+	Key    CellKey
+	Result *Result
+}
+
+// cellSum hashes a record payload (FNV-1a, hex).
+func cellSum(payload []byte) string {
+	h := fnv.New64a()
+	h.Write(payload)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Journal is an append-only cell checkpoint writer. Safe for concurrent
+// use; the scheduler appends from its worker goroutines.
+type Journal struct {
+	mu       sync.Mutex
+	path     string
+	f        *os.File
+	appended int
+	err      error // first append failure, sticky
+}
+
+// OpenJournal opens the journal at path for appending, creating it (and
+// parent directories) with a header line if it does not exist. Creation is
+// atomic: a partially created journal is never visible at path.
+func OpenJournal(path string) (*Journal, error) {
+	if path == "" {
+		return nil, fmt.Errorf("core: empty journal path")
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("core: journal: %w", err)
+	}
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		hdr, err := json.Marshal(journalHeader{Journal: journalMagic, Version: JournalVersion})
+		if err != nil {
+			return nil, fmt.Errorf("core: journal: %w", err)
+		}
+		tmp, err := os.CreateTemp(filepath.Dir(path), ".journal-*")
+		if err != nil {
+			return nil, fmt.Errorf("core: journal: %w", err)
+		}
+		if _, err := tmp.Write(append(hdr, '\n')); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return nil, fmt.Errorf("core: journal: %w", err)
+		}
+		if err := tmp.Close(); err != nil {
+			os.Remove(tmp.Name())
+			return nil, fmt.Errorf("core: journal: %w", err)
+		}
+		if err := os.Rename(tmp.Name(), path); err != nil {
+			os.Remove(tmp.Name())
+			return nil, fmt.Errorf("core: journal: %w", err)
+		}
+	} else if err != nil {
+		return nil, fmt.Errorf("core: journal: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("core: journal: %w", err)
+	}
+	return &Journal{path: path, f: f}, nil
+}
+
+// Append checkpoints one computed cell: a single hashed JSONL line, written
+// in one call and fsynced so a completed cell survives a crash immediately
+// after. Append failures are sticky (see Err) and returned, but the
+// scheduler treats them as non-fatal: losing a checkpoint must not fail the
+// computation it checkpoints.
+func (j *Journal) Append(key CellKey, res *Result) error {
+	payload, err := json.Marshal(journalCell{Key: key, Result: res})
+	if err != nil {
+		return j.fail(fmt.Errorf("core: journal: %w", err))
+	}
+	line, err := json.Marshal(journalLine{Sum: cellSum(payload), Cell: payload})
+	if err != nil {
+		return j.fail(fmt.Errorf("core: journal: %w", err))
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		j.err = fmt.Errorf("core: journal: append after Close")
+		return j.err
+	}
+	if _, err := j.f.Write(line); err != nil {
+		j.err = fmt.Errorf("core: journal: %w", err)
+		return j.err
+	}
+	if err := j.f.Sync(); err != nil {
+		j.err = fmt.Errorf("core: journal: %w", err)
+		return j.err
+	}
+	j.appended++
+	return nil
+}
+
+func (j *Journal) fail(err error) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err == nil {
+		j.err = err
+	}
+	return err
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Appended returns the number of records written by this writer.
+func (j *Journal) Appended() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appended
+}
+
+// Err returns the first append failure, if any. A run should surface it as
+// a warning: the results are fine, but the checkpoint is incomplete.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Close syncs and closes the underlying file. Further Appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	if err != nil && j.err == nil {
+		j.err = err
+	}
+	return err
+}
+
+// LoadJournal reads a journal written by Journal.Append. It returns the
+// replayable records (last record wins on duplicate keys, preserving first
+// appearance order) and whether a torn final line was dropped.
+//
+// Tolerance is deliberately asymmetric: a truncated or hash-invalid final
+// line is the expected signature of a crash mid-append and is skipped,
+// while a bad header or corruption before the final line means the file is
+// not trustworthy and loading fails.
+func LoadJournal(path string) (records []JournalRecord, truncated bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 64<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, false, fmt.Errorf("core: journal %s: %w", path, err)
+		}
+		return nil, false, fmt.Errorf("core: journal %s: empty file (missing header)", path)
+	}
+	var hdr journalHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil || hdr.Journal != journalMagic {
+		return nil, false, fmt.Errorf("core: journal %s: invalid header", path)
+	}
+	if hdr.Version != JournalVersion {
+		return nil, false, fmt.Errorf("core: journal %s: version %d, want %d", path, hdr.Version, JournalVersion)
+	}
+
+	byKey := map[CellKey]int{} // key -> index in records, for last-wins dedup
+	lineNo := 1
+	var pendingErr error // a bad line is only an error if another line follows
+	for sc.Scan() {
+		lineNo++
+		if pendingErr != nil {
+			return nil, false, pendingErr
+		}
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		rec, err := parseJournalLine(line)
+		if err != nil {
+			pendingErr = fmt.Errorf("core: journal %s: line %d: %w", path, lineNo, err)
+			continue
+		}
+		if i, ok := byKey[rec.Key]; ok {
+			records[i] = rec
+			continue
+		}
+		byKey[rec.Key] = len(records)
+		records = append(records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, false, fmt.Errorf("core: journal %s: %w", path, err)
+	}
+	if pendingErr != nil {
+		// The bad line was the last one: a torn append, tolerated.
+		return records, true, nil
+	}
+	return records, false, nil
+}
+
+// parseJournalLine validates and decodes one record line.
+func parseJournalLine(line []byte) (JournalRecord, error) {
+	var jl journalLine
+	if err := json.Unmarshal(line, &jl); err != nil {
+		return JournalRecord{}, fmt.Errorf("unparseable record: %w", err)
+	}
+	if len(jl.Cell) == 0 {
+		return JournalRecord{}, fmt.Errorf("record without cell payload")
+	}
+	if got := cellSum(jl.Cell); got != jl.Sum {
+		return JournalRecord{}, fmt.Errorf("content hash mismatch (stored %s, computed %s)", jl.Sum, got)
+	}
+	var cell journalCell
+	if err := json.Unmarshal(jl.Cell, &cell); err != nil {
+		return JournalRecord{}, fmt.Errorf("unparseable cell payload: %w", err)
+	}
+	if cell.Result == nil {
+		return JournalRecord{}, fmt.Errorf("record without result")
+	}
+	return JournalRecord{Key: cell.Key, Result: cell.Result}, nil
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func journalTestKey(n int) CellKey {
+	return CellKey{Scenario: "BASELINE", N: n, TopologySeed: 1, Origins: 4}
+}
+
+func journalTestResult(n int) *Result {
+	return &Result{N: n, Origins: 4, TotalUpdates: float64(n) * 1.5}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results", "cells.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{100, 200, 300} {
+		if err := j.Append(journalTestKey(n), journalTestResult(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if j.Appended() != 3 {
+		t.Fatalf("Appended = %d, want 3", j.Appended())
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(journalTestKey(400), journalTestResult(400)); err == nil {
+		t.Fatal("append after Close succeeded")
+	}
+
+	recs, truncated, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncated {
+		t.Fatal("clean journal reported truncated")
+	}
+	if len(recs) != 3 {
+		t.Fatalf("loaded %d records, want 3", len(recs))
+	}
+	for i, n := range []int{100, 200, 300} {
+		if recs[i].Key != journalTestKey(n) {
+			t.Fatalf("record %d key = %+v", i, recs[i].Key)
+		}
+		if recs[i].Result.TotalUpdates != float64(n)*1.5 {
+			t.Fatalf("record %d result = %+v", i, recs[i].Result)
+		}
+	}
+}
+
+func TestJournalReopenAppends(t *testing.T) {
+	// A resumed run reopens the same journal and keeps appending; earlier
+	// records survive, and a rewritten key wins last (first-appearance
+	// order preserved).
+	path := filepath.Join(t.TempDir(), "cells.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(journalTestKey(100), journalTestResult(100)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	updated := journalTestResult(100)
+	updated.TotalUpdates = 999
+	if err := j2.Append(journalTestKey(100), updated); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Append(journalTestKey(200), journalTestResult(200)); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+
+	recs, _, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("loaded %d records, want 2 after dedup", len(recs))
+	}
+	if recs[0].Key.N != 100 || recs[0].Result.TotalUpdates != 999 {
+		t.Fatalf("dedup kept the stale record: %+v", recs[0])
+	}
+	if recs[1].Key.N != 200 {
+		t.Fatalf("record order changed: %+v", recs[1])
+	}
+}
+
+func TestJournalTornFinalLineTolerated(t *testing.T) {
+	// A crash mid-append leaves a torn last line; load must drop exactly
+	// that line and report truncated=true.
+	path := filepath.Join(t.TempDir(), "cells.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(journalTestKey(100), journalTestResult(100))
+	j.Append(journalTestKey(200), journalTestResult(200))
+	j.Close()
+
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final record: drop its trailing bytes (newline included).
+	if err := os.WriteFile(path, b[:len(b)-15], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, truncated, err := LoadJournal(path)
+	if err != nil {
+		t.Fatalf("torn tail must be tolerated, got %v", err)
+	}
+	if !truncated {
+		t.Fatal("truncated not reported")
+	}
+	if len(recs) != 1 || recs[0].Key.N != 100 {
+		t.Fatalf("recs = %+v, want only the intact first record", recs)
+	}
+}
+
+func TestJournalMidFileCorruptionFails(t *testing.T) {
+	// Corruption before the final line means the file was edited or the
+	// filesystem lied: load must fail rather than silently drop records.
+	path := filepath.Join(t.TempDir(), "cells.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(journalTestKey(100), journalTestResult(100))
+	j.Append(journalTestKey(200), journalTestResult(200))
+	j.Close()
+
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(b), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("journal has %d lines, want header + 2 records", len(lines))
+	}
+	// Flip a payload byte inside the FIRST record so its hash mismatches.
+	tampered := strings.Replace(lines[1], `"N":100`, `"N":101`, 1)
+	if tampered == lines[1] {
+		t.Fatalf("tamper target not found in record: %s", lines[1])
+	}
+	lines[1] = tampered
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := LoadJournal(path); err == nil {
+		t.Fatal("mid-file corruption loaded without error")
+	} else if !strings.Contains(err.Error(), "hash mismatch") {
+		t.Fatalf("error does not name the hash mismatch: %v", err)
+	}
+}
+
+func TestJournalHeaderValidation(t *testing.T) {
+	dir := t.TempDir()
+
+	empty := filepath.Join(dir, "empty.journal")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadJournal(empty); err == nil {
+		t.Fatal("empty file loaded without error")
+	}
+
+	wrongMagic := filepath.Join(dir, "magic.journal")
+	if err := os.WriteFile(wrongMagic, []byte(`{"journal":"other","version":1}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadJournal(wrongMagic); err == nil {
+		t.Fatal("wrong magic loaded without error")
+	}
+
+	wrongVersion := filepath.Join(dir, "version.journal")
+	hdr, _ := json.Marshal(journalHeader{Journal: journalMagic, Version: JournalVersion + 1})
+	if err := os.WriteFile(wrongVersion, append(hdr, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadJournal(wrongVersion); err == nil {
+		t.Fatal("future version loaded without error")
+	}
+
+	// A valid header with zero records is a fresh journal: fine.
+	j, err := OpenJournal(filepath.Join(dir, "fresh.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	recs, truncated, err := LoadJournal(j.Path())
+	if err != nil || truncated || len(recs) != 0 {
+		t.Fatalf("fresh journal: recs=%v truncated=%v err=%v", recs, truncated, err)
+	}
+}
+
+func TestJournalResultFidelity(t *testing.T) {
+	// The byte-identical resume property rests on JSON round-tripping
+	// floats exactly (encoding/json emits the shortest representation that
+	// parses back to the same float64). Pin that for a Result with
+	// non-trivial fractions.
+	res := journalTestResult(100)
+	res.TotalUpdates = 1.0 / 3.0
+	res.DownSeconds = 0.1 + 0.2 // famously not 0.3
+	res.ByType[0].U = 2.0 / 7.0
+
+	path := filepath.Join(t.TempDir(), "cells.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(journalTestKey(100), res); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	recs, _, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("loaded %d records", len(recs))
+	}
+	if *recs[0].Result != *res {
+		t.Fatalf("result drifted through the journal:\nstored %+v\nloaded %+v", res, recs[0].Result)
+	}
+}

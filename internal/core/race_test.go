@@ -7,6 +7,7 @@ package core
 // RunCEvents' origin-level parallelism — under the race detector.
 
 import (
+	"context"
 	"io"
 	"sync"
 	"testing"
@@ -14,6 +15,7 @@ import (
 	"bgpchurn/internal/bgp"
 	"bgpchurn/internal/obs"
 	"bgpchurn/internal/scenario"
+	"bgpchurn/internal/topology"
 )
 
 // TestRaceConcurrentSweepsShareOneCache hammers a single scheduler from
@@ -33,7 +35,7 @@ func TestRaceConcurrentSweepsShareOneCache(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = s.RunSweep(scenario.Baseline, cfg)
+			results[i], errs[i] = s.RunSweep(context.Background(), scenario.Baseline, cfg)
 		}(i)
 	}
 	wg.Wait()
@@ -66,7 +68,7 @@ func TestRaceGridAcrossScenarios(t *testing.T) {
 		{Scenario: scenario.Tree, Sizes: []int{150, 250}, TopologySeed: 17, Event: ev},
 		{Scenario: scenario.Baseline, Sizes: []int{150, 250}, TopologySeed: 17, Event: wrate},
 	}
-	out, err := s.RunGrid(reqs)
+	out, err := s.RunGrid(context.Background(), reqs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +97,7 @@ func TestRaceOnCellSerialized(t *testing.T) {
 		{Scenario: scenario.Baseline, Sizes: []int{150, 250}, TopologySeed: 23, Event: ev},
 		{Scenario: scenario.Tree, Sizes: []int{150, 250}, TopologySeed: 23, Event: ev},
 	}
-	if _, err := s.RunGrid(reqs); err != nil {
+	if _, err := s.RunGrid(context.Background(), reqs); err != nil {
 		t.Fatal(err)
 	}
 	// 4 unique cells, each emitting a start and a done event.
@@ -135,7 +137,7 @@ func TestRaceObsScrapeDuringGrid(t *testing.T) {
 	}()
 
 	cfg := SweepConfig{Sizes: []int{150, 250}, TopologySeed: 29, Event: ev}
-	_, err := s.RunSweep(scenario.Baseline, cfg)
+	_, err := s.RunSweep(context.Background(), scenario.Baseline, cfg)
 	close(stop)
 	wg.Wait()
 	if err != nil {
@@ -147,6 +149,48 @@ func TestRaceObsScrapeDuringGrid(t *testing.T) {
 	}
 	if snap["bgpchurn_bgp_updates_processed_total"] <= 0 {
 		t.Fatal("no BGP updates counted while instrumented")
+	}
+}
+
+// TestRaceCancellationMidGrid cancels a wide grid while many workers are
+// in flight: the drain path, the cancelled-cell cache removal, and the
+// cancellation-latency watcher must all be race-free, and a subsequent run
+// on the same scheduler must complete every cell.
+func TestRaceCancellationMidGrid(t *testing.T) {
+	m := obs.New()
+	s := NewScheduler(8)
+	s.SetObs(m)
+	s.OnCell = func(CellStatus) {}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	var once sync.Once
+	prev := s.run
+	s.run = func(ctx context.Context, topo *topology.Topology, cfg Config) (*Result, error) {
+		once.Do(func() { cancel(); close(done) }) // cancel as the first cell computes
+		return prev(ctx, topo, cfg)
+	}
+	sizes := []int{150, 170, 190, 210, 230, 250}
+	_, err := s.RunGrid(ctx, []GridRequest{
+		{Scenario: scenario.Baseline, Sizes: sizes, TopologySeed: 31, Event: testConfig(31, 2)},
+		{Scenario: scenario.Tree, Sizes: sizes, TopologySeed: 31, Event: testConfig(31, 2)},
+	})
+	<-done
+	if err == nil {
+		t.Fatal("cancelled grid returned no error")
+	}
+	// The same scheduler finishes the grid under a live context; cells the
+	// first pass completed are hits, cancelled ones recompute.
+	out, err := s.RunGrid(context.Background(), []GridRequest{
+		{Scenario: scenario.Baseline, Sizes: sizes, TopologySeed: 31, Event: testConfig(31, 2)},
+		{Scenario: scenario.Tree, Sizes: sizes, TopologySeed: 31, Event: testConfig(31, 2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sr := range out {
+		if len(sr.Points) != len(sizes) {
+			t.Fatalf("request %d incomplete after resume: %d points", i, len(sr.Points))
+		}
 	}
 }
 

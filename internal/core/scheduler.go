@@ -2,14 +2,18 @@ package core
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bgpchurn/internal/bgp"
 	"bgpchurn/internal/des"
 	"bgpchurn/internal/obs"
+	"bgpchurn/internal/rng"
 	"bgpchurn/internal/scenario"
 	"bgpchurn/internal/topology"
 )
@@ -19,8 +23,10 @@ import (
 // topology seed, and the event configuration. Config.Parallelism and all
 // callbacks are deliberately excluded — results are independent of both —
 // so the same experiment requested at different worker counts still hits
-// the cache. Scenario names are unique across the package, which makes the
-// name a faithful stand-in for the (unexported) parameter transform.
+// the cache. CellTimeout is excluded for the same reason: a deadline decides
+// whether a result arrives, never what it is. Scenario names are unique
+// across the package, which makes the name a faithful stand-in for the
+// (unexported) parameter transform.
 type CellKey struct {
 	Scenario     string
 	N            int
@@ -57,11 +63,25 @@ const (
 	// CellCached fires when a cell is served from the result cache
 	// (including waiting for an in-flight computation of the same key).
 	CellCached
-	// CellFailed fires when a computed cell ends in an error.
+	// CellFailed fires when a computed cell ends in a permanent error.
 	CellFailed
+	// CellResumed fires when a cell is served from a checkpoint journal
+	// replayed by Resume — a cache hit whose result predates the process.
+	CellResumed
+	// CellRetried fires after a transient fault (panic, timeout) when the
+	// scheduler is about to recompute the cell; Attempt carries the attempt
+	// number that just failed.
+	CellRetried
+	// CellQuarantined fires when a cell exhausts the retry budget: the cell
+	// is excluded from the sweep, the grid keeps running.
+	CellQuarantined
+	// CellCancelled fires when a cell is abandoned because the grid context
+	// was cancelled before or during its computation.
+	CellCancelled
 )
 
-// String names the state ("start", "done", "cached", "failed").
+// String names the state ("start", "done", "cached", "failed", "resumed",
+// "retried", "quarantined", "cancelled").
 func (s CellState) String() string {
 	switch s {
 	case CellStart:
@@ -72,6 +92,14 @@ func (s CellState) String() string {
 		return "cached"
 	case CellFailed:
 		return "failed"
+	case CellResumed:
+		return "resumed"
+	case CellRetried:
+		return "retried"
+	case CellQuarantined:
+		return "quarantined"
+	case CellCancelled:
+		return "cancelled"
 	}
 	return fmt.Sprintf("CellState(%d)", uint8(s))
 }
@@ -85,12 +113,19 @@ type CellStatus struct {
 	Seed uint64
 	// State says what happened.
 	State CellState
-	// Elapsed is the computation time (CellDone/CellFailed) or the time
-	// spent waiting on an in-flight duplicate (CellCached; ~0 for a warm
-	// hit). Zero for CellStart.
+	// Attempt is the number of computation attempts made so far: 1 for a
+	// first-try CellDone/CellFailed, the failed attempt number for
+	// CellRetried, the full budget for CellQuarantined. Zero for events
+	// that never computed (start, cached, resumed, cancelled-before-start).
+	Attempt int
+	// Elapsed is the computation time (CellDone/CellFailed/CellQuarantined,
+	// summed across attempts) or the time spent waiting on an in-flight
+	// duplicate (CellCached/CellResumed; ~0 for a warm hit). Zero for
+	// CellStart and CellRetried.
 	Elapsed time.Duration
-	// Err is set for CellFailed (and for CellCached when the cached
-	// computation had failed).
+	// Err is set for CellFailed, CellRetried, CellQuarantined and
+	// CellCancelled (and for CellCached when the cached computation had
+	// failed).
 	Err error
 }
 
@@ -115,13 +150,21 @@ type GridRequest struct {
 // CacheStats counts scheduler cache traffic.
 type CacheStats struct {
 	// Hits is the number of cells served from the cache (or coalesced onto
-	// an in-flight computation of the same key).
+	// an in-flight computation of the same key), including resumed cells.
 	Hits int
 	// Misses is the number of cells actually computed.
 	Misses int
 	// Evictions is the number of completed results dropped by the LRU
 	// entry-count cap (see SetCacheLimit).
 	Evictions int
+	// Resumed is the number of cache hits served from a replayed journal.
+	Resumed int
+	// Retries is the number of recomputations after transient faults.
+	Retries int
+	// Quarantined is the number of cells that exhausted the retry budget.
+	Quarantined int
+	// Cancelled is the number of cells abandoned by grid cancellation.
+	Cancelled int
 }
 
 // DefaultCacheCap is the scheduler's default result-cache entry limit. A
@@ -129,6 +172,14 @@ type CacheStats struct {
 // the paper needs while bounding a long-lived scheduler (e.g. a service
 // answering what-if queries) to a few MB of cached results.
 const DefaultCacheCap = 512
+
+// DefaultRetryBackoff is the base delay of the deterministic exponential
+// backoff between retry attempts of one cell.
+const DefaultRetryBackoff = 100 * time.Millisecond
+
+// retrySeedSalt decorrelates the retry-backoff RNG stream from every other
+// use of the cell key hash.
+const retrySeedSalt = 0x5ca1ab1e0ddba11
 
 // Scheduler executes experiment grids on a bounded worker pool with a
 // content-addressed result cache. Each (scenario, size) cell is an
@@ -142,13 +193,24 @@ const DefaultCacheCap = 512
 // (DefaultCacheCap by default), evicting least-recently-used results; an
 // evicted cell is simply recomputed if requested again.
 //
+// The scheduler is fault-tolerant (DESIGN.md, "Failure model"): a panic
+// inside one cell worker is recovered and isolated as a CellPanicError, a
+// cell exceeding Config.CellTimeout fails with a CellTimeoutError, and both
+// are retried up to SetRetryPolicy's budget with deterministic per-cell
+// backoff before the cell is quarantined (CellQuarantinedError) — the rest
+// of the grid always completes. With SetJournal attached, every computed
+// result is checkpointed to a crash-safe JSONL journal that Resume replays
+// into the cache, so a killed run recomputes only missing cells.
+//
 // A Scheduler is safe for concurrent use. Set OnCell before the first run.
 type Scheduler struct {
 	parallelism int
 
 	// OnCell, when non-nil, receives one CellStart and one CellDone (or
-	// CellFailed) event per computed cell plus one CellCached event per
-	// cache hit. Calls are serialized; the callback needs no locking.
+	// CellFailed/CellQuarantined) event per computed cell, a CellRetried
+	// event per retry attempt, one CellCached/CellResumed event per cache
+	// hit, and one CellCancelled event per abandoned cell. Calls are
+	// serialized; the callback needs no locking.
 	OnCell func(CellStatus)
 
 	mu       sync.Mutex
@@ -157,6 +219,18 @@ type Scheduler struct {
 	cacheCap int
 	stats    CacheStats
 
+	// retries is the number of recomputations allowed per cell after
+	// transient faults; backoff is the base delay between them.
+	retries int
+	backoff time.Duration
+
+	// journal, when non-nil, receives one checkpoint per computed cell.
+	journal *Journal
+
+	// quarantined collects the cells that exhausted the retry budget, in
+	// quarantine order.
+	quarantined []*CellQuarantinedError
+
 	emitMu sync.Mutex
 
 	// probes is the scheduler's observability block; nil when disabled
@@ -164,23 +238,24 @@ type Scheduler struct {
 	probes *obs.CoreProbes
 
 	// generate and run are seams for tests (counting hooks, fault
-	// injection); they default to Scenario.Generate and RunCEvents.
+	// injection); they default to Scenario.Generate and RunCEventsContext.
 	generate func(sc scenario.Scenario, n int, seed uint64) (*topology.Topology, error)
-	run      func(t *topology.Topology, cfg Config) (*Result, error)
+	run      func(ctx context.Context, t *topology.Topology, cfg Config) (*Result, error)
 }
 
 // NewScheduler returns a scheduler running at most parallelism cells
-// concurrently (0 = GOMAXPROCS) with an empty cache.
+// concurrently (0 = GOMAXPROCS) with an empty cache and no retries.
 func NewScheduler(parallelism int) *Scheduler {
 	return &Scheduler{
 		parallelism: parallelism,
 		cache:       map[CellKey]*cacheEntry{},
 		lru:         list.New(),
 		cacheCap:    DefaultCacheCap,
+		backoff:     DefaultRetryBackoff,
 		generate: func(sc scenario.Scenario, n int, seed uint64) (*topology.Topology, error) {
 			return sc.Generate(n, seed)
 		},
-		run: RunCEvents,
+		run: RunCEventsContext,
 	}
 }
 
@@ -190,6 +265,8 @@ type cacheEntry struct {
 	ready chan struct{}
 	res   *Result
 	err   error
+	// resumed marks entries seeded from a checkpoint journal.
+	resumed bool
 	// elem is this entry's position in the scheduler's LRU list.
 	elem *list.Element
 }
@@ -205,6 +282,79 @@ func (s *Scheduler) SetObs(m *obs.Metrics) {
 		return
 	}
 	s.probes = m.NewCoreProbes()
+}
+
+// SetRetryPolicy configures fault handling: transient faults (panics,
+// timeouts) are recomputed up to retries times per cell before the cell is
+// quarantined, waiting backoff·2^attempt (jittered deterministically from
+// the cell key) between attempts. backoff <= 0 keeps the current value
+// (DefaultRetryBackoff initially); retries < 0 is treated as 0. The default
+// is zero retries: the first transient fault quarantines the cell.
+func (s *Scheduler) SetRetryPolicy(retries int, backoff time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if retries < 0 {
+		retries = 0
+	}
+	s.retries = retries
+	if backoff > 0 {
+		s.backoff = backoff
+	}
+}
+
+// SetJournal attaches a checkpoint journal: from then on every successfully
+// computed cell is appended to it. Pass nil to detach. Journal failures
+// never fail the computation they checkpoint; inspect Journal.Err.
+func (s *Scheduler) SetJournal(j *Journal) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.journal = j
+}
+
+// Journal returns the attached checkpoint journal, or nil.
+func (s *Scheduler) Journal() *Journal {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.journal
+}
+
+// Resume replays checkpoint records (see LoadJournal) into the result
+// cache and returns how many were seeded. Keys already cached are left
+// untouched. Subsequent requests for a seeded key are served without
+// recomputation and reported as CellResumed.
+func (s *Scheduler) Resume(recs []JournalRecord) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seeded := 0
+	for _, rec := range recs {
+		if rec.Result == nil {
+			continue
+		}
+		if _, ok := s.cache[rec.Key]; ok {
+			continue
+		}
+		ready := make(chan struct{})
+		close(ready)
+		e := &cacheEntry{ready: ready, res: rec.Result, resumed: true}
+		e.elem = s.lru.PushFront(rec.Key)
+		s.cache[rec.Key] = e
+		seeded++
+	}
+	if p := s.probes; p != nil && seeded > 0 {
+		p.JournalLoads.Add(uint64(seeded))
+	}
+	s.evictLocked()
+	return seeded
+}
+
+// Quarantined returns the cells that exhausted the retry budget so far, in
+// quarantine order.
+func (s *Scheduler) Quarantined() []*CellQuarantinedError {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*CellQuarantinedError, len(s.quarantined))
+	copy(out, s.quarantined)
+	return out
 }
 
 // CacheStats returns the cache traffic so far.
@@ -251,6 +401,18 @@ func (s *Scheduler) evictLocked() {
 	}
 }
 
+// dropEntryIfCancelled removes a singleflight entry whose computation was
+// abandoned by cancellation, so a later run (or a resumed process) computes
+// it fresh instead of being served the cancellation error.
+func (s *Scheduler) dropEntry(key CellKey, e *cacheEntry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.cache[key]; ok && cur == e {
+		delete(s.cache, key)
+		s.lru.Remove(e.elem)
+	}
+}
+
 // emit delivers one progress event, serialized.
 func (s *Scheduler) emit(cs CellStatus) {
 	if s.OnCell == nil {
@@ -261,22 +423,43 @@ func (s *Scheduler) emit(cs CellStatus) {
 	s.OnCell(cs)
 }
 
-// cell computes or fetches one grid cell.
-func (s *Scheduler) cell(sc scenario.Scenario, n int, topoSeed uint64, ev Config, progress func(string, int)) (*Result, error) {
+// cellError uniformly names a failing cell. Fault types already carry the
+// cell key in their message, so they pass through unwrapped for errors.As.
+func cellError(scName string, n int, err error) error {
+	if IsTransient(err) || IsQuarantined(err) {
+		return err
+	}
+	return fmt.Errorf("core: %s at n=%d: %w", scName, n, err)
+}
+
+// cell computes or fetches one grid cell under the grid context.
+func (s *Scheduler) cell(ctx context.Context, sc scenario.Scenario, n int, topoSeed uint64, ev Config, progress func(string, int)) (*Result, error) {
 	key := cellKey(sc.Name, n, topoSeed, ev)
 	seed := topoSeed + uint64(n)
+	if err := ctx.Err(); err != nil {
+		return nil, s.cancelCell(sc.Name, n, seed, err)
+	}
 	s.mu.Lock()
 	probes := s.probes
 	if e, ok := s.cache[key]; ok {
 		s.stats.Hits++
+		state := CellCached
+		if e.resumed {
+			state = CellResumed
+			s.stats.Resumed++
+		}
 		s.lru.MoveToFront(e.elem)
 		s.mu.Unlock()
 		start := time.Now()
 		<-e.ready
 		if probes != nil {
-			probes.CellsCached.Inc()
+			if state == CellResumed {
+				probes.CellsResumed.Inc()
+			} else {
+				probes.CellsCached.Inc()
+			}
 		}
-		s.emit(CellStatus{Scenario: sc.Name, N: n, Seed: seed, State: CellCached, Elapsed: time.Since(start), Err: e.err})
+		s.emit(CellStatus{Scenario: sc.Name, N: n, Seed: seed, State: state, Elapsed: time.Since(start), Err: e.err})
 		return e.res, e.err
 	}
 	e := &cacheEntry{ready: make(chan struct{})}
@@ -293,39 +476,189 @@ func (s *Scheduler) cell(sc scenario.Scenario, n int, topoSeed uint64, ev Config
 	}
 	s.emit(CellStatus{Scenario: sc.Name, N: n, Seed: seed, State: CellStart})
 	start := time.Now()
-	topo, err := s.generate(sc, n, seed)
-	var res *Result
-	if err == nil {
-		res, err = s.run(topo, ev)
-	}
-	if err != nil {
-		err = fmt.Errorf("core: %s at n=%d: %w", sc.Name, n, err)
+	res, err, attempts := s.computeWithRetry(ctx, key, sc, n, seed, ev, probes)
+	elapsed := time.Since(start)
+
+	state := CellDone
+	switch {
+	case err == nil:
+		if j := s.Journal(); j != nil {
+			if jerr := j.Append(key, res); jerr == nil && probes != nil {
+				probes.JournalWrites.Inc()
+			}
+		}
+	case ctx.Err() != nil && errors.Is(err, ctx.Err()):
+		// The grid was cancelled out from under the computation: abandon the
+		// singleflight slot so nothing caches the cancellation.
+		e.res, e.err = nil, cellError(sc.Name, n, err)
+		s.dropEntry(key, e)
+		close(e.ready)
+		s.mu.Lock()
+		s.stats.Cancelled++
+		s.mu.Unlock()
+		if probes != nil {
+			probes.CellsCancelled.Inc()
+		}
+		s.emit(CellStatus{Scenario: sc.Name, N: n, Seed: seed, State: CellCancelled, Attempt: attempts, Elapsed: elapsed, Err: e.err})
+		return nil, e.err
+	case IsTransient(err):
+		// Retry budget exhausted: quarantine the cell instead of failing the
+		// run. The entry stays cached so duplicate requests coalesce; the
+		// journal never sees it, so a resumed run recomputes it.
+		qe := &CellQuarantinedError{Key: key, Attempts: attempts, Last: err}
+		err = qe
+		state = CellQuarantined
+		s.mu.Lock()
+		s.quarantined = append(s.quarantined, qe)
+		s.stats.Quarantined++
+		s.mu.Unlock()
+		if probes != nil {
+			probes.CellsQuarantined.Inc()
+		}
+	default:
+		err = cellError(sc.Name, n, err)
+		state = CellFailed
 	}
 	e.res, e.err = res, err
 	close(e.ready)
-	elapsed := time.Since(start)
-	state := CellDone
-	if err != nil {
-		state = CellFailed
-	}
 	if probes != nil {
-		if err != nil {
-			probes.CellsFailed.Inc()
-		} else {
+		switch state {
+		case CellDone:
 			probes.CellsComputed.Inc()
 			probes.ObserveCell(elapsed)
+		case CellFailed:
+			probes.CellsFailed.Inc()
 		}
 	}
-	s.emit(CellStatus{Scenario: sc.Name, N: n, Seed: seed, State: state, Elapsed: elapsed, Err: err})
+	s.emit(CellStatus{Scenario: sc.Name, N: n, Seed: seed, State: state, Attempt: attempts, Elapsed: elapsed, Err: err})
 	return res, err
+}
+
+// cancelCell records one cell abandoned before computation started.
+func (s *Scheduler) cancelCell(scName string, n int, seed uint64, cause error) error {
+	err := fmt.Errorf("core: %s at n=%d: %w", scName, n, cause)
+	s.mu.Lock()
+	s.stats.Cancelled++
+	probes := s.probes
+	s.mu.Unlock()
+	if probes != nil {
+		probes.CellsCancelled.Inc()
+	}
+	s.emit(CellStatus{Scenario: scName, N: n, Seed: seed, State: CellCancelled, Err: err})
+	return err
+}
+
+// computeWithRetry runs one cell to completion under the retry policy:
+// transient faults are recomputed up to the budget with deterministic
+// exponential backoff (the jitter stream is seeded from the cell key, so a
+// given cell always waits the same schedule regardless of worker count or
+// interleaving). It returns the result or terminal error plus the number of
+// attempts made.
+func (s *Scheduler) computeWithRetry(ctx context.Context, key CellKey, sc scenario.Scenario, n int, seed uint64, ev Config, probes *obs.CoreProbes) (*Result, error, int) {
+	s.mu.Lock()
+	retries, backoff := s.retries, s.backoff
+	s.mu.Unlock()
+	var backoffRng *rng.Source
+	attempts := 0
+	for {
+		attempts++
+		res, err := s.computeOnce(ctx, key, sc, n, seed, ev, probes)
+		if err == nil {
+			return res, nil, attempts
+		}
+		if ctx.Err() != nil || !IsTransient(err) || attempts > retries {
+			return nil, err, attempts
+		}
+		s.mu.Lock()
+		s.stats.Retries++
+		s.mu.Unlock()
+		if probes != nil {
+			probes.CellRetries.Inc()
+		}
+		s.emit(CellStatus{Scenario: sc.Name, N: n, Seed: seed, State: CellRetried, Attempt: attempts, Err: err})
+		if backoffRng == nil {
+			backoffRng = rng.New(keyHash(key) ^ retrySeedSalt)
+		}
+		if !sleepContext(ctx, retryDelay(backoffRng, backoff, attempts)) {
+			return nil, ctx.Err(), attempts
+		}
+	}
+}
+
+// retryDelay computes the wait before retry number attempt: exponential in
+// the attempt count, scaled by a jitter factor in [0.5, 1.0] drawn from the
+// cell's deterministic backoff stream.
+func retryDelay(r *rng.Source, base time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	d := base << uint(attempt-1)
+	return time.Duration(r.Jitter(int64(d), 0.5, 1.0))
+}
+
+// sleepContext waits for d or until ctx is cancelled; it reports whether
+// the full wait elapsed.
+func sleepContext(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// computeOnce performs a single computation attempt with panic isolation
+// and the per-cell deadline applied.
+func (s *Scheduler) computeOnce(ctx context.Context, key CellKey, sc scenario.Scenario, n int, seed uint64, ev Config, probes *obs.CoreProbes) (res *Result, err error) {
+	cellCtx := ctx
+	if ev.CellTimeout > 0 {
+		var cancel context.CancelFunc
+		cellCtx, cancel = context.WithTimeout(ctx, ev.CellTimeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			buf := make([]byte, 64<<10)
+			buf = buf[:runtime.Stack(buf, false)]
+			res, err = nil, &CellPanicError{Key: key, Value: r, Stack: buf}
+			if probes != nil {
+				probes.PanicsRecovered.Inc()
+			}
+		}
+	}()
+	topo, err := s.generate(sc, n, seed)
+	if err == nil {
+		res, err = s.run(cellCtx, topo, ev)
+	}
+	if err != nil {
+		// A deadline on the cell context while the grid context is healthy is
+		// this cell's own timeout: a transient, retryable fault.
+		if ev.CellTimeout > 0 && cellCtx.Err() == context.DeadlineExceeded && ctx.Err() == nil {
+			err = &CellTimeoutError{Key: key, Timeout: ev.CellTimeout}
+		}
+		return nil, err
+	}
+	return res, nil
 }
 
 // RunGrid executes every (scenario, size) cell of the requests on the
 // worker pool and assembles one SweepResult per request, sizes in request
 // order. On cell failure the remaining cells still run; the completed
 // points of every request are returned alongside the first error in grid
-// order, and the error names the failing (scenario, n) cell.
-func (s *Scheduler) RunGrid(reqs []GridRequest) ([]*SweepResult, error) {
+// order, and the error names the failing (scenario, n) cell (quarantined
+// cells surface as *CellQuarantinedError). Cancelling ctx stops new cells
+// from being scheduled, aborts in-flight simulations at their next
+// origin boundary, and returns once the pool drains; abandoned cells carry
+// the context error and are never cached or journaled.
+func (s *Scheduler) RunGrid(ctx context.Context, reqs []GridRequest) ([]*SweepResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	type slot struct {
 		res *Result
 		err error
@@ -350,6 +683,21 @@ func (s *Scheduler) RunGrid(reqs []GridRequest) ([]*SweepResult, error) {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+
+	// Cancellation latency: a watcher notes when the context fires; after
+	// the pool drains the elapsed time lands in the cancel histogram.
+	var cancelledAt atomic.Int64
+	drained := make(chan struct{})
+	watcherDone := make(chan struct{})
+	go func() {
+		defer close(watcherDone)
+		select {
+		case <-ctx.Done():
+			cancelledAt.Store(time.Now().UnixNano())
+		case <-drained:
+		}
+	}()
+
 	next := make(chan job)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -358,16 +706,40 @@ func (s *Scheduler) RunGrid(reqs []GridRequest) ([]*SweepResult, error) {
 			defer wg.Done()
 			for jb := range next {
 				r := &reqs[jb.req]
-				res, err := s.cell(r.Scenario, r.Sizes[jb.idx], r.TopologySeed, r.Event, r.Progress)
+				res, err := s.cell(ctx, r.Scenario, r.Sizes[jb.idx], r.TopologySeed, r.Event, r.Progress)
 				slots[jb.req][jb.idx] = slot{res, err}
 			}
 		}()
 	}
+	delivered := 0
+feed:
 	for _, jb := range jobs {
-		next <- jb
+		select {
+		case next <- jb:
+			delivered++
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(next)
+	// Jobs never handed to a worker are marked cancelled so assembly does
+	// not mistake their empty slots for successful (nil) results.
+	for _, jb := range jobs[delivered:] {
+		r := &reqs[jb.req]
+		n := r.Sizes[jb.idx]
+		slots[jb.req][jb.idx] = slot{nil, s.cancelCell(r.Scenario.Name, n, r.TopologySeed+uint64(n), ctx.Err())}
+	}
 	wg.Wait()
+	close(drained)
+	<-watcherDone
+	if t := cancelledAt.Load(); t != 0 {
+		s.mu.Lock()
+		probes := s.probes
+		s.mu.Unlock()
+		if probes != nil {
+			probes.ObserveCancel(time.Duration(time.Now().UnixNano() - t))
+		}
+	}
 
 	// Deterministic assembly: each cell was stored in its (request, size)
 	// slot, so output order is independent of completion order.
@@ -393,11 +765,11 @@ func (s *Scheduler) RunGrid(reqs []GridRequest) ([]*SweepResult, error) {
 // RunSweep runs one scenario sweep through the scheduler: cells execute in
 // parallel and previously computed cells are served from the cache. The
 // result is byte-identical to the sequential Sweep on the same config.
-func (s *Scheduler) RunSweep(sc scenario.Scenario, cfg SweepConfig) (*SweepResult, error) {
+func (s *Scheduler) RunSweep(ctx context.Context, sc scenario.Scenario, cfg SweepConfig) (*SweepResult, error) {
 	if len(cfg.Sizes) == 0 {
 		return nil, fmt.Errorf("core: empty size list")
 	}
-	out, err := s.RunGrid([]GridRequest{{
+	out, err := s.RunGrid(ctx, []GridRequest{{
 		Scenario:     sc,
 		Sizes:        cfg.Sizes,
 		TopologySeed: cfg.TopologySeed,
@@ -412,12 +784,12 @@ func (s *Scheduler) RunSweep(sc scenario.Scenario, cfg SweepConfig) (*SweepResul
 
 // RunGrid executes the grid on a one-off scheduler with GOMAXPROCS
 // workers. Use NewScheduler to share a cache across grids.
-func RunGrid(reqs []GridRequest) ([]*SweepResult, error) {
-	return NewScheduler(0).RunGrid(reqs)
+func RunGrid(ctx context.Context, reqs []GridRequest) ([]*SweepResult, error) {
+	return NewScheduler(0).RunGrid(ctx, reqs)
 }
 
 // RunSweep runs one scenario sweep on a one-off scheduler, cells in
 // parallel. Use NewScheduler to share a cache across sweeps.
-func RunSweep(sc scenario.Scenario, cfg SweepConfig) (*SweepResult, error) {
-	return NewScheduler(0).RunSweep(sc, cfg)
+func RunSweep(ctx context.Context, sc scenario.Scenario, cfg SweepConfig) (*SweepResult, error) {
+	return NewScheduler(0).RunSweep(ctx, sc, cfg)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -33,9 +34,9 @@ func countCalls(s *Scheduler) (gens, runs *int64) {
 		atomic.AddInt64(gens, 1)
 		return gen(sc, n, seed)
 	}
-	s.run = func(t *topology.Topology, cfg Config) (*Result, error) {
+	s.run = func(ctx context.Context, t *topology.Topology, cfg Config) (*Result, error) {
 		atomic.AddInt64(runs, 1)
-		return run(t, cfg)
+		return run(ctx, t, cfg)
 	}
 	return gens, runs
 }
@@ -56,7 +57,7 @@ func TestGridSharedSweepComputedOnce(t *testing.T) {
 		{Scenario: scenario.Baseline, Sizes: sizes, TopologySeed: 3, Event: ev},      // "fig 6", same sweep
 		{Scenario: scenario.Baseline, Sizes: sizes, TopologySeed: 3, Event: wrateEv}, // "fig 12", distinct cells
 	}
-	out, err := s.RunGrid(reqs)
+	out, err := s.RunGrid(context.Background(), reqs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,11 +90,11 @@ func TestGridSharedSweepComputedOnce(t *testing.T) {
 
 	// A cache hit must equal a fresh miss: rerun the first request on a
 	// cold scheduler and compare deeply.
-	cold, err := NewScheduler(1).RunSweep(scenario.Baseline, SweepConfig{Sizes: sizes, TopologySeed: 3, Event: ev})
+	cold, err := NewScheduler(1).RunSweep(context.Background(), scenario.Baseline, SweepConfig{Sizes: sizes, TopologySeed: 3, Event: ev})
 	if err != nil {
 		t.Fatal(err)
 	}
-	warm, err := s.RunSweep(scenario.Baseline, SweepConfig{Sizes: sizes, TopologySeed: 3, Event: ev})
+	warm, err := s.RunSweep(context.Background(), scenario.Baseline, SweepConfig{Sizes: sizes, TopologySeed: 3, Event: ev})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestScheduledSweepMatchesSequential(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, par := range []int{1, 4} {
-		sched, err := NewScheduler(par).RunSweep(scenario.Baseline, cfg)
+		sched, err := NewScheduler(par).RunSweep(context.Background(), scenario.Baseline, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -149,7 +150,7 @@ func TestGridReportsFailingCell(t *testing.T) {
 			failed = append(failed, cs)
 		}
 	}
-	out, err := s.RunGrid([]GridRequest{{
+	out, err := s.RunGrid(context.Background(), []GridRequest{{
 		Scenario: scenario.Baseline, Sizes: []int{150, 2, 250}, TopologySeed: 5, Event: testConfig(5, 3),
 	}})
 	if err == nil {
@@ -185,7 +186,7 @@ func TestSchedulerProgressEvents(t *testing.T) {
 			progress = append(progress, n)
 		},
 	}
-	if _, err := s.RunSweep(scenario.Tree, cfg); err != nil {
+	if _, err := s.RunSweep(context.Background(), scenario.Tree, cfg); err != nil {
 		t.Fatal(err)
 	}
 	counts := map[CellState]int{}
@@ -200,7 +201,7 @@ func TestSchedulerProgressEvents(t *testing.T) {
 	}
 	// A second identical sweep must be all cache hits.
 	events = nil
-	if _, err := s.RunSweep(scenario.Tree, cfg); err != nil {
+	if _, err := s.RunSweep(context.Background(), scenario.Tree, cfg); err != nil {
 		t.Fatal(err)
 	}
 	counts = map[CellState]int{}
@@ -214,18 +215,18 @@ func TestSchedulerProgressEvents(t *testing.T) {
 
 func TestSchedulerErrorPaths(t *testing.T) {
 	s := NewScheduler(1)
-	if _, err := s.RunSweep(scenario.Baseline, SweepConfig{}); err == nil {
+	if _, err := s.RunSweep(context.Background(), scenario.Baseline, SweepConfig{}); err == nil {
 		t.Fatal("empty sweep accepted")
 	}
-	if _, err := s.RunGrid([]GridRequest{{Scenario: scenario.Baseline}}); err == nil {
+	if _, err := s.RunGrid(context.Background(), []GridRequest{{Scenario: scenario.Baseline}}); err == nil {
 		t.Fatal("empty grid request accepted")
 	}
 	// Failed cells are cached too: the second request must not recompute
 	// but must still return the error.
 	gens, _ := countCalls(s)
 	req := GridRequest{Scenario: scenario.Baseline, Sizes: []int{2}, TopologySeed: 1, Event: testConfig(1, 3)}
-	_, err1 := s.RunGrid([]GridRequest{req})
-	_, err2 := s.RunGrid([]GridRequest{req})
+	_, err1 := s.RunGrid(context.Background(), []GridRequest{req})
+	_, err2 := s.RunGrid(context.Background(), []GridRequest{req})
 	if err1 == nil || err2 == nil {
 		t.Fatal("failing cell not reported")
 	}
@@ -255,13 +256,13 @@ func TestRunGridInjectedRunError(t *testing.T) {
 	// layer (not topology generation) must carry the cell name too.
 	s := NewScheduler(2)
 	boom := errors.New("boom")
-	s.run = func(topo *topology.Topology, cfg Config) (*Result, error) {
+	s.run = func(_ context.Context, topo *topology.Topology, cfg Config) (*Result, error) {
 		if topo.N() >= 250 {
 			return nil, boom
 		}
 		return RunCEvents(topo, cfg)
 	}
-	out, err := s.RunGrid([]GridRequest{{
+	out, err := s.RunGrid(context.Background(), []GridRequest{{
 		Scenario: scenario.Tree, Sizes: []int{150, 250}, TopologySeed: 9, Event: testConfig(9, 3),
 	}})
 	if err == nil || !errors.Is(err, boom) || !strings.Contains(err.Error(), "TREE at n=250") {
@@ -280,7 +281,7 @@ func fakeCells(s *Scheduler) map[int]*int64 {
 	s.generate = func(sc scenario.Scenario, n int, seed uint64) (*topology.Topology, error) {
 		return &topology.Topology{Nodes: make([]topology.Node, 1)}, nil
 	}
-	s.run = func(topo *topology.Topology, cfg Config) (*Result, error) {
+	s.run = func(_ context.Context, topo *topology.Topology, cfg Config) (*Result, error) {
 		return &Result{N: topo.N()}, nil
 	}
 	gen := s.generate
@@ -301,7 +302,7 @@ func TestSchedulerCacheEviction(t *testing.T) {
 	ev := testConfig(1, 1)
 	sweep := func(n int) {
 		t.Helper()
-		if _, err := s.RunSweep(scenario.Baseline, SweepConfig{Sizes: []int{n}, TopologySeed: 1, Event: ev}); err != nil {
+		if _, err := s.RunSweep(context.Background(), scenario.Baseline, SweepConfig{Sizes: []int{n}, TopologySeed: 1, Event: ev}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -344,7 +345,7 @@ func TestSchedulerCacheUnbounded(t *testing.T) {
 	fakeCells(s)
 	ev := testConfig(1, 1)
 	for n := 100; n < 100+2*DefaultCacheCap; n += 1 {
-		if _, err := s.RunSweep(scenario.Baseline, SweepConfig{Sizes: []int{n}, TopologySeed: 1, Event: ev}); err != nil {
+		if _, err := s.RunSweep(context.Background(), scenario.Baseline, SweepConfig{Sizes: []int{n}, TopologySeed: 1, Event: ev}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -372,20 +373,20 @@ func TestSchedulerNeverEvictsInFlight(t *testing.T) {
 		return &topology.Topology{Nodes: make([]topology.Node, 1)}, nil
 	}
 	var runs int64
-	s.run = func(topo *topology.Topology, cfg Config) (*Result, error) {
+	s.run = func(_ context.Context, topo *topology.Topology, cfg Config) (*Result, error) {
 		atomic.AddInt64(&runs, 1)
 		return &Result{}, nil
 	}
 	ev := testConfig(1, 1)
 	done := make(chan error, 1)
 	go func() {
-		_, err := s.RunSweep(scenario.Baseline, SweepConfig{Sizes: []int{100}, TopologySeed: 1, Event: ev})
+		_, err := s.RunSweep(context.Background(), scenario.Baseline, SweepConfig{Sizes: []int{100}, TopologySeed: 1, Event: ev})
 		done <- err
 	}()
 	<-started
 	// A second cell completes while the first is still computing. The cap is
 	// 1, but the in-flight entry must survive the eviction pass.
-	if _, err := s.RunSweep(scenario.Baseline, SweepConfig{Sizes: []int{150}, TopologySeed: 1, Event: ev}); err != nil {
+	if _, err := s.RunSweep(context.Background(), scenario.Baseline, SweepConfig{Sizes: []int{150}, TopologySeed: 1, Event: ev}); err != nil {
 		t.Fatal(err)
 	}
 	close(block)
@@ -393,7 +394,7 @@ func TestSchedulerNeverEvictsInFlight(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The slow cell must still be cached: requesting it again may not rerun.
-	if _, err := s.RunSweep(scenario.Baseline, SweepConfig{Sizes: []int{100}, TopologySeed: 1, Event: ev}); err != nil {
+	if _, err := s.RunSweep(context.Background(), scenario.Baseline, SweepConfig{Sizes: []int{100}, TopologySeed: 1, Event: ev}); err != nil {
 		t.Fatal(err)
 	}
 	if got := atomic.LoadInt64(&runs); got != 2 {

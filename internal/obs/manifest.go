@@ -41,6 +41,18 @@ type Manifest struct {
 	// Cache is the scheduler's cache traffic, matching the printed
 	// summary.
 	Cache CacheCounts `json:"cache"`
+	// Outcomes counts cells per final outcome ("ok", "cached", "resumed",
+	// "retried", "quarantined", "cancelled", "failed"). A cell that
+	// succeeded after retries counts as "retried", not "ok".
+	Outcomes map[string]int `json:"outcomes,omitempty"`
+	// Interrupted is true when the run was cancelled (SIGINT/SIGTERM)
+	// before completing; the manifest then describes a partial run that a
+	// -resume invocation can finish.
+	Interrupted bool `json:"interrupted,omitempty"`
+	// Journal is the path of the cell checkpoint journal, when one was
+	// written; JournalCells is how many checkpoints this run appended.
+	Journal      string `json:"journal,omitempty"`
+	JournalCells int    `json:"journal_cells,omitempty"`
 	// Counters is the final metric snapshot (Metrics.Snapshot).
 	Counters map[string]float64 `json:"counters,omitempty"`
 	// WallSeconds is the total run wall time. Non-deterministic.
@@ -53,8 +65,13 @@ type CellTiming struct {
 	N        int    `json:"n"`
 	// Seed is the cell's effective topology seed.
 	Seed uint64 `json:"seed"`
-	// State is "done", "cached" or "failed".
+	// State is "done", "cached", "failed", "resumed", "retried",
+	// "quarantined" or "cancelled".
 	State string `json:"state"`
+	// Attempts is the number of computation attempts, when more than the
+	// event implies (a "done" cell that needed retries, a "quarantined"
+	// cell's exhausted budget).
+	Attempts int `json:"attempts,omitempty"`
 	// ElapsedMS is the computation (or cache-wait) wall time.
 	ElapsedMS float64 `json:"elapsed_ms"`
 	// Err carries the failure message for failed cells.
@@ -66,6 +83,11 @@ type CacheCounts struct {
 	Hits      int `json:"hits"`
 	Misses    int `json:"misses"`
 	Evictions int `json:"evictions"`
+	// Fault-tolerance traffic; zero on a clean uncancelled run.
+	Resumed     int `json:"resumed,omitempty"`
+	Retries     int `json:"retries,omitempty"`
+	Quarantined int `json:"quarantined,omitempty"`
+	Cancelled   int `json:"cancelled,omitempty"`
 }
 
 // ManifestSchemaVersion is the current Manifest layout version.

@@ -166,11 +166,19 @@ type Metrics struct {
 
 	// Core instruments the experiment scheduler (internal/core).
 	Core struct {
-		CellsComputed  *Counter   // grid cells actually computed
-		CellsCached    *Counter   // grid cells served from the result cache
-		CellsFailed    *Counter   // grid cells that ended in an error
-		CacheEvictions *Counter   // results dropped by the LRU cap
-		CellSeconds    *Histogram // wall time per computed cell
+		CellsComputed    *Counter   // grid cells actually computed
+		CellsCached      *Counter   // grid cells served from the result cache
+		CellsFailed      *Counter   // grid cells that ended in an error
+		CacheEvictions   *Counter   // results dropped by the LRU cap
+		CellRetries      *Counter   // retry attempts after transient faults
+		PanicsRecovered  *Counter   // panics recovered inside cell workers
+		CellsQuarantined *Counter   // cells quarantined after retry exhaustion
+		CellsCancelled   *Counter   // cells abandoned by grid cancellation
+		CellsResumed     *Counter   // cells served from a replayed journal
+		JournalWrites    *Counter   // checkpoint records appended
+		JournalLoads     *Counter   // checkpoint records replayed into the cache
+		CellSeconds      *Histogram // wall time per computed cell
+		CancelSeconds    *Histogram // cancellation latency: cancel to grid drain
 	}
 
 	// Topo instruments topology generation (internal/topology).
@@ -218,8 +226,17 @@ func New() *Metrics {
 	m.Core.CellsCached = m.counter("bgpchurn_core_cells_cached_total", "Experiment grid cells served from the result cache.")
 	m.Core.CellsFailed = m.counter("bgpchurn_core_cells_failed_total", "Experiment grid cells that failed.")
 	m.Core.CacheEvictions = m.counter("bgpchurn_core_cache_evictions_total", "Cached results evicted by the LRU cap.")
+	m.Core.CellRetries = m.counter("bgpchurn_core_cell_retries_total", "Cell retry attempts after transient faults (panics, timeouts).")
+	m.Core.PanicsRecovered = m.counter("bgpchurn_core_panics_recovered_total", "Panics recovered inside cell workers.")
+	m.Core.CellsQuarantined = m.counter("bgpchurn_core_cells_quarantined_total", "Cells quarantined after exhausting the retry budget.")
+	m.Core.CellsCancelled = m.counter("bgpchurn_core_cells_cancelled_total", "Cells abandoned because the grid context was cancelled.")
+	m.Core.CellsResumed = m.counter("bgpchurn_core_cells_resumed_total", "Cells served from a checkpoint journal replayed at startup.")
+	m.Core.JournalWrites = m.counter("bgpchurn_core_journal_writes_total", "Checkpoint records appended to the cell journal.")
+	m.Core.JournalLoads = m.counter("bgpchurn_core_journal_loads_total", "Checkpoint records replayed into the scheduler cache.")
 	m.Core.CellSeconds = m.histogram("bgpchurn_core_cell_seconds", "Wall-clock seconds per computed grid cell.",
 		[]float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300})
+	m.Core.CancelSeconds = m.histogram("bgpchurn_core_cancel_seconds", "Seconds from grid-context cancellation to worker-pool drain.",
+		[]float64{0.001, 0.005, 0.025, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30})
 
 	m.Topo.Generated = m.counter("bgpchurn_topo_generated_total", "Topologies generated.")
 	m.Topo.Nodes = m.counter("bgpchurn_topo_nodes_total", "Nodes created by topology generation.")

@@ -63,12 +63,20 @@ func (m *Metrics) NewBGPProbes() *BGPProbes {
 
 // CoreProbes instruments one core.Scheduler instance.
 type CoreProbes struct {
-	CellsComputed  *Cell
-	CellsCached    *Cell
-	CellsFailed    *Cell
-	CacheEvictions *Cell
-	cellSeconds    *Histogram
-	shard          ShardID
+	CellsComputed    *Cell
+	CellsCached      *Cell
+	CellsFailed      *Cell
+	CacheEvictions   *Cell
+	CellRetries      *Cell
+	PanicsRecovered  *Cell
+	CellsQuarantined *Cell
+	CellsCancelled   *Cell
+	CellsResumed     *Cell
+	JournalWrites    *Cell
+	JournalLoads     *Cell
+	cellSeconds      *Histogram
+	cancelSeconds    *Histogram
+	shard            ShardID
 }
 
 // NewCoreProbes resolves an experiment-scheduler probe block on a fresh
@@ -76,18 +84,32 @@ type CoreProbes struct {
 func (m *Metrics) NewCoreProbes() *CoreProbes {
 	s := m.Shard()
 	return &CoreProbes{
-		CellsComputed:  m.Core.CellsComputed.Cell(s),
-		CellsCached:    m.Core.CellsCached.Cell(s),
-		CellsFailed:    m.Core.CellsFailed.Cell(s),
-		CacheEvictions: m.Core.CacheEvictions.Cell(s),
-		cellSeconds:    m.Core.CellSeconds,
-		shard:          s,
+		CellsComputed:    m.Core.CellsComputed.Cell(s),
+		CellsCached:      m.Core.CellsCached.Cell(s),
+		CellsFailed:      m.Core.CellsFailed.Cell(s),
+		CacheEvictions:   m.Core.CacheEvictions.Cell(s),
+		CellRetries:      m.Core.CellRetries.Cell(s),
+		PanicsRecovered:  m.Core.PanicsRecovered.Cell(s),
+		CellsQuarantined: m.Core.CellsQuarantined.Cell(s),
+		CellsCancelled:   m.Core.CellsCancelled.Cell(s),
+		CellsResumed:     m.Core.CellsResumed.Cell(s),
+		JournalWrites:    m.Core.JournalWrites.Cell(s),
+		JournalLoads:     m.Core.JournalLoads.Cell(s),
+		cellSeconds:      m.Core.CellSeconds,
+		cancelSeconds:    m.Core.CancelSeconds,
+		shard:            s,
 	}
 }
 
 // ObserveCell records one computed cell's wall time.
 func (p *CoreProbes) ObserveCell(d time.Duration) {
 	p.cellSeconds.Observe(p.shard, d.Seconds())
+}
+
+// ObserveCancel records one grid's cancellation latency: the wall time from
+// the context being cancelled to the worker pool fully draining.
+func (p *CoreProbes) ObserveCancel(d time.Duration) {
+	p.cancelSeconds.Observe(p.shard, d.Seconds())
 }
 
 // TopoProbes instruments topology generation.

@@ -158,19 +158,24 @@ func Float(v float64, decimals int) string {
 }
 
 // CellEvent is one experiment-grid progress event in renderer form: the
-// scheduler's per-cell start/done/cached/failed notifications, decoupled
-// from the core package so any driver can log them.
+// scheduler's per-cell notifications, decoupled from the core package so
+// any driver can log them.
 type CellEvent struct {
 	// Scenario and N name the grid cell.
 	Scenario string
 	N        int
 	// Seed is the cell's effective topology seed.
 	Seed uint64
-	// State is "start", "done", "cached" or "failed".
+	// State is "start", "done", "cached", "failed", "resumed", "retried",
+	// "quarantined" or "cancelled".
 	State string
+	// Attempt is the computation attempt count, when the scheduler reports
+	// one (the failed attempt for "retried", the exhausted budget for
+	// "quarantined").
+	Attempt int
 	// Elapsed is the cell's computation (or cache-wait) time.
 	Elapsed time.Duration
-	// Err is set for failed cells.
+	// Err is set for failed, retried, quarantined and cancelled cells.
 	Err error
 }
 
@@ -186,6 +191,14 @@ func FormatCellEvent(e CellEvent) string {
 		return fmt.Sprintf("  cached %s", cell)
 	case "failed":
 		return fmt.Sprintf("  FAIL   %s: %v", cell, e.Err)
+	case "resumed":
+		return fmt.Sprintf("  resume %s  (from journal)", cell)
+	case "retried":
+		return fmt.Sprintf("  retry  %s  (attempt %d failed: %v)", cell, e.Attempt, e.Err)
+	case "quarantined":
+		return fmt.Sprintf("  QUAR   %s: %v", cell, e.Err)
+	case "cancelled":
+		return fmt.Sprintf("  cancel %s", cell)
 	}
 	return fmt.Sprintf("  %-6s %s", e.State, cell)
 }

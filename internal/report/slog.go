@@ -21,6 +21,7 @@ const (
 	cellKeyN        = "n"
 	cellKeySeed     = "seed"
 	cellKeyState    = "state"
+	cellKeyAttempt  = "attempt"
 	cellKeyElapsed  = "elapsed"
 	cellKeyErr      = "err"
 )
@@ -43,8 +44,11 @@ func NewCellLogger(w io.Writer, format string) (func(CellEvent), error) {
 	logger := slog.New(h)
 	return func(e CellEvent) {
 		level := slog.LevelInfo
-		if e.State == "failed" {
+		switch e.State {
+		case "failed", "quarantined":
 			level = slog.LevelError
+		case "retried":
+			level = slog.LevelWarn
 		}
 		attrs := []slog.Attr{
 			slog.String(cellKeyScenario, e.Scenario),
@@ -52,6 +56,9 @@ func NewCellLogger(w io.Writer, format string) (func(CellEvent), error) {
 			slog.Uint64(cellKeySeed, e.Seed),
 			slog.String(cellKeyState, e.State),
 			slog.Duration(cellKeyElapsed, e.Elapsed),
+		}
+		if e.Attempt > 0 {
+			attrs = append(attrs, slog.Int(cellKeyAttempt, e.Attempt))
 		}
 		if e.Err != nil {
 			attrs = append(attrs, slog.String(cellKeyErr, e.Err.Error()))
@@ -83,6 +90,8 @@ func (h *cellTextHandler) Handle(_ context.Context, r slog.Record) error {
 			e.Seed = a.Value.Uint64()
 		case cellKeyState:
 			e.State = a.Value.String()
+		case cellKeyAttempt:
+			e.Attempt = int(a.Value.Int64())
 		case cellKeyElapsed:
 			e.Elapsed = a.Value.Duration()
 		case cellKeyErr:

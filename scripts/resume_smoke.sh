@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# resume_smoke.sh — crash-resume smoke test (run by `make resume-smoke` and
+# the CI resume-guard job).
+#
+# Exercises the fault-tolerance contract end to end, across real processes:
+#
+#   1. run the full -fast figure grid uninterrupted (the reference),
+#   2. run it again and SIGINT it partway through — the process must exit
+#      130 and leave a valid journal holding a strict subset of the cells,
+#   3. rerun with -resume — only the missing cells may be recomputed, and
+#      every figure CSV must be byte-identical to the reference.
+#
+# Any drift in the byte-identical property, the journal format, or the
+# interrupt exit path fails this script.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+go build -o "$work/experiments" ./cmd/experiments
+
+# Seconds into the interrupted run at which SIGINT is delivered. The full
+# -fast grid takes ~9s on a laptop-class core, so 3s lands mid-grid with
+# wide margin on both sides; slower machines only widen it.
+INT_AFTER=${INT_AFTER:-3}
+
+echo "== reference run (uninterrupted)"
+"$work/experiments" -fig all -fast -out "$work/ref" \
+    -manifest "$work/ref-manifest.json" -journal "$work/ref.journal" >/dev/null
+
+# Cell count = journal lines minus the header line.
+total=$(($(wc -l <"$work/ref.journal") - 1))
+if [ "$total" -lt 2 ]; then
+    echo "FAIL: reference journal has $total cells; need >=2 to interrupt between" >&2
+    exit 1
+fi
+
+echo "== interrupted run (SIGINT after ${INT_AFTER}s)"
+set +e
+timeout --preserve-status --signal=INT --kill-after=30 "$INT_AFTER" \
+    "$work/experiments" -fig all -fast -out "$work/int" \
+    -manifest "$work/int-manifest.json" -journal "$work/cells.journal" >"$work/int.log" 2>&1
+code=$?
+set -e
+if [ "$code" -ne 130 ]; then
+    echo "FAIL: interrupted run exited $code, want 130 (SIGINT)" >&2
+    tail -5 "$work/int.log" >&2
+    exit 1
+fi
+checkpointed=$(($(wc -l <"$work/cells.journal") - 1))
+if [ "$checkpointed" -lt 1 ] || [ "$checkpointed" -ge "$total" ]; then
+    echo "FAIL: journal holds $checkpointed cells after interrupt, want a strict subset of $total" >&2
+    exit 1
+fi
+echo "   interrupted with $checkpointed/$total cells checkpointed"
+
+echo "== resumed run"
+"$work/experiments" -fig all -fast -resume -out "$work/res" \
+    -manifest "$work/res-manifest.json" -journal "$work/cells.journal" >"$work/res.log" 2>&1
+
+# Only the cells missing from the journal may have been recomputed.
+computed=$(grep -o 'grid cells computed: [0-9]*' "$work/res.log" | grep -o '[0-9]*$')
+want=$((total - checkpointed))
+if [ "$computed" -ne "$want" ]; then
+    echo "FAIL: resumed run computed $computed cells, want only the $want missing ones" >&2
+    tail -5 "$work/res.log" >&2
+    exit 1
+fi
+
+# The recovery guarantee: resumed output is byte-identical to a run that
+# was never interrupted.
+if ! diff -r "$work/ref" "$work/res"; then
+    echo "FAIL: resumed CSVs differ from the uninterrupted reference" >&2
+    exit 1
+fi
+
+echo "ok: resumed run recomputed $computed/$total cells and reproduced the reference byte-for-byte"
