@@ -287,6 +287,130 @@ func TestCancellationMidGrid(t *testing.T) {
 	}
 }
 
+func TestResumeGrowsCacheCapToFitJournal(t *testing.T) {
+	// A journal larger than the cache cap must not evict the cells it just
+	// seeded — that would silently recompute the head of the grid and defeat
+	// the resume.
+	s := NewScheduler(2)
+	s.SetCacheLimit(2)
+	var runs atomic.Int64
+	fakeGrid(s, func(_ context.Context, n int) (*Result, error) {
+		runs.Add(1)
+		return &Result{N: n}, nil
+	})
+	var recs []JournalRecord
+	sizes := make([]int, 6)
+	for i := range sizes {
+		n := i + 1
+		sizes[i] = n
+		recs = append(recs, JournalRecord{
+			Key:    cellKey("BASELINE", n, 1, testConfig(1, 2)),
+			Result: &Result{N: n},
+		})
+	}
+	if got := s.Resume(recs); got != 6 {
+		t.Fatalf("Resume seeded %d, want 6", got)
+	}
+	out, err := s.RunGrid(context.Background(), gridReq(sizes...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs.Load() != 0 {
+		t.Fatalf("resume over the cache cap recomputed %d cells", runs.Load())
+	}
+	if len(out[0].Points) != 6 {
+		t.Fatalf("points = %+v", out[0].Points)
+	}
+	st := s.CacheStats()
+	if st.Resumed != 6 || st.Evictions != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRetryDelayLargeAttemptDoesNotOverflow(t *testing.T) {
+	// base << (attempt-1) overflows int64 around attempt 34 at the default
+	// base; the delay must saturate at maxRetryBackoff, never collapse to a
+	// near-zero hot-loop value.
+	r := rng.New(1)
+	for _, attempt := range []int{33, 34, 64, 1000} {
+		d := retryDelay(r, DefaultRetryBackoff, attempt)
+		if d < maxRetryBackoff/2 || d > maxRetryBackoff {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, maxRetryBackoff/2, maxRetryBackoff)
+		}
+	}
+	// A base above the cap is respected rather than clamped below itself.
+	if d := retryDelay(rng.New(1), 2*maxRetryBackoff, 5); d < maxRetryBackoff {
+		t.Fatalf("large-base delay %v fell below its own base", d)
+	}
+}
+
+func TestCoalescedWaiterSurvivesForeignCancellation(t *testing.T) {
+	// Two grids share a scheduler and request the same cell. Grid A starts
+	// computing it and is cancelled mid-flight; grid B, which coalesced onto
+	// A's in-flight entry, must not inherit A's cancellation error as a
+	// cache hit — it recomputes under its own live context and succeeds.
+	s := NewScheduler(2)
+	var calls atomic.Int64
+	started := make(chan struct{})
+	fakeGrid(s, func(ctx context.Context, n int) (*Result, error) {
+		if calls.Add(1) == 1 {
+			close(started)
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}
+		return &Result{N: n}, nil
+	})
+
+	ctxA, cancelA := context.WithCancel(context.Background())
+	aDone := make(chan error, 1)
+	go func() {
+		_, err := s.RunGrid(ctxA, gridReq(7))
+		aDone <- err
+	}()
+	<-started
+
+	type bOut struct {
+		res []*SweepResult
+		err error
+	}
+	bDone := make(chan bOut, 1)
+	go func() {
+		res, err := s.RunGrid(context.Background(), gridReq(7))
+		bDone <- bOut{res, err}
+	}()
+	// Wait until B has coalesced onto A's in-flight entry (the hit is
+	// counted before B blocks on the entry), then cancel A.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.CacheStats().Hits == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("grid B never coalesced onto the in-flight cell")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancelA()
+
+	if err := <-aDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("grid A: want context.Canceled, got %v", err)
+	}
+	b := <-bDone
+	if b.err != nil {
+		t.Fatalf("grid B inherited the foreign cancellation: %v", b.err)
+	}
+	if len(b.res[0].Points) != 1 || b.res[0].Points[0].R.N != 7 {
+		t.Fatalf("grid B points = %+v", b.res[0].Points)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("cell computed %d times, want 2 (A's abandoned + B's recompute)", calls.Load())
+	}
+	st := s.CacheStats()
+	if st.Hits != 0 {
+		t.Fatalf("aborted coalesce still counted as a hit: %+v", st)
+	}
+	if st.Misses != 2 || st.Cancelled != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
 func TestResumeServesCellsWithoutRecompute(t *testing.T) {
 	// First run journals every computed cell; a fresh scheduler resumes
 	// from the journal and must serve the whole grid as CellResumed hits

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -25,6 +26,9 @@ import (
 //   - each record is appended with a single write and fsynced, and embeds a
 //     content hash (FNV-1a over the record's canonical JSON) — a torn or
 //     half-flushed final line fails validation and is tolerated on load;
+//   - reopening an existing journal truncates a torn final line before the
+//     first append, so a crash can never leave garbage that a later append
+//     would bury mid-file;
 //   - corruption anywhere before the final line means the file was edited
 //     or the filesystem lied, which resume must not paper over: Load
 //     returns an error instead of silently dropping interior records.
@@ -84,7 +88,10 @@ type Journal struct {
 
 // OpenJournal opens the journal at path for appending, creating it (and
 // parent directories) with a header line if it does not exist. Creation is
-// atomic: a partially created journal is never visible at path.
+// atomic: a partially created journal is never visible at path. An existing
+// journal is repaired first: a torn final line left by a crash mid-append
+// is truncated away (see repairJournalTail), so appends always start on a
+// record boundary.
 func OpenJournal(path string) (*Journal, error) {
 	if path == "" {
 		return nil, fmt.Errorf("core: empty journal path")
@@ -116,12 +123,88 @@ func OpenJournal(path string) (*Journal, error) {
 		}
 	} else if err != nil {
 		return nil, fmt.Errorf("core: journal: %w", err)
+	} else if err := repairJournalTail(path); err != nil {
+		return nil, err
 	}
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("core: journal: %w", err)
 	}
 	return &Journal{path: path, f: f}, nil
+}
+
+// repairJournalTail prepares an existing journal for appending: it scans to
+// the last valid newline-terminated record and truncates anything after it.
+// A torn final line is the expected residue of a crash mid-append; left in
+// place, the next Append would concatenate onto it, burying the garbage
+// mid-file where LoadJournal rightly refuses to repair — the journal would
+// become permanently unloadable. Validation mirrors LoadJournal: a bad
+// header or a bad line with more data after it is corruption, an error.
+func repairJournalTail(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return fmt.Errorf("core: journal: %w", err)
+	}
+	defer f.Close()
+
+	br := bufio.NewReaderSize(f, 64<<10)
+	var validEnd int64 // byte offset after the last valid terminated line
+	lineNo := 0
+	torn := false
+	for {
+		line, rerr := br.ReadBytes('\n')
+		if len(line) == 0 && rerr == io.EOF {
+			break
+		}
+		if rerr != nil && rerr != io.EOF {
+			return fmt.Errorf("core: journal %s: %w", path, rerr)
+		}
+		lineNo++
+		if torn {
+			// Data after a bad line: mid-file corruption, not a torn tail.
+			return fmt.Errorf("core: journal %s: line %d: corrupt record before end of file", path, lineNo-1)
+		}
+		terminated := rerr == nil
+		content := line
+		if terminated {
+			content = line[:len(line)-1]
+		}
+		if lineNo == 1 {
+			// The header is created via temp+rename, so a journal either has a
+			// complete valid header or is not a journal at all.
+			var hdr journalHeader
+			if !terminated || json.Unmarshal(content, &hdr) != nil || hdr.Journal != journalMagic {
+				return fmt.Errorf("core: journal %s: invalid header", path)
+			}
+			if hdr.Version != JournalVersion {
+				return fmt.Errorf("core: journal %s: version %d, want %d", path, hdr.Version, JournalVersion)
+			}
+			validEnd += int64(len(line))
+			continue
+		}
+		ok := len(content) == 0 // blank lines are skipped by LoadJournal
+		if !ok {
+			_, perr := parseJournalLine(content)
+			ok = perr == nil
+		}
+		if ok && terminated {
+			validEnd += int64(len(line))
+		} else {
+			torn = true
+		}
+	}
+	if lineNo == 0 {
+		return fmt.Errorf("core: journal %s: empty file (missing header)", path)
+	}
+	if torn {
+		if err := f.Truncate(validEnd); err != nil {
+			return fmt.Errorf("core: journal %s: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("core: journal %s: %w", path, err)
+		}
+	}
+	return nil
 }
 
 // Append checkpoints one computed cell: a single hashed JSONL line, written

@@ -133,6 +133,99 @@ func TestJournalTornFinalLineTolerated(t *testing.T) {
 	}
 }
 
+func TestJournalReopenRepairsTornTail(t *testing.T) {
+	// The repeated-crash scenario: a crash mid-append leaves a torn final
+	// line, the next run reopens the journal and keeps appending. Reopen
+	// must truncate the torn tail first — otherwise the first new record
+	// concatenates onto it and the merged garbage ends up mid-file, where
+	// LoadJournal rightly refuses to repair and resume is wedged for good.
+	path := filepath.Join(t.TempDir(), "cells.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(journalTestKey(100), journalTestResult(100))
+	j.Append(journalTestKey(200), journalTestResult(200))
+	j.Close()
+
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)-15], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("reopen of torn journal failed: %v", err)
+	}
+	if err := j2.Append(journalTestKey(300), journalTestResult(300)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Append(journalTestKey(400), journalTestResult(400)); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+
+	recs, truncated, err := LoadJournal(path)
+	if err != nil {
+		t.Fatalf("journal unloadable after torn-tail reopen: %v", err)
+	}
+	if truncated {
+		t.Fatal("repaired journal still reports truncated")
+	}
+	want := []int{100, 300, 400}
+	if len(recs) != len(want) {
+		t.Fatalf("loaded %d records, want %d", len(recs), len(want))
+	}
+	for i, n := range want {
+		if recs[i].Key.N != n {
+			t.Fatalf("record %d = %+v, want N=%d", i, recs[i].Key, n)
+		}
+	}
+}
+
+func TestJournalReopenRejectsMidFileCorruption(t *testing.T) {
+	// Repair only drops a torn *tail*; a bad line with records after it is
+	// corruption that reopen, like LoadJournal, must refuse to paper over.
+	path := filepath.Join(t.TempDir(), "cells.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(journalTestKey(100), journalTestResult(100))
+	j.Append(journalTestKey(200), journalTestResult(200))
+	j.Close()
+
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(b), "\n"), "\n")
+	tampered := strings.Replace(lines[1], `"N":100`, `"N":101`, 1)
+	if tampered == lines[1] {
+		t.Fatalf("tamper target not found in record: %s", lines[1])
+	}
+	lines[1] = tampered
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := OpenJournal(path); err == nil {
+		t.Fatal("reopen accepted mid-file corruption")
+	}
+
+	// Same for a non-journal file: reopen must not append to it.
+	bogus := filepath.Join(t.TempDir(), "not-a-journal")
+	if err := os.WriteFile(bogus, []byte("plain text\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(bogus); err == nil {
+		t.Fatal("reopen accepted a non-journal file")
+	}
+}
+
 func TestJournalMidFileCorruptionFails(t *testing.T) {
 	// Corruption before the final line means the file was edited or the
 	// filesystem lied: load must fail rather than silently drop records.

@@ -267,6 +267,10 @@ type cacheEntry struct {
 	err   error
 	// resumed marks entries seeded from a checkpoint journal.
 	resumed bool
+	// dropped marks entries abandoned by cancellation and removed from the
+	// cache before ready closed: err carries a context error that is not the
+	// waiter's own, so coalesced waiters must recompute, not inherit it.
+	dropped bool
 	// elem is this entry's position in the scheduler's LRU list.
 	elem *list.Element
 }
@@ -321,7 +325,9 @@ func (s *Scheduler) Journal() *Journal {
 // Resume replays checkpoint records (see LoadJournal) into the result
 // cache and returns how many were seeded. Keys already cached are left
 // untouched. Subsequent requests for a seeded key are served without
-// recomputation and reported as CellResumed.
+// recomputation and reported as CellResumed. If the journal holds more
+// records than the cache cap, the cap is raised to fit them all — a resume
+// never evicts the cells it restores.
 func (s *Scheduler) Resume(recs []JournalRecord) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -342,6 +348,12 @@ func (s *Scheduler) Resume(recs []JournalRecord) int {
 	}
 	if p := s.probes; p != nil && seeded > 0 {
 		p.JournalLoads.Add(uint64(seeded))
+	}
+	// A journal larger than the cache cap must not silently evict the cells
+	// it just seeded (they would be recomputed, defeating the resume): grow
+	// the cap to hold the full checkpoint.
+	if s.cacheCap > 0 && s.lru.Len() > s.cacheCap {
+		s.cacheCap = s.lru.Len()
 	}
 	s.evictLocked()
 	return seeded
@@ -401,12 +413,15 @@ func (s *Scheduler) evictLocked() {
 	}
 }
 
-// dropEntryIfCancelled removes a singleflight entry whose computation was
-// abandoned by cancellation, so a later run (or a resumed process) computes
-// it fresh instead of being served the cancellation error.
+// dropEntry removes a singleflight entry whose computation was abandoned by
+// cancellation, so a later run (or a resumed process) computes it fresh
+// instead of being served the cancellation error. Must be called before the
+// entry's ready channel is closed: the dropped flag is then visible to every
+// waiter that wakes.
 func (s *Scheduler) dropEntry(key CellKey, e *cacheEntry) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	e.dropped = true
 	if cur, ok := s.cache[key]; ok && cur == e {
 		delete(s.cache, key)
 		s.lru.Remove(e.elem)
@@ -452,6 +467,17 @@ func (s *Scheduler) cell(ctx context.Context, sc scenario.Scenario, n int, topoS
 		s.mu.Unlock()
 		start := time.Now()
 		<-e.ready
+		if e.dropped && ctx.Err() == nil {
+			// The in-flight computation this request coalesced onto was
+			// abandoned by a cancellation that is not ours (e.g. another
+			// grid's context on a shared scheduler). Its error must not leak
+			// through the cache-hit path: undo the hit and recompute the cell
+			// under this caller's own, still-live context.
+			s.mu.Lock()
+			s.stats.Hits--
+			s.mu.Unlock()
+			return s.cell(ctx, sc, n, topoSeed, ev, progress)
+		}
 		if probes != nil {
 			if state == CellResumed {
 				probes.CellsResumed.Inc()
@@ -585,14 +611,30 @@ func (s *Scheduler) computeWithRetry(ctx context.Context, key CellKey, sc scenar
 	}
 }
 
+// maxRetryBackoff caps the exponential growth of the per-attempt retry
+// delay. Without it a large retry budget overflows the shift (attempt ≳ 33
+// at the default base) into a non-positive duration that Jitter clamps to
+// ~1ns — a hot retry loop instead of a backoff.
+const maxRetryBackoff = 5 * time.Minute
+
 // retryDelay computes the wait before retry number attempt: exponential in
-// the attempt count, scaled by a jitter factor in [0.5, 1.0] drawn from the
-// cell's deterministic backoff stream.
+// the attempt count up to maxRetryBackoff, scaled by a jitter factor in
+// [0.5, 1.0] drawn from the cell's deterministic backoff stream.
 func retryDelay(r *rng.Source, base time.Duration, attempt int) time.Duration {
 	if base <= 0 {
 		return 0
 	}
-	d := base << uint(attempt-1)
+	limit := maxRetryBackoff
+	if base > limit {
+		limit = base
+	}
+	d := base
+	for i := 1; i < attempt && d < limit; i++ {
+		d <<= 1
+		if d <= 0 || d > limit { // d <= 0 is shift overflow
+			d = limit
+		}
+	}
 	return time.Duration(r.Jitter(int64(d), 0.5, 1.0))
 }
 
