@@ -5,7 +5,7 @@ GO ?= go
 # Label under which `make bench-kernel` records its run in BENCH_kernel.json.
 BENCH_LABEL ?= current
 
-.PHONY: test race bench bench-kernel bench-e2e obs-guard resume-smoke resume-guard build
+.PHONY: test race bench bench-kernel bench-e2e bench-scale scale-smoke fuzz-smoke obs-guard resume-smoke resume-guard build
 
 build:
 	$(GO) build ./...
@@ -13,8 +13,14 @@ build:
 test: build
 	$(GO) test ./...
 
+# race runs the full suite under the race detector, then reruns the
+# checker-enabled tiers with -count=1: the RIB invariant checker
+# (bgp.Config.Check) re-verifies decision fixpoints, PathID validity and
+# export closure after every reconcile, and the compact-vs-classic
+# differential tests exercise it inside parallel origin workers at small n.
 race:
 	$(GO) test -race ./...
+	$(GO) test -race -count=1 -run 'Consistency|Checker|CompactEngine|GrowThenReset' ./internal/bgp/ .
 
 bench:
 	$(GO) test -bench . -benchtime 1x .
@@ -32,6 +38,33 @@ bench-kernel:
 bench-e2e:
 	$(GO) test -run '^$$' -bench 'BenchmarkRunCEvents' -benchmem -benchtime 5x . \
 		| $(GO) run ./cmd/benchjson -label "$(BENCH_LABEL)" -out BENCH_e2e.json
+
+# bench-scale runs the internet-scale trajectory: one warm-start compact-RIB
+# churn cell at n ∈ {10k, 50k, 100k} on a growth-chained Baseline topology,
+# recording ns/op plus peak RSS (VmHWM) per size in BENCH_scale.json. Slow:
+# the growth chain's preferential-attachment scans are quadratic in n, so
+# the 100k point takes tens of minutes of setup; the cells themselves are
+# sub-minute.
+bench-scale:
+	$(GO) test -run '^$$' -bench 'BenchmarkScaleCell' -benchtime 1x -timeout 120m . \
+		| $(GO) run ./cmd/benchjson -label "$(BENCH_LABEL)" -out BENCH_scale.json
+
+# scale-smoke mirrors the CI job of the same name: the n=10k warm cell must
+# finish and stay under an absolute peak-RSS budget (cmd/benchguard -budget).
+# The budget is ~2.5x today's footprint (~50 MB): a representation change
+# that reintroduced per-neighbor maps or full-path storage would multiply
+# RSS with n and blow past it.
+scale-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkScaleCell/n=10000$$' -benchtime 1x -timeout 20m . \
+		| $(GO) run ./cmd/benchguard -guard BenchmarkScaleCell/n=10000 -metric peakRSS-MB -budget 128
+
+# fuzz-smoke gives each fuzz harness a short adversarial run on top of the
+# checked-in corpora (which `make test` already replays as regular cases).
+# The journal harness is fsync-bound, so it gets an input-count budget
+# rather than a time budget.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzInternTable -fuzztime 15s ./internal/bgp/
+	$(GO) test -run '^$$' -fuzz FuzzOpenJournal -fuzztime 20x ./internal/core/
 
 # obs-guard mirrors the CI job of the same name: instrumentation must not
 # allocate beyond the warm baseline plus a fixed per-run setup budget.

@@ -82,6 +82,16 @@ const (
 // GenerateTopology builds a topology from explicit parameters.
 func GenerateTopology(p TopologyParams) (*Topology, error) { return topology.Generate(p) }
 
+// GrowTopology extends an existing topology to the larger parameter set p
+// without regenerating it: every pre-existing node keeps its ID, type,
+// regions and links, and new nodes attach preferentially exactly as the
+// generator would attach them. Size sweeps can thus reuse structure across
+// sizes (and reuse the protocol engine's interned paths via Network.Grow)
+// instead of rebuilding each point from scratch. The source is not
+// modified. Scenario.Params with a fixed seed yields growth-compatible
+// parameter sets across sizes.
+func GrowTopology(t *Topology, p TopologyParams) (*Topology, error) { return topology.Grow(t, p) }
+
 // ComputeTopologyStats measures a topology's structural properties;
 // sampleSources bounds the BFS sample for the average path length (0 =
 // exact).
@@ -476,3 +486,8 @@ func InstrumentTopologyGeneration(m *ObsMetrics) {
 // GitRevision returns the VCS revision embedded in the binary ("unknown"
 // for unstamped builds).
 func GitRevision() string { return obs.GitRevision() }
+
+// PeakRSSBytes returns the process's peak resident set size (0 where
+// /proc is unavailable) — the memory number the scale tier records in
+// BENCH_scale.json.
+func PeakRSSBytes() uint64 { return obs.PeakRSSBytes() }

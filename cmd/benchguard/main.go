@@ -14,6 +14,14 @@
 // the obs variant a fixed setup budget (probe-block attachment per run) but
 // no per-event allocations: any probe that allocates on the steady-state
 // path multiplies with the event count and blows far past the slack.
+//
+// With -budget set, the guard instead enforces an absolute ceiling on the
+// guarded benchmark's metric and needs no baseline — the scale-smoke job
+// uses this to hold the n=10k cell's peak RSS under a fixed budget:
+//
+//	go test -run '^$' -bench 'BenchmarkScaleCell/n=10000' -benchtime 1x . \
+//	    | go run ./cmd/benchguard -guard BenchmarkScaleCell/n=10000 -metric peakRSS-MB -budget 512
+//
 // Exit status: 0 pass, 1 regression, 2 usage or parse error.
 package main
 
@@ -28,15 +36,16 @@ import (
 
 func main() {
 	var (
-		base      = flag.String("base", "", "baseline benchmark name (required; GOMAXPROCS suffix ignored)")
+		base      = flag.String("base", "", "baseline benchmark name (required unless -budget is set; GOMAXPROCS suffix ignored)")
 		guard     = flag.String("guard", "", "guarded benchmark name (required)")
 		metric    = flag.String("metric", "allocs/op", "unit to compare, as printed by go test (e.g. allocs/op, B/op, ns/op)")
 		tolerance = flag.Float64("tolerance", 0, "allowed relative overhead (0.02 = 2%)")
 		slack     = flag.Float64("slack", 16, "allowed absolute overhead in metric units")
+		budget    = flag.Float64("budget", 0, "absolute limit for the guarded metric; enables budget mode, which needs no -base (the scale-smoke peak-RSS ceiling)")
 	)
 	flag.Parse()
-	if *base == "" || *guard == "" {
-		fmt.Fprintln(os.Stderr, "benchguard: -base and -guard are required")
+	if *guard == "" || (*base == "" && *budget <= 0) {
+		fmt.Fprintln(os.Stderr, "benchguard: -guard and either -base or -budget are required")
 		os.Exit(2)
 	}
 
@@ -55,15 +64,30 @@ func main() {
 		fatal(err)
 	}
 
-	bm, okB := results[*base]
 	gm, okG := results[*guard]
-	if !okB || !okG {
-		fatal(fmt.Errorf("missing benchmark on stdin: base %q found=%v, guard %q found=%v", *base, okB, *guard, okG))
+	if !okG {
+		fatal(fmt.Errorf("missing benchmark on stdin: guard %q not found", *guard))
+	}
+	gv, okG := gm[*metric]
+	if !okG {
+		fatal(fmt.Errorf("metric %q missing from guard %q (did you pass -benchmem?)", *metric, *guard))
+	}
+	if *budget > 0 {
+		if gv > *budget {
+			fmt.Fprintf(os.Stderr, "benchguard: FAIL %s %s = %g exceeds budget %g\n", *guard, *metric, gv, *budget)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchguard: ok %s %s = %g within budget %g\n", *guard, *metric, gv, *budget)
+		return
+	}
+
+	bm, okB := results[*base]
+	if !okB {
+		fatal(fmt.Errorf("missing benchmark on stdin: base %q not found", *base))
 	}
 	bv, okB := bm[*metric]
-	gv, okG := gm[*metric]
-	if !okB || !okG {
-		fatal(fmt.Errorf("metric %q missing: base has it=%v, guard has it=%v (did you pass -benchmem?)", *metric, okB, okG))
+	if !okB {
+		fatal(fmt.Errorf("metric %q missing from base %q (did you pass -benchmem?)", *metric, *base))
 	}
 
 	limit := bv*(1+*tolerance) + *slack

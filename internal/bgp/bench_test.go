@@ -126,7 +126,7 @@ func BenchmarkKernelTransmitFire(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		net.transmit(m, slot, benchPrefix, Announce, path)
+		net.transmit(m, slot, benchPrefix, Announce, path, NoPath)
 		net.sched.Run()
 	}
 }
@@ -181,11 +181,11 @@ func TestSteadyStateZeroAlloc(t *testing.T) {
 	m, slot, path := coreLink(net)
 	// Warm the event pool and heap storage.
 	for i := 0; i < 16; i++ {
-		net.transmit(m, slot, benchPrefix, Announce, path)
+		net.transmit(m, slot, benchPrefix, Announce, path, NoPath)
 		net.sched.Run()
 	}
 	allocs := testing.AllocsPerRun(200, func() {
-		net.transmit(m, slot, benchPrefix, Announce, path)
+		net.transmit(m, slot, benchPrefix, Announce, path, NoPath)
 		net.sched.Run()
 	})
 	if allocs != 0 {
@@ -209,12 +209,12 @@ func TestSteadyStateZeroAllocObs(t *testing.T) {
 	net.SetObs(obs.New())
 	m, slot, path := coreLink(net)
 	for i := 0; i < 16; i++ {
-		net.transmit(m, slot, benchPrefix, Announce, path)
+		net.transmit(m, slot, benchPrefix, Announce, path, NoPath)
 		net.sched.Run()
 	}
 	before := net.probes.AnnouncementsSent.Load()
 	allocs := testing.AllocsPerRun(200, func() {
-		net.transmit(m, slot, benchPrefix, Announce, path)
+		net.transmit(m, slot, benchPrefix, Announce, path, NoPath)
 		net.sched.Run()
 	})
 	if allocs != 0 {

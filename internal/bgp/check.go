@@ -29,7 +29,7 @@ func (net *Network) CheckConsistency() error {
 		// (3) Loc-RIB is a fixed point of the decision process.
 		for _, f := range nd.sortedPrefixes() {
 			ps, _ := nd.prefixes.Get(f)
-			slot, path := nd.decide(ps)
+			slot, path := nd.freshDecide(ps)
 			if slot != ps.bestSlot || !path.Equal(ps.bestPath) {
 				return fmt.Errorf("bgp: node %d prefix %d: stale Loc-RIB (have slot %d, decide says %d)",
 					nd.id, f, ps.bestSlot, slot)
@@ -54,7 +54,7 @@ func (net *Network) CheckConsistency() error {
 				sent, _ := q.lastSent.Get(f)
 				// (1) wire agreement.
 				pps, ok := peer.prefixes.Get(f)
-				if !ok || !sent.Equal(pps.ribIn[rev]) {
+				if !ok || !sent.Equal(peer.ribPath(pps, int(rev))) {
 					return fmt.Errorf("bgp: session %d->%d prefix %d: adj-rib-out and adj-rib-in disagree",
 						nd.id, peer.id, f)
 				}
@@ -65,7 +65,7 @@ func (net *Network) CheckConsistency() error {
 			// (1) converse direction: nothing in v's RIB that u did not send.
 			for _, f := range peer.sortedPrefixes() {
 				pps, _ := peer.prefixes.Get(f)
-				if pps.ribIn[rev] != nil {
+				if peer.ribHas(pps, int(rev)) {
 					if _, ok := q.lastSent.Get(f); !ok {
 						return fmt.Errorf("bgp: session %d->%d prefix %d: receiver holds a route the sender never advertised",
 							nd.id, peer.id, f)
@@ -113,4 +113,94 @@ func (net *Network) checkAdvertisement(nd *node, j int, f Prefix, sent Path) err
 			nd.id, f, nd.nbrRels[j], nd.nbrIDs[j])
 	}
 	return nil
+}
+
+// freshDecide re-runs the decision process in the node's engine
+// representation and returns the winning slot and path content.
+func (nd *node) freshDecide(ps *prefixState) (slot int, path Path) {
+	if nd.it != nil {
+		slot, id := nd.decideCompact(ps)
+		return slot, nd.it.path(id)
+	}
+	return nd.decide(ps)
+}
+
+// checkReconciled is the debug-only (Config.Check) RIB invariant checker,
+// run after every reconcile on the node that just changed its best route.
+// Unlike CheckConsistency it must hold mid-convergence, so it checks only
+// node-local invariants:
+//
+//  1. best-route consistency: the Loc-RIB is a fixpoint of the decision
+//     process, and the cached advertisement body matches it;
+//  2. no dangling PathID: every Adj-RIB-In entry, the best-route ID and the
+//     advertisement ID resolve inside the intern table, and resolve to
+//     content consistent with the cached slices (compact mode);
+//  3. Adj-RIB-Out ⊆ export-policy closure: for every live neighbor, the
+//     wire-or-queued state setDesired just reconciled is exactly the
+//     export-policy image of the best route — an exportable route is on the
+//     wire or queued as an announcement, a non-exportable one is off the
+//     wire or queued as a withdrawal.
+//
+// Violations panic: the checker runs in test tiers where an invariant break
+// is a bug in the engine, never a recoverable condition.
+func (net *Network) checkReconciled(nd *node, f Prefix, ps *prefixState) {
+	// (1) decision fixpoint.
+	slot, path := nd.freshDecide(ps)
+	if slot != ps.bestSlot || !path.Equal(ps.bestPath) {
+		panic(fmt.Sprintf("bgp: check: node %d prefix %d: Loc-RIB not a decision fixpoint (have slot %d, decide says %d)",
+			nd.id, f, ps.bestSlot, slot))
+	}
+	// (2) intern-table ID validity and cache consistency (compact mode).
+	if it := nd.it; it != nil {
+		limit := PathID(it.len())
+		for j, pid := range ps.ribID {
+			if pid > limit {
+				panic(fmt.Sprintf("bgp: check: node %d prefix %d slot %d: dangling PathID %d (table holds %d)",
+					nd.id, f, j, pid, limit))
+			}
+		}
+		if ps.bestID > limit || !it.path(ps.bestID).Equal(ps.bestPath) {
+			panic(fmt.Sprintf("bgp: check: node %d prefix %d: bestID %d inconsistent with bestPath %v",
+				nd.id, f, ps.bestID, ps.bestPath))
+		}
+		if ps.fullValid && (ps.fullID > limit || !it.path(ps.fullID).Equal(ps.full)) {
+			panic(fmt.Sprintf("bgp: check: node %d prefix %d: fullID %d inconsistent with advertisement %v",
+				nd.id, f, ps.fullID, ps.full))
+		}
+	}
+	// (1b) the cached advertisement body is the best route prepended.
+	if ps.fullValid && ps.bestSlot != noneSlot {
+		want := ps.bestPath.Prepend(nd.id)
+		if !ps.full.Equal(want) {
+			panic(fmt.Sprintf("bgp: check: node %d prefix %d: cached advertisement %v is not best+self %v",
+				nd.id, f, ps.full, want))
+		}
+	}
+	// (3) per-neighbor reconciliation postcondition.
+	full, fromCustomerOrSelf := nd.advertisement(ps)
+	for j := range nd.nbrIDs {
+		q := &nd.out[j]
+		if q.down {
+			continue
+		}
+		last, onWire := q.lastSent.Get(f)
+		pu, queued := q.pending.Get(f)
+		if nd.exportable(j, full, fromCustomerOrSelf) {
+			wireOK := onWire && last.Equal(full)
+			queueOK := queued && pu.kind == Announce && pu.path.Equal(full)
+			if !wireOK && !queueOK {
+				panic(fmt.Sprintf("bgp: check: node %d prefix %d slot %d: exportable best neither on wire nor queued",
+					nd.id, f, j))
+			}
+		} else {
+			if queued && pu.kind == Announce {
+				panic(fmt.Sprintf("bgp: check: node %d prefix %d slot %d: queued announcement outside export closure",
+					nd.id, f, j))
+			}
+			if onWire && !(queued && pu.kind == Withdraw) {
+				panic(fmt.Sprintf("bgp: check: node %d prefix %d slot %d: stale wire route with no queued withdrawal",
+					nd.id, f, j))
+			}
+		}
+	}
 }

@@ -71,7 +71,16 @@ func (net *Network) RIBSize(id topology.NodeID) int {
 // neighbors' Adj-RIB-Ins — the memory-relevant table size.
 func (net *Network) AdjRIBInSize(id topology.NodeID) int {
 	n := 0
-	net.nodes[id].prefixes.ForEach(func(_ Prefix, ps *prefixState) {
+	nd := &net.nodes[id]
+	nd.prefixes.ForEach(func(_ Prefix, ps *prefixState) {
+		if nd.it != nil {
+			for _, pid := range ps.ribID {
+				if pid != NoPath {
+					n++
+				}
+			}
+			return
+		}
 		for _, p := range ps.ribIn {
 			if p != nil {
 				n++

@@ -1,0 +1,240 @@
+package bgp
+
+import (
+	"math/bits"
+
+	"bgpchurn/internal/obs"
+	"bgpchurn/internal/topology"
+)
+
+// Path interning (the compact-RIB engine's storage layer). Every distinct
+// AS path is stored exactly once in slab-backed storage and identified by a
+// dense 32-bit PathID, so routing tables hold 4-byte IDs instead of 24-byte
+// slice headers and path equality is an integer compare. See DESIGN.md
+// (intern-table memory model) for ownership and lifetime rules.
+
+// PathID identifies an interned AS path in a Network's intern table. The
+// zero value (NoPath) means "no path". IDs are dense, minted in first-intern
+// order, and stable for the lifetime of the Network: Network.Reset rewinds
+// routing state but deliberately keeps the intern table, so a PathID minted
+// before a Reset still denotes the same path content afterwards (the paths
+// of one topology recur event after event, and re-interning them would cost
+// a hash probe per route change for no memory win).
+type PathID uint32
+
+// NoPath is the PathID of "no route".
+const NoPath PathID = 0
+
+// pathSpan locates one interned path's content inside the slab storage.
+type pathSpan struct {
+	slab uint32 // index into internTable.slabs
+	off  uint32 // element offset of the first path element
+	n    uint32 // path length in elements
+}
+
+// internSlabElems is the slab size in NodeIDs (64 KiB). Slabs are never
+// reallocated or moved once created — canonical Path slices handed out by
+// the table stay valid forever — and a path never spans two slabs
+// (oversized paths get a dedicated slab).
+const internSlabElems = 1 << 14
+
+// internTable hash-conses AS paths: intern maps path content to a PathID,
+// path maps the ID back to a canonical Path sub-slice of the slab storage.
+// Identical content always yields the identical PathID and the identical
+// backing memory, so Path.Equal's identity fast-path makes canonical-path
+// comparison O(1). Not safe for concurrent use; each Network owns one.
+type internTable struct {
+	slabs  [][]topology.NodeID
+	spans  []pathSpan // indexed by PathID; spans[0] is the NoPath sentinel
+	hashes []uint64   // content hash per PathID, for cheap table growth
+	// tab is the open-addressing (linear probe) hash table over PathIDs;
+	// 0 marks an empty bucket. Always a power of two, grown at 3/4 load.
+	tab  []PathID
+	mask uint64
+
+	// probes, when non-nil, feed the obs hub: distinct paths interned,
+	// bytes of slab storage handed out, and lookup hits (paths already
+	// present).
+	entriesProbe *obs.Cell
+	bytesProbe   *obs.Cell
+	hitsProbe    *obs.Cell
+}
+
+// newInternTable returns an empty table with the NoPath sentinel reserved.
+func newInternTable() *internTable {
+	const initialBuckets = 1 << 10
+	return &internTable{
+		spans:  make([]pathSpan, 1, 1024),
+		hashes: make([]uint64, 1, 1024),
+		tab:    make([]PathID, initialBuckets),
+		mask:   initialBuckets - 1,
+	}
+}
+
+// setProbes attaches (or, with nils, detaches) observability cells.
+func (it *internTable) setProbes(entries, bytes, hits *obs.Cell) {
+	it.entriesProbe, it.bytesProbe, it.hitsProbe = entries, bytes, hits
+}
+
+// len returns the number of distinct paths interned.
+func (it *internTable) len() int { return len(it.spans) - 1 }
+
+// path returns the canonical Path for id (nil for NoPath). The result is a
+// capacity-clamped view of slab storage: immutable by contract, identical
+// backing memory for every call with the same id.
+func (it *internTable) path(id PathID) Path {
+	if id == NoPath {
+		return nil
+	}
+	s := it.spans[id]
+	b := it.slabs[s.slab]
+	return Path(b[s.off : s.off+s.n : s.off+s.n])
+}
+
+// lenOf returns the length of the interned path (0 for NoPath).
+func (it *internTable) lenOf(id PathID) int {
+	return int(it.spans[id].n)
+}
+
+// mixID folds one path element into a running content hash
+// (Murmur3-finalizer-style multiply-rotate, collisions resolved by compare).
+func mixID(h uint64, v topology.NodeID) uint64 {
+	h ^= uint64(uint32(v)) * 0xff51afd7ed558ccd
+	h = bits.RotateLeft64(h, 31)
+	return h * 0xc4ceb9fe1a85ec53
+}
+
+// hashSeq hashes the virtual sequence [first, tail...] without
+// materializing it (prepend interns straight off the parent path).
+func hashSeq(first topology.NodeID, tail Path) uint64 {
+	h := uint64(0x9e3779b97f4a7c15) ^ uint64(len(tail)+1)
+	h = mixID(h, first)
+	for _, v := range tail {
+		h = mixID(h, v)
+	}
+	return h
+}
+
+// spanEqualSeq reports whether the stored span equals [first, tail...].
+func (it *internTable) spanEqualSeq(id PathID, first topology.NodeID, tail Path) bool {
+	s := it.spans[id]
+	if int(s.n) != len(tail)+1 {
+		return false
+	}
+	b := it.slabs[s.slab][s.off : s.off+s.n]
+	if b[0] != first {
+		return false
+	}
+	for i, v := range tail {
+		if b[i+1] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// prepend interns the path [first, tail...] and returns its canonical Path
+// and PathID. tail may be nil (a one-element origin path). This is the
+// engine's only path constructor in compact mode: advertisement bodies and
+// warm-start routes all funnel through it, so every Path in a compact
+// network is canonical.
+func (it *internTable) prepend(first topology.NodeID, tail Path) (Path, PathID) {
+	h := hashSeq(first, tail)
+	i := h & it.mask
+	for {
+		id := it.tab[i]
+		if id == NoPath {
+			break
+		}
+		if it.hashes[id] == h && it.spanEqualSeq(id, first, tail) {
+			if it.hitsProbe != nil {
+				it.hitsProbe.Inc()
+			}
+			return it.path(id), id
+		}
+		i = (i + 1) & it.mask
+	}
+	// Miss: copy the content into slab storage and publish the new ID.
+	n := len(tail) + 1
+	slab, off, dst := it.alloc(n)
+	dst[0] = first
+	copy(dst[1:], tail)
+	id := PathID(len(it.spans))
+	it.spans = append(it.spans, pathSpan{slab: slab, off: off, n: uint32(n)})
+	it.hashes = append(it.hashes, h)
+	it.tab[i] = id
+	if it.entriesProbe != nil {
+		it.entriesProbe.Inc()
+	}
+	if it.bytesProbe != nil {
+		it.bytesProbe.Add(uint64(n) * nodeIDBytes)
+	}
+	if uint64(it.len())*4 >= uint64(len(it.tab))*3 {
+		it.grow()
+	}
+	return Path(dst[:n:n]), id
+}
+
+// intern interns an existing path (nil maps to NoPath). Equivalent to
+// prepend(p[0], p[1:]); used by tests and cold paths.
+func (it *internTable) intern(p Path) (Path, PathID) {
+	if len(p) == 0 {
+		return nil, NoPath
+	}
+	return it.prepend(p[0], p[1:])
+}
+
+// alloc carves n elements out of the current slab, starting a new slab when
+// it does not fit. Existing slabs are never moved, so previously returned
+// canonical paths stay valid.
+func (it *internTable) alloc(n int) (slab, off uint32, dst []topology.NodeID) {
+	if k := len(it.slabs); k > 0 {
+		b := it.slabs[k-1]
+		if len(b)+n <= cap(b) {
+			off = uint32(len(b))
+			b = b[: len(b)+n : cap(b)]
+			it.slabs[k-1] = b
+			return uint32(k - 1), off, b[off:]
+		}
+	}
+	sz := internSlabElems
+	if n > sz {
+		sz = n // oversized path: dedicated slab
+	}
+	b := make([]topology.NodeID, n, sz)
+	it.slabs = append(it.slabs, b)
+	return uint32(len(it.slabs) - 1), 0, b
+}
+
+// grow doubles the hash table and re-inserts every ID by its stored hash.
+func (it *internTable) grow() {
+	nt := make([]PathID, len(it.tab)*2)
+	mask := uint64(len(nt) - 1)
+	for id := PathID(1); int(id) < len(it.spans); id++ {
+		i := it.hashes[id] & mask
+		for nt[i] != NoPath {
+			i = (i + 1) & mask
+		}
+		nt[i] = id
+	}
+	it.tab, it.mask = nt, mask
+}
+
+// bytesStored returns the slab bytes holding interned path content.
+func (it *internTable) bytesStored() uint64 {
+	var n uint64
+	for _, b := range it.slabs {
+		n += uint64(len(b)) * nodeIDBytes
+	}
+	return n
+}
+
+// InternStats reports the compact engine's intern-table occupancy: distinct
+// paths stored and the bytes of path content backing them. Zero when the
+// network runs the classic slice-path engine.
+func (net *Network) InternStats() (paths int, bytes uint64) {
+	if net.intern == nil {
+		return 0, 0
+	}
+	return net.intern.len(), net.intern.bytesStored()
+}

@@ -91,10 +91,14 @@ func (net *Network) sessionDown(nd *node, j int) {
 	q.prefixScheduled.Clear()
 	for _, f := range nd.sortedPrefixes() {
 		ps, _ := nd.prefixes.Get(f)
-		if ps.ribIn[j] == nil {
+		if !nd.ribHas(ps, j) {
 			continue
 		}
-		ps.ribIn[j] = nil
+		if nd.it != nil {
+			ps.ribID[j] = NoPath
+		} else {
+			ps.ribIn[j] = nil
+		}
 		net.applyDecision(nd, f, ps)
 	}
 }
@@ -109,7 +113,7 @@ func (net *Network) resyncSlot(nd *node, j int) {
 		}
 		full, fromCustomerOrSelf := nd.advertisement(ps)
 		if nd.exportable(j, full, fromCustomerOrSelf) {
-			net.setDesired(nd, j, f, full)
+			net.setDesired(nd, j, f, full, ps.fullID)
 		}
 	}
 }

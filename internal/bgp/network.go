@@ -30,6 +30,16 @@ type Network struct {
 	recvFlat []uint32
 	outFlat  []outQueue
 
+	// intern is the compact engine's path intern table (nil in classic
+	// mode). It survives Reset: the distinct paths of one topology recur
+	// across events, and PathIDs handed out earlier stay valid (see PathID).
+	intern *internTable
+	// ribInFlat is the compact engine's network-wide Adj-RIB-In: one PathID
+	// per CSR session slot. Each node's row backs its first prefixState, so
+	// the single-prefix workload of a C-event keeps the whole Adj-RIB-In in
+	// one contiguous 4-byte-per-route array with zero allocation.
+	ribInFlat []PathID
+
 	// ws holds WarmStart's scratch arrays, lazily sized to N() on first use
 	// and reused across calls so repeated warm starts on the same network
 	// (one per origin in an experiment) do not reallocate.
@@ -72,24 +82,38 @@ func New(topo *topology.Topology, cfg Config) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	net := &Network{cfg: cfg}
+	if err := net.build(topo); err != nil {
+		return nil, err
+	}
+	net.reinit(cfg.Seed)
+	return net, nil
+}
+
+// build (re)creates the structural wiring for topo: the node array and the
+// flat per-session state blocks, with every per-node slice a row of a shared
+// flat array (the topology's CSR block or this network's own session
+// arrays). It is the structural half of construction, shared by New and
+// Grow; runtime state is initialized separately by reinit. The intern table,
+// when already present, is kept — interned paths are content-addressed and
+// node IDs survive growth, so existing PathIDs stay valid (see PathID).
+func (net *Network) build(topo *topology.Topology) error {
 	adj := topo.CSR()
 	if !adj.Symmetric() {
-		return nil, fmt.Errorf("bgp: topology has an asymmetric adjacency")
+		return fmt.Errorf("bgp: topology has an asymmetric adjacency")
 	}
 	sessions := len(adj.IDs)
-	net := &Network{
-		topo:     topo,
-		adj:      adj,
-		cfg:      cfg,
-		nodes:    make([]node, topo.N()),
-		tieFlat:  make([]uint64, sessions),
-		recvFlat: make([]uint32, sessions),
-		outFlat:  make([]outQueue, sessions),
-	}
-	master := rng.New(cfg.Seed)
-	salt := master.Uint64()
-	for k, id := range adj.IDs {
-		net.tieFlat[k] = hashID(salt, id)
+	net.topo = topo
+	net.adj = adj
+	net.nodes = make([]node, topo.N())
+	net.tieFlat = make([]uint64, sessions)
+	net.recvFlat = make([]uint32, sessions)
+	net.outFlat = make([]outQueue, sessions)
+	if net.cfg.CompactRIB {
+		if net.intern == nil {
+			net.intern = newInternTable()
+		}
+		net.ribInFlat = make([]PathID, sessions)
 	}
 	for i := range net.nodes {
 		nd := &net.nodes[i]
@@ -102,10 +126,39 @@ func New(topo *topology.Topology, cfg Config) (*Network, error) {
 		nd.tieHash = net.tieFlat[lo:hi:hi]
 		nd.recvBySlot = net.recvFlat[lo:hi:hi]
 		nd.out = net.outFlat[lo:hi:hi]
-		nd.src = master.Split()
 		nd.arena = &net.paths
+		nd.it = net.intern
+		if net.intern != nil {
+			nd.ribRow = net.ribInFlat[lo:hi:hi]
+		}
 	}
-	return net, nil
+	return nil
+}
+
+// Grow rewires the network onto a grown topology (see topology.Grow) and
+// reinitializes it from seed, preserving the Config, the attached probes and
+// — in compact mode — the path intern table, whose entries remain valid
+// because growth preserves node IDs. Grow and Reset share the same
+// reinitialization path (reinit), so a grown network is observably identical
+// to one freshly built with New(topo, cfg-with-seed): the grow-then-reset
+// regression test pins that equivalence. The topology must contain at least
+// as many nodes as the current one, with the existing prefix unchanged.
+func (net *Network) Grow(topo *topology.Topology, seed uint64) error {
+	old := net.topo
+	if topo.N() < old.N() {
+		return fmt.Errorf("bgp: Grow to %d nodes from %d — topologies only grow", topo.N(), old.N())
+	}
+	for i := range old.Nodes {
+		if topo.Nodes[i].Type != old.Nodes[i].Type {
+			return fmt.Errorf("bgp: Grow topology changes node %d's type (%v -> %v); not a grown version of the current one",
+				i, old.Nodes[i].Type, topo.Nodes[i].Type)
+		}
+	}
+	if err := net.build(topo); err != nil {
+		return err
+	}
+	net.reinit(seed)
+	return nil
 }
 
 // MustNew is New for known-valid inputs; it panics on error.
@@ -129,11 +182,17 @@ func (net *Network) SetObs(m *obs.Metrics) {
 		net.probes = nil
 		net.sched.SetProbes(nil)
 		net.paths.probe = nil
+		if net.intern != nil {
+			net.intern.setProbes(nil, nil, nil)
+		}
 		return
 	}
 	net.probes = m.NewBGPProbes()
 	net.sched.SetProbes(m.NewDESProbes())
 	net.paths.probe = net.probes.ArenaBytes
+	if net.intern != nil {
+		net.intern.setProbes(net.probes.InternedPaths, net.probes.InternBytes, net.probes.InternHits)
+	}
 }
 
 // Topology returns the underlying topology.
@@ -168,15 +227,28 @@ func (net *Network) Settle(d des.Time) uint64 {
 // stream from seed, exactly as if the network had been rebuilt with New
 // using that seed — but reusing all allocated structures. Experiment sweeps
 // use it to run many C-events on one Network with per-event determinism
-// that is independent of scheduling order.
-func (net *Network) Reset(seed uint64) {
+// that is independent of scheduling order. Reset and New share one
+// reinitialization path (reinit); only the structural wiring differs.
+func (net *Network) Reset(seed uint64) { net.reinit(seed) }
+
+// reinit is the single reinitialization path shared by New and Reset: it
+// (re)seeds all randomness and rewinds every piece of runtime state —
+// scheduler, counters, arena, per-node timers, queues and prefix tables —
+// to the pristine post-New condition. New calls it on freshly zeroed
+// structures, Reset on used ones; both end in the identical observable
+// state for a given seed, which is what lets experiment sweeps (and the
+// grow-then-reset regression test) treat "Reset(s)" and "rebuilt with
+// New(s)" as interchangeable. The intern table is intentionally NOT cleared
+// (see PathID); the path arena's current slab is dropped, never rewound
+// (see pathArena).
+func (net *Network) reinit(seed uint64) {
 	net.sched.Reset(true)
 	net.totalUpdates = 0
 	net.rateBucket, net.rateCount, net.ratePeak = 0, 0, 0
 	// Drop (never rewind) the path slab, keeping the probe: see pathArena.
 	net.paths = pathArena{probe: net.paths.probe}
 	master := rng.New(seed)
-	salt := master.Uint64() // same draw order as New
+	salt := master.Uint64() // first draw: the tie-break salt
 	for i := range net.nodes {
 		nd := &net.nodes[i]
 		nd.busyUntil = 0
@@ -187,14 +259,21 @@ func (net *Network) Reset(seed uint64) {
 		for j := range nd.recvBySlot {
 			nd.recvBySlot[j] = 0
 		}
-		// Recycle every prefixState (ribIn and damp storage included) into
-		// the free list; the next event's state() calls pop them back.
+		// Recycle every prefixState (ribIn/ribID and damp storage included)
+		// into the free list; the next event's state() calls pop them back.
+		// A prefixState that claimed the node's flat ribRow keeps it across
+		// the recycle, so the row can never back two live prefixes.
 		nd.prefixes.ForEach(func(_ Prefix, ps *prefixState) {
 			ps.reset()
 			nd.psFree = append(nd.psFree, ps)
 		})
 		nd.prefixes.Clear()
-		nd.src.Reseed(master.Uint64())
+		// One draw per node, in node order (New's Split consumes the same).
+		if nd.src == nil {
+			nd.src = rng.New(master.Uint64())
+		} else {
+			nd.src.Reseed(master.Uint64())
+		}
 		for j, id := range nd.nbrIDs {
 			nd.tieHash[j] = hashID(salt, id)
 		}
@@ -278,6 +357,7 @@ type inMsg struct {
 	kind     UpdateKind
 	prefix   Prefix
 	path     Path
+	pathID   PathID // interned ID of path (compact mode)
 }
 
 // procEvent is the completion of processing one received update at a node.
@@ -291,6 +371,7 @@ type procEvent struct {
 	kind     UpdateKind
 	prefix   Prefix
 	path     Path
+	pathID   PathID // interned ID of path (compact mode)
 }
 
 // newProcEvent takes a recycled procEvent or allocates a fresh one.
@@ -331,35 +412,61 @@ func (e *procEvent) Fire(*des.Scheduler) {
 		})
 	}
 	ps := nd.state(e.prefix)
-	had := ps.ribIn[e.fromSlot]
-	if e.kind == Withdraw {
-		nd.recvWithdraw++
-		ps.ribIn[e.fromSlot] = nil
+	if nd.it != nil {
+		// Compact engine: the Adj-RIB-In write is a 4-byte store and the
+		// dampening "did the path change" test an ID compare.
+		had := ps.ribID[e.fromSlot]
+		now := NoPath
+		if e.kind == Withdraw {
+			nd.recvWithdraw++
+		} else {
+			nd.recvAnnounce++
+			if !e.path.Contains(nd.id) {
+				now = e.pathID
+			}
+			// else: receiver-side loop detection; unreachable given
+			// sender-side suppression, kept as defense in depth.
+		}
+		ps.ribID[e.fromSlot] = now
+		if d := &net.cfg.Dampening; d.Enabled && had != NoPath {
+			switch {
+			case e.kind == Withdraw:
+				net.recordFlap(nd, e.fromSlot, e.prefix, d.WithdrawPenalty)
+			case had != now:
+				net.recordFlap(nd, e.fromSlot, e.prefix, d.UpdatePenalty)
+			}
+		}
 	} else {
-		nd.recvAnnounce++
-		if e.path.Contains(nd.id) {
-			// Receiver-side loop detection; unreachable given sender-side
-			// suppression, kept as defense in depth.
+		had := ps.ribIn[e.fromSlot]
+		if e.kind == Withdraw {
+			nd.recvWithdraw++
 			ps.ribIn[e.fromSlot] = nil
 		} else {
-			ps.ribIn[e.fromSlot] = e.path
+			nd.recvAnnounce++
+			if e.path.Contains(nd.id) {
+				// Receiver-side loop detection; unreachable given
+				// sender-side suppression, kept as defense in depth.
+				ps.ribIn[e.fromSlot] = nil
+			} else {
+				ps.ribIn[e.fromSlot] = e.path
+			}
 		}
-	}
-	if d := &net.cfg.Dampening; d.Enabled && had != nil {
-		// RFC 2439 flap accounting: a withdrawal of a reachable route, or
-		// an announcement replacing it with a different path.
-		switch {
-		case e.kind == Withdraw:
-			net.recordFlap(nd, e.fromSlot, e.prefix, d.WithdrawPenalty)
-		case !had.Equal(ps.ribIn[e.fromSlot]):
-			net.recordFlap(nd, e.fromSlot, e.prefix, d.UpdatePenalty)
+		if d := &net.cfg.Dampening; d.Enabled && had != nil {
+			// RFC 2439 flap accounting: a withdrawal of a reachable route,
+			// or an announcement replacing it with a different path.
+			switch {
+			case e.kind == Withdraw:
+				net.recordFlap(nd, e.fromSlot, e.prefix, d.WithdrawPenalty)
+			case !had.Equal(ps.ribIn[e.fromSlot]):
+				net.recordFlap(nd, e.fromSlot, e.prefix, d.UpdatePenalty)
+			}
 		}
 	}
 	prefix := e.prefix
 	// All fields are consumed; recycle before the decision process so the
 	// event is available for the sends applyDecision may trigger. The Path
 	// is NOT pooled — it lives on in the Adj-RIB-In.
-	e.path = nil
+	e.path, e.pathID = nil, NoPath
 	net.procFree = append(net.procFree, e)
 	// Chain the next parked delivery, if any, under its reserved ticket
 	// (see transmit). Completion times are monotone per receiver, so the
@@ -372,7 +479,7 @@ func (e *procEvent) Fire(*des.Scheduler) {
 			nd.inbox, nd.inboxHead = nd.inbox[:0], 0
 		}
 		next := net.newProcEvent()
-		next.to, next.fromSlot, next.kind, next.prefix, next.path = nd.id, m.fromSlot, m.kind, m.prefix, m.path
+		next.to, next.fromSlot, next.kind, next.prefix, next.path, next.pathID = nd.id, m.fromSlot, m.kind, m.prefix, m.path, m.pathID
 		net.sched.AtTicket(m.tk, next)
 	} else {
 		nd.delivering = false
@@ -425,7 +532,7 @@ func (e *flushEvent) Fire(*des.Scheduler) {
 	for _, f := range nd.scratch {
 		pu, _ := q.pending.Get(f)
 		q.pending.Delete(f)
-		net.transmit(nd, slot, f, pu.kind, pu.path)
+		net.transmit(nd, slot, f, pu.kind, pu.path, pu.id)
 		if pu.kind == Withdraw {
 			q.lastSent.Delete(f)
 		} else {
@@ -483,7 +590,7 @@ func (e *prefixFlushEvent) Fire(*des.Scheduler) {
 		return
 	}
 	q.pending.Delete(f)
-	net.transmit(nd, slot, f, pu.kind, pu.path)
+	net.transmit(nd, slot, f, pu.kind, pu.path, pu.id)
 	if pu.kind == Withdraw {
 		q.lastSent.Delete(f)
 	} else {
@@ -496,16 +603,30 @@ func (e *prefixFlushEvent) Fire(*des.Scheduler) {
 
 // applyDecision re-runs the decision process for (nd, f); if the selected
 // route changed it updates the Loc-RIB and reconciles every neighbor's
-// output state.
+// output state. In compact mode the "did the route change" test is a PathID
+// compare — the hash-consing invariant (equal IDs ⟺ equal content) makes it
+// exactly equivalent to the classic Path.Equal.
 func (net *Network) applyDecision(nd *node, f Prefix, ps *prefixState) {
-	slot, path := nd.decide(ps)
-	if slot == ps.bestSlot && path.Equal(ps.bestPath) {
-		return
+	if nd.it != nil {
+		slot, id := nd.decideCompact(ps)
+		if slot == ps.bestSlot && id == ps.bestID {
+			return
+		}
+		ps.bestSlot, ps.bestID = slot, id
+		ps.bestPath = nd.it.path(id)
+	} else {
+		slot, path := nd.decide(ps)
+		if slot == ps.bestSlot && path.Equal(ps.bestPath) {
+			return
+		}
+		ps.bestSlot, ps.bestPath = slot, path
 	}
-	ps.bestSlot, ps.bestPath = slot, path
 	ps.fullValid = false // the cached advertisement body is stale
 	nd.bestChanges++
 	net.reconcile(nd, f, ps)
+	if net.cfg.Check {
+		net.checkReconciled(nd, f, ps)
+	}
 }
 
 // reconcile recomputes the desired advertisement toward every neighbor and
@@ -517,10 +638,11 @@ func (net *Network) reconcile(nd *node, f Prefix, ps *prefixState) {
 			continue
 		}
 		var want Path
+		wantID := NoPath
 		if nd.exportable(j, full, fromCustomerOrSelf) {
-			want = full
+			want, wantID = full, ps.fullID
 		}
-		net.setDesired(nd, j, f, want)
+		net.setDesired(nd, j, f, want, wantID)
 	}
 }
 
@@ -575,10 +697,10 @@ func (net *Network) ensureFlush(nd *node, j int, f Prefix) {
 }
 
 // setDesired reconciles the wire state toward neighbor j for prefix f with
-// the desired advertisement want (nil = withdrawn/none). It sends
-// immediately when rate limiting allows, otherwise replaces the queued
-// update.
-func (net *Network) setDesired(nd *node, j int, f Prefix, want Path) {
+// the desired advertisement want (nil = withdrawn/none; wantID is its
+// interned ID in compact mode, NoPath otherwise). It sends immediately when
+// rate limiting allows, otherwise replaces the queued update.
+func (net *Network) setDesired(nd *node, j int, f Prefix, want Path, wantID PathID) {
 	q := &nd.out[j]
 	last, onWire := q.lastSent.Get(f)
 	if want == nil {
@@ -590,12 +712,12 @@ func (net *Network) setDesired(nd *node, j int, f Prefix, want Path) {
 		if !net.cfg.RateLimitWithdrawals {
 			// NO-WRATE: explicit withdrawals bypass the MRAI timer entirely
 			// and do not restart it.
-			net.transmit(nd, j, f, Withdraw, nil)
+			net.transmit(nd, j, f, Withdraw, nil, NoPath)
 			q.lastSent.Delete(f)
 			return
 		}
 		if net.timerIdle(q, f) {
-			net.transmit(nd, j, f, Withdraw, nil)
+			net.transmit(nd, j, f, Withdraw, nil, NoPath)
 			q.lastSent.Delete(f)
 			net.restartTimer(nd, j, f)
 			return
@@ -606,17 +728,18 @@ func (net *Network) setDesired(nd *node, j int, f Prefix, want Path) {
 	}
 	if onWire && last.Equal(want) {
 		// Wire state already matches; drop any queued update (it has been
-		// invalidated by this newer state).
+		// invalidated by this newer state). In compact mode both paths are
+		// canonical, so Equal's identity fast-path resolves this compare.
 		q.pending.Delete(f)
 		return
 	}
 	if net.timerIdle(q, f) {
-		net.transmit(nd, j, f, Announce, want)
+		net.transmit(nd, j, f, Announce, want, wantID)
 		q.lastSent.Set(f, want)
 		net.restartTimer(nd, j, f)
 		return
 	}
-	q.pending.Set(f, pendingUpdate{kind: Announce, path: want})
+	q.pending.Set(f, pendingUpdate{kind: Announce, path: want, id: wantID})
 	net.ensureFlush(nd, j, f)
 }
 
@@ -629,7 +752,7 @@ func (net *Network) setDesired(nd *node, j int, f Prefix, want Path) {
 // tickets reserved here, in arrival order. procEvent.Fire re-schedules the
 // front of the inbox, so deliveries chain one at a time — same fire times,
 // same fire order, a fraction of the queued events.
-func (net *Network) transmit(nd *node, j int, f Prefix, kind UpdateKind, path Path) {
+func (net *Network) transmit(nd *node, j int, f Prefix, kind UpdateKind, path Path, pathID PathID) {
 	nd.sentUpdates++
 	if p := net.probes; p != nil {
 		if kind == Withdraw {
@@ -647,7 +770,7 @@ func (net *Network) transmit(nd *node, j int, f Prefix, kind UpdateKind, path Pa
 	to.busyUntil = done
 	tk := net.sched.Reserve(done)
 	if to.delivering {
-		to.inbox = append(to.inbox, inMsg{tk: tk, fromSlot: nd.reverse[j], kind: kind, prefix: f, path: path})
+		to.inbox = append(to.inbox, inMsg{tk: tk, fromSlot: nd.reverse[j], kind: kind, prefix: f, path: path, pathID: pathID})
 		if p := net.probes; p != nil {
 			p.InboxDeferrals.Inc()
 		}
@@ -655,6 +778,6 @@ func (net *Network) transmit(nd *node, j int, f Prefix, kind UpdateKind, path Pa
 	}
 	to.delivering = true
 	e := net.newProcEvent()
-	e.to, e.fromSlot, e.kind, e.prefix, e.path = to.id, nd.reverse[j], kind, f, path
+	e.to, e.fromSlot, e.kind, e.prefix, e.path, e.pathID = to.id, nd.reverse[j], kind, f, path, pathID
 	net.sched.AtTicket(tk, e)
 }

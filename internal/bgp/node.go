@@ -17,12 +17,25 @@ const (
 type prefixState struct {
 	// ribIn[j] is the path most recently announced by neighbor j, or nil.
 	// Paths are immutable once created and may be shared between nodes.
+	// Used by the classic engine only; nil in compact mode.
 	ribIn []Path
+	// ribID[j] is the compact engine's Adj-RIB-In: the interned ID of the
+	// path most recently announced by neighbor j (NoPath = none). The
+	// node's first prefixState borrows the node's row of the network-wide
+	// flat PathID array (see node.ribRow); further prefixes allocate their
+	// own rows. Nil in classic mode.
+	ribID []PathID
 	// bestSlot is the neighbor slot of the selected route, selfSlot or
 	// noneSlot.
 	bestSlot int
 	// bestPath is ribIn[bestSlot] (nil when bestSlot is selfSlot/noneSlot).
+	// Maintained by both engines; in compact mode it is the canonical
+	// interned slice for bestID.
 	bestPath Path
+	// bestID is the interned ID of bestPath (compact mode only; NoPath for
+	// selfSlot/noneSlot). The decision-change test in applyDecision is an
+	// ID compare.
+	bestID PathID
 	// full caches the advertisement body for the current best route:
 	// bestPath prepended with the node's own ID ([self] for a
 	// self-originated prefix, nil without a route). It is rebuilt lazily by
@@ -32,6 +45,10 @@ type prefixState struct {
 	// is immutable and freely shared (see DESIGN.md, kernel memory model).
 	full      Path
 	fullValid bool
+	// fullID is the interned ID of full (compact mode only), threaded into
+	// output queues and update events so receivers install routes without
+	// re-hashing.
+	fullID PathID
 	// selfOrigin marks the node as the owner currently announcing the
 	// prefix.
 	selfOrigin bool
@@ -46,10 +63,15 @@ func (ps *prefixState) reset() {
 	for j := range ps.ribIn {
 		ps.ribIn[j] = nil
 	}
+	for j := range ps.ribID {
+		ps.ribID[j] = NoPath
+	}
 	ps.bestSlot = noneSlot
 	ps.bestPath = nil
+	ps.bestID = NoPath
 	ps.full = nil
 	ps.fullValid = false
+	ps.fullID = NoPath
 	ps.selfOrigin = false
 	for j := range ps.damp {
 		ps.damp[j] = dampState{}
@@ -62,10 +84,15 @@ func (ps *prefixState) reset() {
 // ps.full, computed at most once per best-route change.
 func (nd *node) advertisement(ps *prefixState) (full Path, fromCustomerOrSelf bool) {
 	if !ps.fullValid {
-		switch ps.bestSlot {
-		case noneSlot:
-			ps.full = nil
-		case selfSlot:
+		switch {
+		case ps.bestSlot == noneSlot:
+			ps.full, ps.fullID = nil, NoPath
+		case nd.it != nil:
+			// Compact engine: the advertisement body is interned, so the
+			// same [self, best...] content network-wide shares one slab
+			// entry and one PathID.
+			ps.full, ps.fullID = nd.it.prepend(nd.id, ps.bestPath)
+		case ps.bestSlot == selfSlot:
 			ps.full = nd.arena.prepend(nd.id, nil)
 		default:
 			ps.full = nd.arena.prepend(nd.id, ps.bestPath)
@@ -86,6 +113,8 @@ func (nd *node) advertisement(ps *prefixState) (full Path, fromCustomerOrSelf bo
 type pendingUpdate struct {
 	kind UpdateKind
 	path Path
+	// id is the interned ID of path (compact mode only; NoPath otherwise).
+	id PathID
 }
 
 // outQueue is the per-neighbor output state: the MRAI timer, the queue of
@@ -152,8 +181,17 @@ type node struct {
 	// MRAI jitter).
 	src *rng.Source
 	// arena is the owning Network's path arena (advertisement bodies are
-	// built in it; see pathArena).
+	// built in it; see pathArena). Classic engine only.
 	arena *pathArena
+	// it is the owning Network's path intern table; non-nil selects the
+	// compact engine on every per-node code path (Config.CompactRIB).
+	it *internTable
+	// ribRow is this node's row of the network-wide flat Adj-RIB-In PathID
+	// array (compact mode), claimed by the node's first prefixState and
+	// owned by it from then on — across reset/recycle cycles — so the flat
+	// row can never alias two live prefixes. ribRowTaken marks the claim.
+	ribRow      []PathID
+	ribRowTaken bool
 	// out is the per-neighbor output state, parallel to nbrIDs.
 	out []outQueue
 	// prefixes holds per-prefix routing state, allocated on first contact.
@@ -189,6 +227,15 @@ func (nd *node) state(f Prefix) *prefixState {
 		ps = nd.psFree[n-1]
 		nd.psFree[n-1] = nil
 		nd.psFree = nd.psFree[:n-1]
+	} else if nd.it != nil {
+		ps = &prefixState{bestSlot: noneSlot}
+		if !nd.ribRowTaken {
+			// First prefix: zero-allocation Adj-RIB-In over the CSR row.
+			nd.ribRowTaken = true
+			ps.ribID = nd.ribRow
+		} else {
+			ps.ribID = make([]PathID, len(nd.nbrIDs))
+		}
 	} else {
 		ps = &prefixState{
 			ribIn:    make([]Path, len(nd.nbrIDs)),
@@ -227,6 +274,56 @@ func (nd *node) decide(ps *prefixState) (slot int, path Path) {
 		}
 	}
 	return best, bestPath
+}
+
+// decideCompact is decide over the interned Adj-RIB-In: the same comparison
+// chain, but walking 4-byte PathIDs and reading path lengths out of the
+// intern table, so the scan never touches path content. Returns the ID of
+// the winning path (NoPath for selfSlot/noneSlot).
+func (nd *node) decideCompact(ps *prefixState) (slot int, id PathID) {
+	if ps.selfOrigin {
+		return selfSlot, NoPath
+	}
+	best := noneSlot
+	bestID := NoPath
+	bestPref, bestLen := -1, 0
+	var bestHash uint64
+	for j, pid := range ps.ribID {
+		if pid == NoPath || ps.suppressedAt(j) {
+			continue
+		}
+		pref := localPref(nd.nbrRels[j])
+		plen := nd.it.lenOf(pid)
+		h := nd.tieHash[j]
+		better := best == noneSlot ||
+			pref > bestPref ||
+			(pref == bestPref && plen < bestLen) ||
+			(pref == bestPref && plen == bestLen && h < bestHash)
+		if better {
+			best, bestID, bestPref, bestLen, bestHash = j, pid, pref, plen, h
+		}
+	}
+	return best, bestID
+}
+
+// ribHas reports whether ps holds a route from neighbor slot j, in either
+// engine representation.
+func (nd *node) ribHas(ps *prefixState, j int) bool {
+	if nd.it != nil {
+		return ps.ribID[j] != NoPath
+	}
+	return ps.ribIn[j] != nil
+}
+
+// ribPath returns the route ps holds from neighbor slot j (nil if none),
+// resolving interned IDs to their canonical paths in compact mode. Cold
+// paths (consistency checks, link events) use it so they read one code path
+// regardless of engine.
+func (nd *node) ribPath(ps *prefixState, j int) Path {
+	if nd.it != nil {
+		return nd.it.path(ps.ribID[j])
+	}
+	return ps.ribIn[j]
 }
 
 // exportable reports whether the node's current best route for ps may be

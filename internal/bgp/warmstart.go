@@ -47,6 +47,7 @@ const (
 // so that the per-origin warm starts of an experiment sweep allocate it once.
 type warmScratch struct {
 	adv      []Path            // adv[v]: v's full advertisement path, nil = no route
+	advID    []PathID          // advID[v]: interned ID of adv[v] (compact mode)
 	class    []uint8           // class[v]: preference class of v's best route
 	pending  []bool            // stage A: already queued for the next BFS level
 	indeg    []int32           // stage C: unprocessed-provider counts
@@ -59,6 +60,7 @@ type warmScratch struct {
 func (w *warmScratch) reset(n int) {
 	if cap(w.adv) < n {
 		w.adv = make([]Path, n)
+		w.advID = make([]PathID, n)
 		w.class = make([]uint8, n)
 		w.pending = make([]bool, n)
 		w.indeg = make([]int32, n)
@@ -67,10 +69,12 @@ func (w *warmScratch) reset(n int) {
 		w.next = make([]topology.NodeID, 0, n)
 	}
 	w.adv = w.adv[:n]
+	w.advID = w.advID[:n]
 	w.class = w.class[:n]
 	w.pending = w.pending[:n]
 	w.indeg = w.indeg[:n]
 	clear(w.adv)
+	clear(w.advID)
 	clear(w.class)
 	clear(w.pending)
 	w.order = w.order[:0]
@@ -95,9 +99,9 @@ func (net *Network) WarmStart(origin topology.NodeID, f Prefix) {
 	// adv[v] is v's full advertisement path ([v ... origin], nil = no
 	// route); class[v] is the preference class of v's best route.
 	net.ws.reset(n)
-	adv, class := net.ws.adv, net.ws.class
+	adv, advID, class := net.ws.adv, net.ws.advID, net.ws.class
 	class[origin] = wsSelf
-	adv[origin] = net.paths.prepend(origin, nil)
+	adv[origin], advID[origin] = net.warmPrepend(origin, nil)
 
 	// Stage A: customer routes, breadth-first up the provider DAG. A node
 	// enters the frontier the first level one of its customers exports to
@@ -130,7 +134,7 @@ func (net *Network) WarmStart(origin topology.NodeID, f Prefix) {
 			nd := &net.nodes[pid]
 			if slot, _ := net.warmBest(nd, adv, class, topology.Customer); slot >= 0 {
 				class[pid] = wsCustomer
-				adv[pid] = net.paths.prepend(pid, adv[nd.nbrIDs[slot]])
+				adv[pid], advID[pid] = net.warmPrepend(pid, adv[nd.nbrIDs[slot]])
 			}
 		}
 		frontier, next = next, frontier
@@ -147,7 +151,7 @@ func (net *Network) WarmStart(origin topology.NodeID, f Prefix) {
 		nd := &net.nodes[i]
 		if slot, _ := net.warmBest(nd, adv, class, topology.Peer); slot >= 0 {
 			class[i] = wsPeer
-			adv[i] = net.paths.prepend(nd.id, adv[nd.nbrIDs[slot]])
+			adv[i], advID[i] = net.warmPrepend(nd.id, adv[nd.nbrIDs[slot]])
 		}
 	}
 
@@ -167,7 +171,7 @@ func (net *Network) WarmStart(origin topology.NodeID, f Prefix) {
 		if class[v] == wsNone {
 			if slot, _ := net.warmBest(nd, adv, class, topology.Provider); slot >= 0 {
 				class[v] = wsProvider
-				adv[v] = net.paths.prepend(v, adv[nd.nbrIDs[slot]])
+				adv[v], advID[v] = net.warmPrepend(v, adv[nd.nbrIDs[slot]])
 			}
 		}
 		for j, rel := range nd.nbrRels {
@@ -199,7 +203,11 @@ func (net *Network) WarmStart(origin topology.NodeID, f Prefix) {
 			}
 			nd.out[j].lastSent.Set(f, full)
 			to := &net.nodes[nd.nbrIDs[j]]
-			to.state(f).ribIn[nd.reverse[j]] = full
+			if net.intern != nil {
+				to.state(f).ribID[nd.reverse[j]] = advID[i]
+			} else {
+				to.state(f).ribIn[nd.reverse[j]] = full
+			}
 		}
 	}
 
@@ -219,9 +227,25 @@ func (net *Network) WarmStart(origin topology.NodeID, f Prefix) {
 		if !ok {
 			continue
 		}
-		ps.bestSlot, ps.bestPath = nd.decide(ps)
+		if net.intern != nil {
+			ps.bestSlot, ps.bestID = nd.decideCompact(ps)
+			ps.bestPath = net.intern.path(ps.bestID)
+			ps.fullID = advID[i]
+		} else {
+			ps.bestSlot, ps.bestPath = nd.decide(ps)
+		}
 		ps.full, ps.fullValid = adv[i], true
 	}
+}
+
+// warmPrepend builds the advertisement [id, tail...] in the engine's path
+// storage: interned (deduplicated, with a stable PathID) in compact mode,
+// arena-allocated otherwise.
+func (net *Network) warmPrepend(id topology.NodeID, tail Path) (Path, PathID) {
+	if net.intern != nil {
+		return net.intern.prepend(id, tail)
+	}
+	return net.paths.prepend(id, tail), NoPath
 }
 
 // warmBest runs the decision process over the subset of nd's neighbors with

@@ -222,7 +222,14 @@ func RunCEventsContext(ctx context.Context, topo *topology.Topology, cfg Config)
 		workers = len(origins)
 	}
 
-	accums := make([]originAccum, len(origins))
+	// Streaming aggregation: per-origin accumulators are folded into the
+	// reducer's running sums as origins complete, in origin-index order, so
+	// peak memory is O(workers · N) scratch instead of O(origins · N) — the
+	// difference between 100k-node sweeps fitting in RAM or not. Each worker
+	// owns ONE accumulator, reused across its origins; the reducer's in-order
+	// fold keeps every floating-point addition in the exact sequence the
+	// batch reduction used, so results are byte-identical.
+	red := newStreamReducer(topo, len(origins))
 	errs := make([]error, len(origins))
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -245,12 +252,20 @@ func RunCEventsContext(ctx context.Context, topo *topology.Topology, cfg Config)
 					})
 				})
 			}
+			var acc originAccum
 			for idx := range next {
 				if err := ctx.Err(); err != nil {
 					errs[idx] = err
+					red.skip(idx)
 					continue
 				}
-				errs[idx] = runOneOrigin(net, topo, origins[idx], cfg.BGP.Seed+uint64(idx)*0x9e3779b97f4a7c15, settle, cfg, &accums[idx])
+				acc = originAccum{perNodeU: acc.perNodeU} // keep the buffer
+				errs[idx] = runOneOrigin(net, topo, origins[idx], cfg.BGP.Seed+uint64(idx)*0x9e3779b97f4a7c15, settle, cfg, &acc)
+				if errs[idx] != nil {
+					red.skip(idx)
+					continue
+				}
+				red.fold(idx, &acc)
 			}
 		}()
 	}
@@ -277,7 +292,7 @@ feed:
 		}
 	}
 
-	return reduce(topo, origins, accums), nil
+	return red.result(origins), nil
 }
 
 // chooseOrigins selects the event originators for one experiment: a
@@ -377,7 +392,12 @@ func runOneOrigin(net *bgp.Network, topo *topology.Topology, origin topology.Nod
 func collect(net *bgp.Network, topo *topology.Topology, acc *originAccum) {
 	var uSum, expSum [4]float64
 	var nCount [4]float64
-	acc.perNodeU = make([]float64, topo.N())
+	// The buffer is worker-owned and reused across origins; every entry is
+	// assigned below, so resizing without clearing is safe.
+	if cap(acc.perNodeU) < topo.N() {
+		acc.perNodeU = make([]float64, topo.N())
+	}
+	acc.perNodeU = acc.perNodeU[:topo.N()]
 	for id := 0; id < topo.N(); id++ {
 		nid := topology.NodeID(id)
 		typ := topo.Nodes[id].Type
@@ -421,8 +441,98 @@ func collect(net *bgp.Network, topo *topology.Topology, acc *originAccum) {
 	}
 }
 
-// reduce merges the per-origin accumulators into the final Result.
-func reduce(topo *topology.Topology, origins []topology.NodeID, accums []originAccum) *Result {
+// streamReducer merges per-origin accumulators into running aggregates
+// strictly in origin-index order, as origins complete. It is the streaming
+// replacement for the old batch reduce: instead of holding every origin's
+// accumulator (O(origins · N) floats — 80 MB at n=100k with 100 origins,
+// before any simulation state), only the running sums and one per-node vector
+// live at once, and per-origin state is worker-owned scratch.
+//
+// Determinism. Floating-point addition is not associative, so the fold
+// happens in ascending origin index — exactly the iteration order the batch
+// reduce used — regardless of worker completion order. Out-of-order workers
+// block in fold until every earlier origin has been folded or skipped; the
+// feed hands out indices in ascending order, so the worker holding index
+// `next` is never itself waiting on a later one and the fold always makes
+// progress. Per-origin results that feed non-accumulated outputs (the
+// MeanCI input vector) are written by index, which is order-independent.
+type streamReducer struct {
+	mu   sync.Mutex
+	cond sync.Cond
+	next int // lowest origin index not yet folded or skipped
+
+	topo *topology.Topology
+	// perOriginU[t][idx] feeds stats.MeanCI; written by index, O(origins).
+	perOriginU [4][]float64
+	// Running sums, folded in origin-index order.
+	relUSum, relQSum, relESum [4][3]float64
+	relUCnt, relQCnt, relECnt [4][3]float64
+	total, down, up, peak     float64
+	expl                      [4]float64
+	perNode                   []float64
+}
+
+func newStreamReducer(topo *topology.Topology, origins int) *streamReducer {
+	r := &streamReducer{topo: topo, perNode: make([]float64, topo.N())}
+	r.cond.L = &r.mu
+	for t := 0; t < 4; t++ {
+		r.perOriginU[t] = make([]float64, origins)
+	}
+	return r
+}
+
+// await blocks until every origin index below idx has been folded or
+// skipped. Callers must hold r.mu.
+func (r *streamReducer) await(idx int) {
+	for idx != r.next {
+		r.cond.Wait()
+	}
+}
+
+// skip marks idx as producing no contribution (error or cancellation), so
+// later folds do not wait for it. The experiment discards the Result in that
+// case; skip only keeps the pipeline draining.
+func (r *streamReducer) skip(idx int) {
+	r.mu.Lock()
+	r.await(idx)
+	r.next++
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// fold merges one origin's accumulator into the running aggregates, in
+// origin-index order.
+func (r *streamReducer) fold(idx int, acc *originAccum) {
+	r.mu.Lock()
+	r.await(idx)
+	for t := 0; t < 4; t++ {
+		r.perOriginU[t][idx] = acc.perTypeU[t]
+		r.expl[t] += acc.exploration[t]
+		for rel := 0; rel < 3; rel++ {
+			r.relUSum[t][rel] += acc.relUSum[t][rel]
+			r.relUCnt[t][rel] += acc.relUCnt[t][rel]
+			r.relQSum[t][rel] += acc.relQSum[t][rel]
+			r.relQCnt[t][rel] += acc.relQCnt[t][rel]
+			r.relESum[t][rel] += acc.relESum[t][rel]
+			r.relECnt[t][rel] += acc.relECnt[t][rel]
+		}
+	}
+	r.total += acc.total
+	r.down += acc.downSec
+	r.up += acc.upSec
+	r.peak += acc.peak
+	for id, v := range acc.perNodeU {
+		r.perNode[id] += v
+	}
+	r.next++
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// result finalizes the aggregates into a Result. Call only after every
+// origin folded successfully.
+func (r *streamReducer) result(origins []topology.NodeID) *Result {
+	topo := r.topo
 	res := &Result{N: topo.N(), Origins: len(origins)}
 	counts := topo.CountByType()
 
@@ -438,68 +548,38 @@ func reduce(topo *topology.Topology, origins []topology.NodeID, accums []originA
 	for t := 0; t < 4; t++ {
 		tr := &res.ByType[t]
 		tr.Nodes = counts[t]
-		perOrigin := make([]float64, len(accums))
-		for i := range accums {
-			perOrigin[i] = accums[i].perTypeU[t]
-		}
-		tr.U, tr.CI95 = stats.MeanCI(perOrigin, 0.95)
+		tr.U, tr.CI95 = stats.MeanCI(r.perOriginU[t], 0.95)
 		for rel := 0; rel < 3; rel++ {
 			rf := &tr.ByRel[rel]
 			if counts[t] > 0 {
 				rf.M = mSum[t][rel] / float64(counts[t])
 			}
-			var uSum, uCnt, qSum, qCnt, eSum, eCnt float64
-			for i := range accums {
-				uSum += accums[i].relUSum[t][rel]
-				uCnt += accums[i].relUCnt[t][rel]
-				qSum += accums[i].relQSum[t][rel]
-				qCnt += accums[i].relQCnt[t][rel]
-				eSum += accums[i].relESum[t][rel]
-				eCnt += accums[i].relECnt[t][rel]
+			if r.relUCnt[t][rel] > 0 {
+				rf.U = r.relUSum[t][rel] / r.relUCnt[t][rel]
 			}
-			if uCnt > 0 {
-				rf.U = uSum / uCnt
+			if r.relQCnt[t][rel] > 0 {
+				rf.Q = r.relQSum[t][rel] / r.relQCnt[t][rel]
 			}
-			if qCnt > 0 {
-				rf.Q = qSum / qCnt
-			}
-			if eCnt > 0 {
-				rf.E = eSum / eCnt
+			if r.relECnt[t][rel] > 0 {
+				rf.E = r.relESum[t][rel] / r.relECnt[t][rel]
 			}
 		}
 	}
-	var total, down, up, peak float64
-	var expl [4]float64
-	for i := range accums {
-		total += accums[i].total
-		down += accums[i].downSec
-		up += accums[i].upSec
-		peak += accums[i].peak
-		for t := 0; t < 4; t++ {
-			expl[t] += accums[i].exploration[t]
-		}
-	}
-	k := float64(len(accums))
-	res.TotalUpdates = total / k
-	res.DownSeconds = down / k
-	res.UpSeconds = up / k
-	res.PeakRate = peak / k
+	k := float64(len(origins))
+	res.TotalUpdates = r.total / k
+	res.DownSeconds = r.down / k
+	res.UpSeconds = r.up / k
+	res.PeakRate = r.peak / k
 	for t := 0; t < 4; t++ {
-		res.PathExploration[t] = expl[t] / k
+		res.PathExploration[t] = r.expl[t] / k
 	}
 
 	// Per-node means over origins, then the within-type distribution.
-	perNode := make([]float64, topo.N())
-	for i := range accums {
-		for id, v := range accums[i].perNodeU {
-			perNode[id] += v
-		}
-	}
 	var byType [4][]float64
-	for id := range perNode {
-		perNode[id] /= k
+	for id := range r.perNode {
+		r.perNode[id] /= k
 		typ := topo.Nodes[id].Type
-		byType[typ] = append(byType[typ], perNode[id])
+		byType[typ] = append(byType[typ], r.perNode[id])
 	}
 	for t := 0; t < 4; t++ {
 		res.Spread[t] = stats.Summarize(byType[t])

@@ -162,6 +162,9 @@ type Metrics struct {
 		EventPoolMisses   *Counter // pooled events freshly allocated
 		PathArenaBytes    *Counter // bytes bump-allocated for AS paths
 		InboxDeferrals    *Counter // deliveries parked behind a busy receiver
+		InternedPaths     *Counter // distinct AS paths interned (compact engine)
+		InternBytes       *Counter // slab bytes storing interned path content
+		InternHits        *Counter // intern lookups served by an existing entry
 	}
 
 	// Core instruments the experiment scheduler (internal/core).
@@ -221,6 +224,9 @@ func New() *Metrics {
 	m.BGP.EventPoolMisses = m.counter("bgpchurn_bgp_event_pool_misses_total", "Pooled simulation events freshly allocated.")
 	m.BGP.PathArenaBytes = m.counter("bgpchurn_bgp_path_arena_bytes_total", "Bytes bump-allocated for AS paths in the path arenas.")
 	m.BGP.InboxDeferrals = m.counter("bgpchurn_bgp_inbox_deferrals_total", "Deliveries parked in a receiver inbox behind an in-flight event.")
+	m.BGP.InternedPaths = m.counter("bgpchurn_bgp_interned_paths_total", "Distinct AS paths interned by compact-RIB engines.")
+	m.BGP.InternBytes = m.counter("bgpchurn_bgp_intern_bytes_total", "Slab bytes storing interned AS path content.")
+	m.BGP.InternHits = m.counter("bgpchurn_bgp_intern_hits_total", "Path intern lookups served by an existing entry.")
 
 	m.Core.CellsComputed = m.counter("bgpchurn_core_cells_computed_total", "Experiment grid cells computed.")
 	m.Core.CellsCached = m.counter("bgpchurn_core_cells_cached_total", "Experiment grid cells served from the result cache.")

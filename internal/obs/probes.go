@@ -43,6 +43,9 @@ type BGPProbes struct {
 	PoolMisses        *Cell
 	ArenaBytes        *Cell
 	InboxDeferrals    *Cell
+	InternedPaths     *Cell
+	InternBytes       *Cell
+	InternHits        *Cell
 }
 
 // NewBGPProbes resolves a protocol probe block on a fresh shard.
@@ -58,6 +61,9 @@ func (m *Metrics) NewBGPProbes() *BGPProbes {
 		PoolMisses:        m.BGP.EventPoolMisses.Cell(s),
 		ArenaBytes:        m.BGP.PathArenaBytes.Cell(s),
 		InboxDeferrals:    m.BGP.InboxDeferrals.Cell(s),
+		InternedPaths:     m.BGP.InternedPaths.Cell(s),
+		InternBytes:       m.BGP.InternBytes.Cell(s),
+		InternHits:        m.BGP.InternHits.Cell(s),
 	}
 }
 

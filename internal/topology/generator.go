@@ -33,7 +33,7 @@ func Generate(p Params) (*Topology, error) {
 		edges: make(map[uint64]struct{}, p.N*4),
 	}
 	g.addTClique()
-	g.addMNodes()
+	g.addMNodes(p.NM)
 	g.addStubs(CP, p.NCP, p.DCP, p.TCP, p.CPSpread)
 	g.addStubs(C, p.NC, p.DC, p.TC, 0)
 	g.prepareCones()
@@ -75,6 +75,12 @@ type builder struct {
 	// computed once after the transit phase (the hierarchy is frozen by
 	// then) and only for nodes that participate in peering (M and CP).
 	cones [][]uint64
+	// peerFromM/peerFromCP are the first indices of mIDs/cpIDs that the
+	// peering phase draws links *for*. Generate leaves them at zero (every
+	// node peers); Grow sets them past the pre-existing nodes, whose peering
+	// is already in place — existing nodes still serve as candidates.
+	peerFromM  int
+	peerFromCP int
 }
 
 // prepareCones materializes customer-cone bitsets for all M and CP nodes so
@@ -183,11 +189,11 @@ func (g *builder) addTClique() {
 	}
 }
 
-// addMNodes adds the mid-level providers one at a time. Each picks an
+// addMNodes adds count mid-level providers one at a time. Each picks an
 // average of DM providers among T nodes (probability TM per slot) and
 // already-present M nodes, by preferential attachment on transit degree.
-func (g *builder) addMNodes() {
-	for i := 0; i < g.p.NM; i++ {
+func (g *builder) addMNodes(count int) {
+	for i := 0; i < count; i++ {
 		id := g.newNode(M, g.pickRegions(g.p.MSpread))
 		g.mIDs = append(g.mIDs, id)
 		g.connectProviders(id, g.p.DM, g.p.TM, g.p.MaxTProvidersPerM, g.p.MaxMProviders)
@@ -315,10 +321,10 @@ func (g *builder) peeringAllowed(a, b NodeID) bool {
 	return true
 }
 
-// addMPeering gives each M node ~PM peering links to other M nodes chosen
-// by preferential attachment on peering degree.
+// addMPeering gives each M node from index peerFromM on ~PM peering links
+// to other M nodes chosen by preferential attachment on peering degree.
 func (g *builder) addMPeering() {
-	for _, a := range g.mIDs {
+	for _, a := range g.mIDs[g.peerFromM:] {
 		want := g.r.CountAroundMean(g.p.PM, 0)
 		for s := 0; s < want; s++ {
 			b := g.weightedPick(func(yield func(NodeID, int)) {
@@ -336,10 +342,11 @@ func (g *builder) addMPeering() {
 	}
 }
 
-// addCPPeering gives each CP node ~PCPM peering links to M nodes and
-// ~PCPCP links to other CP nodes, selected uniformly within its regions.
+// addCPPeering gives each CP node from index peerFromCP on ~PCPM peering
+// links to M nodes and ~PCPCP links to other CP nodes, selected uniformly
+// within its regions.
 func (g *builder) addCPPeering() {
-	for _, a := range g.cpIDs {
+	for _, a := range g.cpIDs[g.peerFromCP:] {
 		g.addUniformPeers(a, g.mIDs, g.p.PCPM)
 		g.addUniformPeers(a, g.cpIDs, g.p.PCPCP)
 	}

@@ -1,0 +1,139 @@
+package bgpchurn
+
+// Differential tier for the compact-RIB engine: enabling CompactRIB swaps
+// the RIB representation (interned 32-bit path IDs over CSR slot arrays in
+// place of per-node slice maps) but must not change a single observable
+// bit. These tests run every growth scenario at paper scales with both
+// engines and compare the complete rendered results and the U(X) CSV
+// artifacts byte for byte.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"bgpchurn/internal/report"
+)
+
+// compactVariant returns cfg with the interned-path engine selected.
+func compactVariant(cfg Experiment) Experiment {
+	c := cfg
+	c.BGP.CompactRIB = true
+	return c
+}
+
+// uCSV renders the Fig-4 U(X) table of a sweep as CSV bytes, the artifact
+// cmd/experiments emits.
+func uCSV(sw *SweepResult) []byte {
+	table := report.SeriesTable("U(X) by node type", "n", sw.Sizes(),
+		report.Series{Name: "U(T)", Values: sw.SeriesU(T)},
+		report.Series{Name: "U(M)", Values: sw.SeriesU(M)},
+		report.Series{Name: "U(CP)", Values: sw.SeriesU(CP)},
+		report.Series{Name: "U(C)", Values: sw.SeriesU(C)},
+	)
+	var buf bytes.Buffer
+	if err := table.WriteCSV(&buf); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCompactEngineEquivalentAcrossScenarios sweeps every growth model at
+// n ∈ {1000, 3000} under two independent seeds and demands the compact
+// engine reproduce the classic engine's results and U(X) CSVs exactly.
+func TestCompactEngineEquivalentAcrossScenarios(t *testing.T) {
+	sizes := []int{1000, 3000}
+	for _, sc := range Scenarios() {
+		sc := sc
+		for _, seed := range []uint64{3, 17} {
+			seed := seed
+			t.Run(fmt.Sprintf("%s/seed=%d", sc.Name, seed), func(t *testing.T) {
+				t.Parallel()
+				ev := DefaultExperiment(seed)
+				ev.Origins = 4
+				classic, err := Sweep(sc, SweepConfig{Sizes: sizes, TopologySeed: seed, Event: ev})
+				if err != nil {
+					t.Fatal(err)
+				}
+				compact, err := Sweep(sc, SweepConfig{Sizes: sizes, TopologySeed: seed, Event: compactVariant(ev)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if a, b := fingerprintSweep(classic), fingerprintSweep(compact); a != b {
+					t.Fatalf("compact engine diverges:\nclassic %s\ncompact %s", a, b)
+				}
+				if a, b := uCSV(classic), uCSV(compact); !bytes.Equal(a, b) {
+					t.Fatalf("U(X) CSV differs between engines:\nclassic:\n%s\ncompact:\n%s", a, b)
+				}
+			})
+		}
+	}
+}
+
+// TestCompactEngineEquivalentProtocolVariants covers the protocol paths the
+// scenario sweep leaves at defaults: WRATE withdrawal rate-limiting,
+// per-prefix MRAI scope, MRAI disabled, and RFC 2439 dampening. Each runs
+// both engines on one Baseline topology at n=1000.
+func TestCompactEngineEquivalentProtocolVariants(t *testing.T) {
+	topo, err := Baseline.Generate(1000, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := protocolVariants(41, 4)
+	perPrefix := DefaultExperiment(41)
+	perPrefix.Origins = 4
+	perPrefix.BGP.Scope = PerPrefix
+	variants["PER-PREFIX"] = perPrefix
+	noMRAI := DefaultExperiment(41)
+	noMRAI.Origins = 4
+	noMRAI.BGP.MRAI = 0
+	variants["NO-MRAI"] = noMRAI
+	damp := DefaultExperiment(41)
+	damp.Origins = 4
+	damp.BGP.Dampening = DefaultDampening()
+	variants["DAMPENING"] = damp
+
+	for name, cfg := range variants {
+		name, cfg := name, cfg
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			classic, err := RunCEvents(topo, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compact, err := RunCEvents(topo, compactVariant(cfg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a, b := fingerprint(classic), fingerprint(compact); a != b {
+				t.Fatalf("%s: compact engine diverges:\nclassic %s\ncompact %s", name, a, b)
+			}
+		})
+	}
+}
+
+// TestCompactEngineEquivalentWithChecker reruns the Baseline cell with the
+// RIB invariant checker active inside the compact engine, proving the
+// equivalence is not an artifact of unverified internal state. Kept to one
+// small cell — the checker re-decides every touched RIB entry per event.
+func TestCompactEngineEquivalentWithChecker(t *testing.T) {
+	topo, err := Baseline.Generate(1000, 53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultExperiment(53)
+	cfg.Origins = 2
+	classic, err := RunCEvents(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := compactVariant(cfg)
+	checked.BGP.Check = true
+	compact, err := RunCEvents(topo, checked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := fingerprint(classic), fingerprint(compact); a != b {
+		t.Fatalf("checked compact engine diverges:\nclassic %s\ncompact %s", a, b)
+	}
+}
