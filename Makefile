@@ -5,7 +5,7 @@ GO ?= go
 # Label under which `make bench-kernel` records its run in BENCH_kernel.json.
 BENCH_LABEL ?= current
 
-.PHONY: test race bench bench-kernel bench-e2e bench-scale scale-smoke fuzz-smoke obs-guard resume-smoke resume-guard build
+.PHONY: test race bench bench-kernel bench-e2e bench-scale scale-smoke bench-shard shard-smoke fuzz-smoke obs-guard resume-smoke resume-guard build
 
 build:
 	$(GO) build ./...
@@ -20,7 +20,7 @@ test: build
 # differential tests exercise it inside parallel origin workers at small n.
 race:
 	$(GO) test -race ./...
-	$(GO) test -race -count=1 -run 'Consistency|Checker|CompactEngine|GrowThenReset' ./internal/bgp/ .
+	$(GO) test -race -count=1 -run 'Consistency|Checker|CompactEngine|GrowThenReset|Sharded' ./internal/bgp/ .
 
 bench:
 	$(GO) test -bench . -benchtime 1x .
@@ -57,6 +57,28 @@ bench-scale:
 scale-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkScaleCell/n=10000$$' -benchtime 1x -timeout 20m . \
 		| $(GO) run ./cmd/benchguard -guard BenchmarkScaleCell/n=10000 -metric peakRSS-MB -budget 128
+
+# bench-shard runs the sharded-executor trajectory: one warm-start windowed
+# churn cell at n ∈ {10k, 50k} × shards ∈ {1, 2, 4, 8}, recording ns/op,
+# total updates and peak RSS per point in BENCH_shard.json. Every point
+# simulates the same model (fixed 50 ms link delay), so the shard axis
+# isolates executor scaling; the speedup requires that many idle cores — a
+# single-CPU host runs the shards sequentially (see bgp.fanoutOK) and
+# measures ~1x everywhere.
+bench-shard:
+	$(GO) test -run '^$$' -bench 'BenchmarkShardedCell' -benchtime 1x -timeout 60m . \
+		| $(GO) run ./cmd/benchjson -label "$(BENCH_LABEL)" -out BENCH_shard.json
+
+# shard-smoke mirrors the CI job of the same name: the n=10k shards=4
+# windowed cell must stay under the scale tier's peak-RSS budget, and must
+# not run slower than the same cell on one shard beyond a noise tolerance
+# (single-core runners measure ~1x, multi-core runners a speedup — a real
+# serialization bug in the sharded path shows up as a large ratio on both).
+shard-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkShardedCell/n=10000/shards=4$$' -benchtime 1x -timeout 20m . \
+		| $(GO) run ./cmd/benchguard -guard BenchmarkShardedCell/n=10000/shards=4 -metric peakRSS-MB -budget 128
+	$(GO) test -run '^$$' -bench 'BenchmarkShardedCell/n=10000/shards=(1|4)$$' -benchtime 3x -timeout 20m . \
+		| $(GO) run ./cmd/benchguard -base BenchmarkShardedCell/n=10000/shards=1 -guard BenchmarkShardedCell/n=10000/shards=4 -metric ns/op -tolerance 0.25
 
 # fuzz-smoke gives each fuzz harness a short adversarial run on top of the
 # checked-in corpora (which `make test` already replays as regular cases).

@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"bgpchurn"
+	"bgpchurn/internal/des"
 	"bgpchurn/internal/report"
 	"bgpchurn/internal/stats"
 )
@@ -84,6 +85,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		resume      = fs.Bool("resume", false, "replay the cell journal into the scheduler cache before running, so only missing cells are recomputed")
 		retries     = fs.Int("retries", 0, "recompute a cell up to this many times after a transient fault (panic, timeout) before quarantining it")
 		cellTimeout = fs.Duration("cell-timeout", 0, "per-cell wall-clock deadline (0 = none); a timed-out cell counts as a transient fault")
+		shards      = fs.Int("shards", 0, "barrier-synchronized node shards per simulation run (0/1 = unsharded; >1 requires -link-delay); results are byte-identical at every value")
+		linkDelay   = fs.Duration("link-delay", 0, "per-session propagation latency (0 = the paper's instant-admission model); positive values select the windowed executor that -shards parallelizes")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return exitUsage
@@ -135,6 +138,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		parallel:    *parallel,
 		warm:        *warm,
 		cellTimeout: *cellTimeout,
+		shards:      *shards,
+		linkDelay:   *linkDelay,
 		sched:       bgpchurn.NewScheduler(*parallel),
 		stdout:      stdout,
 		metrics:     bgpchurn.NewObsMetrics(),
@@ -343,6 +348,11 @@ type runner struct {
 	warm bool
 	// cellTimeout is the per-cell deadline (-cell-timeout; 0 = none).
 	cellTimeout time.Duration
+	// shards/linkDelay select the sharded windowed executor (-shards,
+	// -link-delay). Recorded in the manifest like every flag; shards is
+	// excluded from the cell cache key (results are shard-invariant).
+	shards    int
+	linkDelay time.Duration
 	// interrupted records that the run was cancelled by a signal, for the
 	// manifest.
 	interrupted bool
@@ -533,6 +543,8 @@ func (r *runner) experiment(wrate bool) bgpchurn.Experiment {
 	cfg.Parallelism = r.parallel
 	cfg.WarmStart = r.warm
 	cfg.CellTimeout = r.cellTimeout
+	cfg.BGP.LinkDelay = des.Time(r.linkDelay)
+	cfg.BGP.Shards = r.shards
 	cfg.Obs = r.metrics
 	cfg.Trace = r.trace
 	return cfg

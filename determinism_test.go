@@ -14,6 +14,8 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+
+	"bgpchurn/internal/des"
 )
 
 // fingerprint renders a Result's complete numeric content; Result is a
@@ -39,6 +41,91 @@ func protocolVariants(seed uint64, origins int) map[string]Experiment {
 	w := noW
 	w.BGP = WRATEProtocol(seed)
 	return map[string]Experiment{"NO-WRATE": noW, "WRATE": w}
+}
+
+// shardedVariant returns cfg running on the windowed executor (a positive
+// link delay is the conservative lookahead) split across the given number
+// of node shards. All sharded-determinism comparisons hold the link delay
+// fixed and vary only the shard count: the delay is part of the simulated
+// model, the shard count is not.
+func shardedVariant(cfg Experiment, shards int) Experiment {
+	c := cfg
+	c.BGP.LinkDelay = 10 * des.Millisecond
+	c.BGP.Shards = shards
+	return c
+}
+
+// shardCounts is the shard axis every sharded-determinism test sweeps.
+var shardCounts = []int{1, 2, 4, 8}
+
+// TestShardedResultInvariantAcrossShardCounts demands that the windowed
+// executor produce byte-identical results at every shard count, for both
+// protocol variants and both RIB engines. Shards=1 is the reference: the
+// same windowed schedule executed on a single shard.
+func TestShardedResultInvariantAcrossShardCounts(t *testing.T) {
+	topo, err := Baseline.Generate(400, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for variant, cfg := range protocolVariants(21, 6) {
+		for _, engine := range []string{"classic", "compact"} {
+			base := cfg
+			if engine == "compact" {
+				base = compactVariant(base)
+			}
+			var want string
+			for _, shards := range shardCounts {
+				res, err := RunCEvents(topo, shardedVariant(base, shards))
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := fingerprint(res)
+				if want == "" {
+					want = got
+				} else if got != want {
+					t.Fatalf("%s/%s: Shards=%d changed the result:\nwant %s\ngot  %s",
+						variant, engine, shards, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestRaceShardedCell runs one sharded grid cell with a metrics hub
+// attached — exercising the barrier coordinator's ShardProbes and the
+// concurrent intern table under instrumentation — and demands the result
+// match an unsharded, uninstrumented run of the same windowed config. It
+// is the -race tier's entry point for the sharded executor (the race
+// target's -run pattern matches "Sharded").
+func TestRaceShardedCell(t *testing.T) {
+	topo, err := Baseline.Generate(1000, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultExperiment(43)
+	cfg.Origins = 4
+	cfg = compactVariant(cfg)
+	ref, err := RunCEvents(topo, shardedVariant(cfg, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := shardedVariant(cfg, 4)
+	sharded.Obs = NewObsMetrics()
+	got, err := RunCEvents(topo, sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(got) != fingerprint(ref) {
+		t.Fatalf("sharded instrumented cell diverges from unsharded:\nshards=1 %s\nshards=4 %s",
+			fingerprint(ref), fingerprint(got))
+	}
+	snap := sharded.Obs.Snapshot()
+	if snap["bgpchurn_shard_barriers_total"] <= 0 {
+		t.Fatal("sharded run executed no synchronization windows")
+	}
+	if snap["bgpchurn_shard_cross_updates_total"] <= 0 {
+		t.Fatal("sharded run exchanged no cross-shard updates")
+	}
 }
 
 func TestResultIdenticalAcrossParallelism(t *testing.T) {

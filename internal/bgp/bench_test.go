@@ -127,7 +127,7 @@ func BenchmarkKernelTransmitFire(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		net.transmit(m, slot, benchPrefix, Announce, path, NoPath)
-		net.sched.Run()
+		net.shards[0].sched.Run()
 	}
 }
 
@@ -182,11 +182,11 @@ func TestSteadyStateZeroAlloc(t *testing.T) {
 	// Warm the event pool and heap storage.
 	for i := 0; i < 16; i++ {
 		net.transmit(m, slot, benchPrefix, Announce, path, NoPath)
-		net.sched.Run()
+		net.shards[0].sched.Run()
 	}
 	allocs := testing.AllocsPerRun(200, func() {
 		net.transmit(m, slot, benchPrefix, Announce, path, NoPath)
-		net.sched.Run()
+		net.shards[0].sched.Run()
 	})
 	if allocs != 0 {
 		t.Fatalf("steady-state transmit/fire allocates %.1f objects per update, want 0", allocs)
@@ -210,17 +210,17 @@ func TestSteadyStateZeroAllocObs(t *testing.T) {
 	m, slot, path := coreLink(net)
 	for i := 0; i < 16; i++ {
 		net.transmit(m, slot, benchPrefix, Announce, path, NoPath)
-		net.sched.Run()
+		net.shards[0].sched.Run()
 	}
-	before := net.probes.AnnouncementsSent.Load()
+	before := net.shards[0].probes.AnnouncementsSent.Load()
 	allocs := testing.AllocsPerRun(200, func() {
 		net.transmit(m, slot, benchPrefix, Announce, path, NoPath)
-		net.sched.Run()
+		net.shards[0].sched.Run()
 	})
 	if allocs != 0 {
 		t.Fatalf("steady-state transmit/fire with obs enabled allocates %.1f objects per update, want 0", allocs)
 	}
-	if net.probes.AnnouncementsSent.Load() <= before {
+	if net.shards[0].probes.AnnouncementsSent.Load() <= before {
 		t.Fatal("probes attached but announcement counter did not advance")
 	}
 }

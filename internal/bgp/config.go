@@ -5,8 +5,14 @@
 // per-interface MRAI rate limiting in both the WRATE (RFC 4271) and
 // NO-WRATE (RFC 1771/Quagga) variants.
 //
-// The engine is single-threaded and fully deterministic for a given seed.
-// Parallel experiments run one Network per goroutine.
+// The engine is fully deterministic for a given seed. With LinkDelay zero
+// (the historical model: updates are admitted to the receiver's processor at
+// send time) a Network is single-threaded and parallel experiments run one
+// Network per goroutine. With a positive LinkDelay the engine runs a
+// barrier-synchronized windowed executor that can additionally partition the
+// node array into Config.Shards shards and run the windows on multiple cores
+// — with byte-identical results at every shard count (see DESIGN.md,
+// "Sharded DES").
 package bgp
 
 import (
@@ -52,6 +58,20 @@ type Config struct {
 	// MaxProcessingDelay is the upper bound of the uniform per-update
 	// processing time (paper: 100 ms).
 	MaxProcessingDelay des.Time
+	// LinkDelay is the fixed propagation latency of every session: an
+	// update transmitted at time t reaches the neighbor's processor queue
+	// at t+LinkDelay. Zero (the default, and the paper's model) admits
+	// updates at send time, preserving the historical single-threaded
+	// event order bit for bit. A positive LinkDelay switches the engine to
+	// the windowed executor whose results are invariant under Shards: the
+	// delay is the conservative lookahead that spaces the time barriers.
+	LinkDelay des.Time
+	// Shards is the number of barrier-synchronized node shards a single
+	// run executes on (0 or 1 = one shard). Values above 1 require a
+	// positive LinkDelay — the lookahead that makes parallel windows
+	// causally safe. Shards never affects results, only wall-clock, and is
+	// therefore excluded from the experiment cell cache key.
+	Shards int
 	// Seed drives all protocol randomness (jitter, processing delays,
 	// tie-break hashing).
 	Seed uint64
@@ -107,6 +127,12 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("bgp: jitter bounds must satisfy 0 < lo <= hi <= 1")
 	case c.Scope != PerInterface && c.Scope != PerPrefix:
 		return fmt.Errorf("bgp: unknown MRAI scope %d", c.Scope)
+	case c.LinkDelay < 0:
+		return fmt.Errorf("bgp: negative LinkDelay")
+	case c.Shards < 0:
+		return fmt.Errorf("bgp: negative Shards")
+	case c.Shards > 1 && c.LinkDelay == 0:
+		return fmt.Errorf("bgp: Shards > 1 requires a positive LinkDelay (the conservative lookahead)")
 	}
 	return c.Dampening.validate()
 }

@@ -98,32 +98,64 @@ func (net *Network) RouteChanges(id topology.NodeID) uint64 {
 
 // TotalUpdates returns the number of updates processed network-wide during
 // the current measurement window.
-func (net *Network) TotalUpdates() uint64 { return net.totalUpdates }
-
-// tickRate accounts one processed update to the current virtual second.
-func (net *Network) tickRate() {
-	bucket := net.sched.Now() / des.Second
-	if bucket != net.rateBucket {
-		net.rateBucket, net.rateCount = bucket, 0
+func (net *Network) TotalUpdates() uint64 {
+	var n uint64
+	for _, sh := range net.shards {
+		n += sh.totalUpdates
 	}
-	net.rateCount++
-	if net.rateCount > net.ratePeak {
-		net.ratePeak = net.rateCount
-	}
+	return n
 }
 
 // PeakUpdateRate returns the largest number of updates processed
 // network-wide within any single virtual second of the current window —
 // the burstiness measure motivating the paper's concern that routers must
-// absorb peaks far above daily means.
-func (net *Network) PeakUpdateRate() uint64 { return net.ratePeak }
+// absorb peaks far above daily means. A single shard tracks its running
+// peak inline; a multi-shard network merges the shards' per-second rate
+// logs (each nondecreasing in time), summing counts for each second and
+// maximizing over the sums — the same value the single-shard counter would
+// have produced for the merged event stream.
+func (net *Network) PeakUpdateRate() uint64 {
+	if !net.multi {
+		return net.shards[0].ratePeak
+	}
+	idx := make([]int, len(net.shards))
+	var peak uint64
+	for {
+		// Earliest unconsumed second across the shard logs.
+		var sec des.Time
+		found := false
+		for k, sh := range net.shards {
+			if idx[k] < len(sh.rateLog) {
+				if s := sh.rateLog[idx[k]].sec; !found || s < sec {
+					sec, found = s, true
+				}
+			}
+		}
+		if !found {
+			return peak
+		}
+		var sum uint64
+		for k, sh := range net.shards {
+			if idx[k] < len(sh.rateLog) && sh.rateLog[idx[k]].sec == sec {
+				sum += sh.rateLog[idx[k]].count
+				idx[k]++
+			}
+		}
+		if sum > peak {
+			peak = sum
+		}
+	}
+}
 
 // ResetCounters zeroes every measurement counter, starting a new window.
 // Routing state and timers are untouched: the paper resets counting after
 // the initial prefix propagation, then measures the C-event.
 func (net *Network) ResetCounters() {
-	net.totalUpdates = 0
-	net.rateBucket, net.rateCount, net.ratePeak = 0, 0, 0
+	for _, sh := range net.shards {
+		sh.totalUpdates = 0
+		sh.rateBucket, sh.rateCount, sh.ratePeak = 0, 0, 0
+		sh.rateLog = sh.rateLog[:0]
+	}
 	for i := range net.nodes {
 		nd := &net.nodes[i]
 		nd.recvAnnounce, nd.recvWithdraw, nd.sentUpdates = 0, 0, 0

@@ -108,7 +108,7 @@ func (net *Network) recordFlap(nd *node, slot int32, f Prefix, add float64) (cha
 		ps.damp = make([]dampState, len(nd.nbrIDs))
 	}
 	s := &ps.damp[slot]
-	now := net.sched.Now()
+	now := nd.sh.sched.Now()
 	p := s.decayedPenalty(now, d.HalfLife) + add
 	if ceil := d.ceiling(); p > ceil {
 		p = ceil
@@ -140,12 +140,12 @@ func (net *Network) scheduleReuse(nd *node, slot int32, f Prefix, s *dampState) 
 		wait = des.Second
 	}
 	s.reuseScheduled = true
-	net.sched.After(wait, &reuseEvent{net: net, node: nd.id, slot: slot, prefix: f})
+	nd.sh.sched.After(wait, &reuseEvent{sh: nd.sh, node: nd.id, slot: slot, prefix: f})
 }
 
 // reuseEvent re-evaluates one suppressed (neighbor, prefix) route.
 type reuseEvent struct {
-	net    *Network
+	sh     *netShard
 	node   topology.NodeID
 	slot   int32
 	prefix Prefix
@@ -154,7 +154,7 @@ type reuseEvent struct {
 // Fire unsuppresses the route if its penalty has decayed below the reuse
 // threshold, otherwise reschedules.
 func (e *reuseEvent) Fire(*des.Scheduler) {
-	net := e.net
+	net := e.sh.net
 	nd := &net.nodes[e.node]
 	ps, ok := nd.prefixes.Get(e.prefix)
 	if !ok || ps.damp == nil {
@@ -166,7 +166,7 @@ func (e *reuseEvent) Fire(*des.Scheduler) {
 		return
 	}
 	d := &net.cfg.Dampening
-	if s.decayedPenalty(net.sched.Now(), d.HalfLife) < d.ReuseThreshold {
+	if s.decayedPenalty(e.sh.sched.Now(), d.HalfLife) < d.ReuseThreshold {
 		s.suppressed = false
 		net.applyDecision(nd, e.prefix, ps)
 		return

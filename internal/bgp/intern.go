@@ -2,6 +2,8 @@ package bgp
 
 import (
 	"math/bits"
+	"sync"
+	"sync/atomic"
 
 	"bgpchurn/internal/obs"
 	"bgpchurn/internal/topology"
@@ -12,6 +14,15 @@ import (
 // dense 32-bit PathID, so routing tables hold 4-byte IDs instead of 24-byte
 // slice headers and path equality is an integer compare. See DESIGN.md
 // (intern-table memory model) for ownership and lifetime rules.
+//
+// Concurrency: one table is shared by every shard of a sharded network.
+// Writers (prepend misses) serialize on a mutex; readers (path, lenOf, len
+// — the decision-process hot path) are lock-free. The published entries
+// live in fixed-size chunks that never move, reached through a
+// copy-on-grow directory behind an atomic pointer, and the entry count is
+// stored (release) only after the entry itself is written, so a reader
+// that learned an ID either through the count or through a barrier-
+// synchronized message always observes the fully written span.
 
 // PathID identifies an interned AS path in a Network's intern table. The
 // zero value (NoPath) means "no path". IDs are dense, minted in first-intern
@@ -20,17 +31,30 @@ import (
 // before a Reset still denotes the same path content afterwards (the paths
 // of one topology recur event after event, and re-interning them would cost
 // a hash probe per route change for no memory win).
+//
+// In a multi-shard run the VALUE of a PathID depends on the real-time
+// interleaving of shard goroutines (first-intern order), so IDs are not
+// reproducible run to run — but they are semantically inert: the engine
+// uses IDs only for equality (same content ⟺ same ID within one run) and
+// as handles to content, never for ordering or arithmetic, so simulation
+// results remain byte-identical (the determinism tier enforces this).
 type PathID uint32
 
 // NoPath is the PathID of "no route".
 const NoPath PathID = 0
 
-// pathSpan locates one interned path's content inside the slab storage.
+// pathSpan is one published intern entry: the canonical capacity-clamped
+// Path view of the slab storage that path() hands out.
 type pathSpan struct {
-	slab uint32 // index into internTable.slabs
-	off  uint32 // element offset of the first path element
-	n    uint32 // path length in elements
+	p Path
 }
+
+// internChunkShift sizes the published-entry chunks (1024 spans each).
+// Chunks never move once allocated; the directory grows by copy.
+const internChunkShift = 10
+const internChunkSize = 1 << internChunkShift
+
+type internChunk [internChunkSize]pathSpan
 
 // internSlabElems is the slab size in NodeIDs (64 KiB). Slabs are never
 // reallocated or moved once created — canonical Path slices handed out by
@@ -42,11 +66,24 @@ const internSlabElems = 1 << 14
 // path maps the ID back to a canonical Path sub-slice of the slab storage.
 // Identical content always yields the identical PathID and the identical
 // backing memory, so Path.Equal's identity fast-path makes canonical-path
-// comparison O(1). Not safe for concurrent use; each Network owns one.
+// comparison O(1). Each Network owns one; in a sharded network all shards
+// share it (mutex writers, lock-free readers — see the package comment
+// above).
 type internTable struct {
+	// count is the number of published entries including the NoPath
+	// sentinel (== the next PathID to mint). Stored by writers after the
+	// span write, so count.Load is an acquire barrier for readers that
+	// bound IDs by it.
+	count atomic.Uint32
+	// dir is the chunk directory: dir.Load()[id>>shift][id&mask] is the
+	// published span for id. Grown by copy under mu; old directories stay
+	// valid for the IDs they cover.
+	dir atomic.Pointer[[]*internChunk]
+
+	// Everything below is guarded by mu (writers only).
+	mu     sync.Mutex
 	slabs  [][]topology.NodeID
-	spans  []pathSpan // indexed by PathID; spans[0] is the NoPath sentinel
-	hashes []uint64   // content hash per PathID, for cheap table growth
+	hashes []uint64 // content hash per PathID, for cheap table growth
 	// tab is the open-addressing (linear probe) hash table over PathIDs;
 	// 0 marks an empty bucket. Always a power of two, grown at 3/4 load.
 	tab  []PathID
@@ -63,21 +100,31 @@ type internTable struct {
 // newInternTable returns an empty table with the NoPath sentinel reserved.
 func newInternTable() *internTable {
 	const initialBuckets = 1 << 10
-	return &internTable{
-		spans:  make([]pathSpan, 1, 1024),
+	it := &internTable{
 		hashes: make([]uint64, 1, 1024),
 		tab:    make([]PathID, initialBuckets),
 		mask:   initialBuckets - 1,
 	}
+	dir := []*internChunk{new(internChunk)}
+	it.dir.Store(&dir)
+	it.count.Store(1) // the NoPath sentinel (chunk zero value: nil Path)
+	return it
 }
 
-// setProbes attaches (or, with nils, detaches) observability cells.
+// setProbes attaches (or, with nils, detaches) observability cells. Called
+// only at attach time (quiescent), never concurrently with prepend.
 func (it *internTable) setProbes(entries, bytes, hits *obs.Cell) {
 	it.entriesProbe, it.bytesProbe, it.hitsProbe = entries, bytes, hits
 }
 
 // len returns the number of distinct paths interned.
-func (it *internTable) len() int { return len(it.spans) - 1 }
+func (it *internTable) len() int { return int(it.count.Load()) - 1 }
+
+// span returns the published span for id (lock-free).
+func (it *internTable) span(id PathID) pathSpan {
+	d := *it.dir.Load()
+	return d[id>>internChunkShift][id&(internChunkSize-1)]
+}
 
 // path returns the canonical Path for id (nil for NoPath). The result is a
 // capacity-clamped view of slab storage: immutable by contract, identical
@@ -86,14 +133,12 @@ func (it *internTable) path(id PathID) Path {
 	if id == NoPath {
 		return nil
 	}
-	s := it.spans[id]
-	b := it.slabs[s.slab]
-	return Path(b[s.off : s.off+s.n : s.off+s.n])
+	return it.span(id).p
 }
 
 // lenOf returns the length of the interned path (0 for NoPath).
 func (it *internTable) lenOf(id PathID) int {
-	return int(it.spans[id].n)
+	return len(it.span(id).p)
 }
 
 // mixID folds one path element into a running content hash
@@ -117,12 +162,8 @@ func hashSeq(first topology.NodeID, tail Path) uint64 {
 
 // spanEqualSeq reports whether the stored span equals [first, tail...].
 func (it *internTable) spanEqualSeq(id PathID, first topology.NodeID, tail Path) bool {
-	s := it.spans[id]
-	if int(s.n) != len(tail)+1 {
-		return false
-	}
-	b := it.slabs[s.slab][s.off : s.off+s.n]
-	if b[0] != first {
+	b := it.span(id).p
+	if len(b) != len(tail)+1 || b[0] != first {
 		return false
 	}
 	for i, v := range tail {
@@ -137,9 +178,10 @@ func (it *internTable) spanEqualSeq(id PathID, first topology.NodeID, tail Path)
 // and PathID. tail may be nil (a one-element origin path). This is the
 // engine's only path constructor in compact mode: advertisement bodies and
 // warm-start routes all funnel through it, so every Path in a compact
-// network is canonical.
+// network is canonical. Safe for concurrent use by shard goroutines.
 func (it *internTable) prepend(first topology.NodeID, tail Path) (Path, PathID) {
 	h := hashSeq(first, tail)
+	it.mu.Lock()
 	i := h & it.mask
 	for {
 		id := it.tab[i]
@@ -147,32 +189,54 @@ func (it *internTable) prepend(first topology.NodeID, tail Path) (Path, PathID) 
 			break
 		}
 		if it.hashes[id] == h && it.spanEqualSeq(id, first, tail) {
+			p := it.span(id).p
+			it.mu.Unlock()
 			if it.hitsProbe != nil {
 				it.hitsProbe.Inc()
 			}
-			return it.path(id), id
+			return p, id
 		}
 		i = (i + 1) & it.mask
 	}
 	// Miss: copy the content into slab storage and publish the new ID.
 	n := len(tail) + 1
-	slab, off, dst := it.alloc(n)
+	dst := it.alloc(n)
 	dst[0] = first
 	copy(dst[1:], tail)
-	id := PathID(len(it.spans))
-	it.spans = append(it.spans, pathSpan{slab: slab, off: off, n: uint32(n)})
+	id := PathID(it.count.Load())
+	canon := Path(dst[:n:n])
+	it.publish(id, canon)
 	it.hashes = append(it.hashes, h)
 	it.tab[i] = id
+	if int(id)*4 >= len(it.tab)*3 {
+		it.grow()
+	}
+	it.mu.Unlock()
 	if it.entriesProbe != nil {
 		it.entriesProbe.Inc()
 	}
 	if it.bytesProbe != nil {
 		it.bytesProbe.Add(uint64(n) * nodeIDBytes)
 	}
-	if uint64(it.len())*4 >= uint64(len(it.tab))*3 {
-		it.grow()
+	return canon, id
+}
+
+// publish makes id -> p visible to lock-free readers: ensure the chunk
+// exists (directory copy-on-grow behind the atomic pointer), write the
+// span, then store the raised entry count last so the count is a release
+// of the span write. Callers hold mu.
+func (it *internTable) publish(id PathID, p Path) {
+	d := *it.dir.Load()
+	ci := int(id >> internChunkShift)
+	if ci == len(d) {
+		nd := make([]*internChunk, len(d)+1)
+		copy(nd, d)
+		nd[ci] = new(internChunk)
+		it.dir.Store(&nd)
+		d = nd
 	}
-	return Path(dst[:n:n]), id
+	d[ci][id&(internChunkSize-1)] = pathSpan{p: p}
+	it.count.Store(uint32(id) + 1)
 }
 
 // intern interns an existing path (nil maps to NoPath). Equivalent to
@@ -186,15 +250,15 @@ func (it *internTable) intern(p Path) (Path, PathID) {
 
 // alloc carves n elements out of the current slab, starting a new slab when
 // it does not fit. Existing slabs are never moved, so previously returned
-// canonical paths stay valid.
-func (it *internTable) alloc(n int) (slab, off uint32, dst []topology.NodeID) {
+// canonical paths stay valid. Callers hold mu.
+func (it *internTable) alloc(n int) []topology.NodeID {
 	if k := len(it.slabs); k > 0 {
 		b := it.slabs[k-1]
 		if len(b)+n <= cap(b) {
-			off = uint32(len(b))
+			off := len(b)
 			b = b[: len(b)+n : cap(b)]
 			it.slabs[k-1] = b
-			return uint32(k - 1), off, b[off:]
+			return b[off:]
 		}
 	}
 	sz := internSlabElems
@@ -203,14 +267,15 @@ func (it *internTable) alloc(n int) (slab, off uint32, dst []topology.NodeID) {
 	}
 	b := make([]topology.NodeID, n, sz)
 	it.slabs = append(it.slabs, b)
-	return uint32(len(it.slabs) - 1), 0, b
+	return b
 }
 
 // grow doubles the hash table and re-inserts every ID by its stored hash.
+// Callers hold mu.
 func (it *internTable) grow() {
 	nt := make([]PathID, len(it.tab)*2)
 	mask := uint64(len(nt) - 1)
-	for id := PathID(1); int(id) < len(it.spans); id++ {
+	for id := PathID(1); int(id) < len(it.hashes); id++ {
 		i := it.hashes[id] & mask
 		for nt[i] != NoPath {
 			i = (i + 1) & mask
@@ -222,6 +287,8 @@ func (it *internTable) grow() {
 
 // bytesStored returns the slab bytes holding interned path content.
 func (it *internTable) bytesStored() uint64 {
+	it.mu.Lock()
+	defer it.mu.Unlock()
 	var n uint64
 	for _, b := range it.slabs {
 		n += uint64(len(b)) * nodeIDBytes

@@ -2,6 +2,7 @@ package bgp
 
 import (
 	"fmt"
+	"time"
 
 	"bgpchurn/internal/des"
 	"bgpchurn/internal/obs"
@@ -11,7 +12,9 @@ import (
 
 // Network is a running BGP simulation over a fixed topology. Construct with
 // New, originate or withdraw prefixes, then Run to quiescence. A Network is
-// not safe for concurrent use; run one per goroutine.
+// not safe for concurrent use; run one per goroutine. (A Network with
+// Config.Shards > 1 uses multiple goroutines internally during Run, but its
+// public API remains single-caller.)
 type Network struct {
 	topo *topology.Topology
 	// adj is the topology's shared CSR adjacency; every node's
@@ -19,8 +22,25 @@ type Network struct {
 	// Networks over the same topology.
 	adj   *topology.Adjacency
 	cfg   Config
-	sched des.Scheduler
 	nodes []node
+
+	// shards partitions the node array into contiguous ranges, each with a
+	// private event queue and runtime counters (see netShard). The classic
+	// zero-LinkDelay engine always runs one shard; the windowed engine runs
+	// Config.Shards of them in barrier-synchronized lockstep.
+	shards []*netShard
+	// scheds caches &shards[i].sched for des.RunGroupUntil.
+	scheds []*des.Scheduler
+	// firedScratch/elapsedScratch are RunGroupUntil scratch (see there).
+	firedScratch   []uint64
+	elapsedScratch []time.Duration
+	// windowed selects the barrier-synchronized executor (LinkDelay > 0);
+	// multi is len(shards) > 1 (implies windowed).
+	windowed bool
+	multi    bool
+	// crossSessions counts the sessions whose endpoints live in different
+	// shards (see ShardInfo).
+	crossSessions int
 
 	// tieFlat, recvFlat and outFlat are this network's per-session state in
 	// one contiguous block each, parallel to adj.IDs; node j's rows are
@@ -33,6 +53,7 @@ type Network struct {
 	// intern is the compact engine's path intern table (nil in classic
 	// mode). It survives Reset: the distinct paths of one topology recur
 	// across events, and PathIDs handed out earlier stay valid (see PathID).
+	// All shards share it (mutex writers, lock-free readers; see intern.go).
 	intern *internTable
 	// ribInFlat is the compact engine's network-wide Adj-RIB-In: one PathID
 	// per CSR session slot. Each node's row backs its first prefixState, so
@@ -45,35 +66,17 @@ type Network struct {
 	// (one per origin in an experiment) do not reallocate.
 	ws warmScratch
 
-	// paths bump-allocates every path the engine creates (advertisement
-	// bodies, warm-start routes); Reset drops its slab, see pathArena.
-	paths pathArena
-
-	// totalUpdates counts every update processed since the last
-	// ResetCounters, across all nodes.
-	totalUpdates uint64
-	// rateBucket/rateCount/ratePeak track the busiest virtual second of the
-	// window (network-wide updates processed per second), quantifying the
-	// burstiness the paper's introduction highlights.
-	rateBucket des.Time
-	rateCount  uint64
-	ratePeak   uint64
 	// updateHook, when set, observes every processed update (see
-	// SetUpdateHook).
+	// SetUpdateHook). The hook is not required to be thread-safe, so the
+	// windowed executor runs shards sequentially while it is attached.
 	updateHook func(UpdateRecord)
-	// probes is the protocol engine's observability block; nil when
-	// disabled (see SetObs). Probe sites are single nil checks then.
-	probes *obs.BGPProbes
 
-	// procFree, flushFree and prefixFlushFree recycle the dominant event
-	// kinds: an event returns its receiver to the free list at the end of
-	// Fire (the scheduler holds no reference by then), and transmit or
-	// ensureFlush reuse it for the next send. Steady-state simulation
-	// therefore allocates no event objects at all. Ownership rules are in
-	// DESIGN.md (kernel memory model).
-	procFree        []*procEvent
-	flushFree       []*flushEvent
-	prefixFlushFree []*prefixFlushEvent
+	// obs is the attached metrics hub (nil when detached); build re-attaches
+	// probe blocks from it after Grow recreates the shards.
+	obs *obs.Metrics
+	// shardProbes instruments the barrier coordinator (windowed mode only):
+	// barriers executed, cross-shard updates exchanged, per-window skew.
+	shardProbes *obs.ShardProbes
 }
 
 // New builds the per-node protocol state for the topology. The topology
@@ -90,13 +93,14 @@ func New(topo *topology.Topology, cfg Config) (*Network, error) {
 	return net, nil
 }
 
-// build (re)creates the structural wiring for topo: the node array and the
-// flat per-session state blocks, with every per-node slice a row of a shared
-// flat array (the topology's CSR block or this network's own session
-// arrays). It is the structural half of construction, shared by New and
-// Grow; runtime state is initialized separately by reinit. The intern table,
-// when already present, is kept — interned paths are content-addressed and
-// node IDs survive growth, so existing PathIDs stay valid (see PathID).
+// build (re)creates the structural wiring for topo: the shard array, the
+// node array and the flat per-session state blocks, with every per-node
+// slice a row of a shared flat array (the topology's CSR block or this
+// network's own session arrays). It is the structural half of construction,
+// shared by New and Grow; runtime state is initialized separately by reinit.
+// The intern table, when already present, is kept — interned paths are
+// content-addressed and node IDs survive growth, so existing PathIDs stay
+// valid (see PathID).
 func (net *Network) build(topo *topology.Topology) error {
 	adj := topo.CSR()
 	if !adj.Symmetric() {
@@ -115,23 +119,58 @@ func (net *Network) build(topo *topology.Topology) error {
 		}
 		net.ribInFlat = make([]PathID, sessions)
 	}
+
+	// Shard partition: contiguous node ranges balanced by session count.
+	// The classic zero-LinkDelay engine has no lookahead to parallelize
+	// under, so it always runs the single-shard inline path.
+	net.windowed = net.cfg.LinkDelay > 0
+	s := net.cfg.Shards
+	if s < 1 || !net.windowed {
+		s = 1
+	}
+	bounds := adj.ShardRanges(s)
+	net.multi = s > 1
+	if net.multi {
+		net.crossSessions = adj.CrossShardSessions(bounds)
+	} else {
+		net.crossSessions = 0
+	}
+	net.shards = make([]*netShard, s)
+	net.scheds = make([]*des.Scheduler, s)
+	net.firedScratch = make([]uint64, s)
+	for k := range net.shards {
+		sh := &netShard{net: net, idx: k, lo: bounds[k], hi: bounds[k+1]}
+		sh.outbox = make([][]wireMsg, s)
+		net.shards[k] = sh
+		net.scheds[k] = &sh.sched
+	}
+
+	shard := 0
 	for i := range net.nodes {
 		nd := &net.nodes[i]
+		for int32(i) >= bounds[shard+1] {
+			shard++
+		}
+		sh := net.shards[shard]
 		lo, hi := adj.Row(topology.NodeID(i))
 		nd.id = topology.NodeID(i)
 		nd.typ = topo.Nodes[i].Type
+		nd.sh = sh
 		nd.nbrIDs = adj.IDs[lo:hi:hi]
 		nd.nbrRels = adj.Rels[lo:hi:hi]
 		nd.reverse = adj.Reverse[lo:hi:hi]
 		nd.tieHash = net.tieFlat[lo:hi:hi]
 		nd.recvBySlot = net.recvFlat[lo:hi:hi]
 		nd.out = net.outFlat[lo:hi:hi]
-		nd.arena = &net.paths
+		nd.arena = &sh.paths
 		nd.it = net.intern
 		if net.intern != nil {
 			nd.ribRow = net.ribInFlat[lo:hi:hi]
 		}
 	}
+	// Re-attach probe blocks after Grow recreated the shards (no-op when no
+	// hub is attached).
+	net.attachObs()
 	return nil
 }
 
@@ -170,28 +209,51 @@ func MustNew(topo *topology.Topology, cfg Config) *Network {
 	return net
 }
 
-// SetObs attaches the metrics hub to this network: the protocol engine,
-// its embedded event scheduler and the path arena all get probe blocks on
-// fresh shards. Pass nil to detach. Call before the first event is
-// scheduled — the kernel's occupancy gauges assume an empty queue at
+// SetObs attaches the metrics hub to this network: every shard's protocol
+// engine, event scheduler and path arena gets its own probe block on a
+// fresh metrics shard, and — in windowed mode — the barrier coordinator
+// gets a ShardProbes block. Pass nil to detach. Call before the first event
+// is scheduled — the kernel's occupancy gauges assume an empty queue at
 // attach time. Probes never read the virtual clock, consume randomness or
-// change event order, so instrumented runs are byte-identical to bare
-// ones.
+// change event order, so instrumented runs are byte-identical to bare ones.
 func (net *Network) SetObs(m *obs.Metrics) {
+	net.obs = m
+	net.attachObs()
+}
+
+// attachObs (re)resolves probe blocks from the stored hub for the current
+// shard array; with no hub it detaches everything. Called by SetObs and by
+// build (so Grow keeps instrumentation attached across the rebuild).
+func (net *Network) attachObs() {
+	m := net.obs
 	if m == nil {
-		net.probes = nil
-		net.sched.SetProbes(nil)
-		net.paths.probe = nil
+		for _, sh := range net.shards {
+			sh.probes = nil
+			sh.sched.SetProbes(nil)
+			sh.paths.probe = nil
+		}
+		net.shardProbes = nil
+		net.elapsedScratch = nil
 		if net.intern != nil {
 			net.intern.setProbes(nil, nil, nil)
 		}
 		return
 	}
-	net.probes = m.NewBGPProbes()
-	net.sched.SetProbes(m.NewDESProbes())
-	net.paths.probe = net.probes.ArenaBytes
+	for _, sh := range net.shards {
+		sh.probes = m.NewBGPProbes()
+		sh.sched.SetProbes(m.NewDESProbes())
+		sh.paths.probe = sh.probes.ArenaBytes
+	}
+	if net.windowed {
+		net.shardProbes = m.NewShardProbes()
+		net.elapsedScratch = make([]time.Duration, len(net.shards))
+	}
 	if net.intern != nil {
-		net.intern.setProbes(net.probes.InternedPaths, net.probes.InternBytes, net.probes.InternHits)
+		// The intern table is shared by all shards; its cells live on shard
+		// 0's probe block (atomic cells tolerate the shared writers, which
+		// already serialize on the table mutex).
+		p := net.shards[0].probes
+		net.intern.setProbes(p.InternedPaths, p.InternBytes, p.InternHits)
 	}
 }
 
@@ -201,25 +263,54 @@ func (net *Network) Topology() *topology.Topology { return net.topo }
 // Config returns the protocol configuration.
 func (net *Network) Config() Config { return net.cfg }
 
-// Now returns the current virtual time.
-func (net *Network) Now() des.Time { return net.sched.Now() }
+// ShardInfo reports the effective shard count and the number of sessions
+// crossing shard boundaries under the current partition (0 for a
+// single-shard network). The partition affects wall-clock only, never
+// results.
+func (net *Network) ShardInfo() (shards, crossSessions int) {
+	return len(net.shards), net.crossSessions
+}
 
-// Pending returns the number of queued simulation events; zero means the
-// network is quiescent (converged).
-func (net *Network) Pending() int { return net.sched.Len() }
+// Now returns the current virtual time. In windowed mode all shard clocks
+// agree whenever the network is quiescent (between Run/Settle calls).
+func (net *Network) Now() des.Time { return net.shards[0].sched.Now() }
+
+// Pending returns the number of queued simulation events (including
+// messages awaiting a barrier exchange); zero means the network is
+// quiescent (converged).
+func (net *Network) Pending() int {
+	n := 0
+	for _, sh := range net.shards {
+		n += sh.sched.Len()
+		for _, ob := range sh.outbox {
+			n += len(ob)
+		}
+	}
+	return n
+}
 
 // Run advances the simulation until quiescence and returns the number of
 // events fired.
-func (net *Network) Run() uint64 { return net.sched.Run() }
+func (net *Network) Run() uint64 {
+	if net.windowed {
+		return net.runWindowed(-1)
+	}
+	return net.shards[0].sched.Run()
+}
 
 // RunUntil advances the simulation up to the given deadline.
-func (net *Network) RunUntil(deadline des.Time) uint64 { return net.sched.RunUntil(deadline) }
+func (net *Network) RunUntil(deadline des.Time) uint64 {
+	if net.windowed {
+		return net.runWindowed(deadline)
+	}
+	return net.shards[0].sched.RunUntil(deadline)
+}
 
 // Settle advances virtual time by d, firing any events that fall inside the
 // window. Experiments use it to let MRAI timers go idle between phases, so
 // a C-event starts from a quiet network as it would in practice.
 func (net *Network) Settle(d des.Time) uint64 {
-	return net.sched.RunUntil(net.sched.Now() + d)
+	return net.RunUntil(net.Now() + d)
 }
 
 // Reset rewinds the network to a pristine state (no prefixes, idle timers,
@@ -233,25 +324,33 @@ func (net *Network) Reset(seed uint64) { net.reinit(seed) }
 
 // reinit is the single reinitialization path shared by New and Reset: it
 // (re)seeds all randomness and rewinds every piece of runtime state —
-// scheduler, counters, arena, per-node timers, queues and prefix tables —
-// to the pristine post-New condition. New calls it on freshly zeroed
-// structures, Reset on used ones; both end in the identical observable
-// state for a given seed, which is what lets experiment sweeps (and the
-// grow-then-reset regression test) treat "Reset(s)" and "rebuilt with
-// New(s)" as interchangeable. The intern table is intentionally NOT cleared
-// (see PathID); the path arena's current slab is dropped, never rewound
-// (see pathArena).
+// schedulers, counters, arenas, outboxes, per-node timers, queues and
+// prefix tables — to the pristine post-New condition. New calls it on
+// freshly zeroed structures, Reset on used ones; both end in the identical
+// observable state for a given seed, which is what lets experiment sweeps
+// (and the grow-then-reset regression test) treat "Reset(s)" and "rebuilt
+// with New(s)" as interchangeable. The intern table is intentionally NOT
+// cleared (see PathID); each shard's path arena's current slab is dropped,
+// never rewound (see pathArena).
 func (net *Network) reinit(seed uint64) {
-	net.sched.Reset(true)
-	net.totalUpdates = 0
-	net.rateBucket, net.rateCount, net.ratePeak = 0, 0, 0
-	// Drop (never rewind) the path slab, keeping the probe: see pathArena.
-	net.paths = pathArena{probe: net.paths.probe}
+	for _, sh := range net.shards {
+		sh.sched.Reset(true)
+		sh.totalUpdates = 0
+		sh.rateBucket, sh.rateCount, sh.ratePeak = 0, 0, 0
+		sh.rateLog = sh.rateLog[:0]
+		// Drop (never rewind) the path slab, keeping the probe: see pathArena.
+		sh.paths = pathArena{probe: sh.paths.probe}
+		for d := range sh.outbox {
+			clear(sh.outbox[d]) // release in-flight paths
+			sh.outbox[d] = sh.outbox[d][:0]
+		}
+	}
 	master := rng.New(seed)
 	salt := master.Uint64() // first draw: the tie-break salt
 	for i := range net.nodes {
 		nd := &net.nodes[i]
 		nd.busyUntil = 0
+		nd.msgSeq = 0
 		clear(nd.inbox) // release parked paths
 		nd.inbox, nd.inboxHead, nd.delivering = nd.inbox[:0], 0, false
 		nd.recvAnnounce, nd.recvWithdraw, nd.sentUpdates = 0, 0, 0
@@ -350,7 +449,7 @@ func (net *Network) NextHop(id topology.NodeID, f Prefix) topology.NodeID {
 // --- event types ---------------------------------------------------------
 
 // inMsg is a message parked in a receiver's inbox: the full delivery
-// payload plus the scheduler ticket reserved for it at transmit time.
+// payload plus the scheduler ticket reserved for it at admission time.
 type inMsg struct {
 	tk       des.Ticket
 	fromSlot int32
@@ -361,11 +460,11 @@ type inMsg struct {
 }
 
 // procEvent is the completion of processing one received update at a node.
-// procEvents are pooled: transmit takes one from Network.procFree and Fire
-// returns its receiver there once it is done reading the fields, so the
-// steady-state update flow allocates no events.
+// procEvents are pooled per shard: deliver takes one from the shard's
+// procFree and Fire returns its receiver there once it is done reading the
+// fields, so the steady-state update flow allocates no events.
 type procEvent struct {
-	net      *Network
+	sh       *netShard
 	to       topology.NodeID
 	fromSlot int32
 	kind     UpdateKind
@@ -375,35 +474,36 @@ type procEvent struct {
 }
 
 // newProcEvent takes a recycled procEvent or allocates a fresh one.
-func (net *Network) newProcEvent() *procEvent {
-	if n := len(net.procFree); n > 0 {
-		e := net.procFree[n-1]
-		net.procFree[n-1] = nil
-		net.procFree = net.procFree[:n-1]
-		if p := net.probes; p != nil {
+func (sh *netShard) newProcEvent() *procEvent {
+	if n := len(sh.procFree); n > 0 {
+		e := sh.procFree[n-1]
+		sh.procFree[n-1] = nil
+		sh.procFree = sh.procFree[:n-1]
+		if p := sh.probes; p != nil {
 			p.PoolHits.Inc()
 		}
 		return e
 	}
-	if p := net.probes; p != nil {
+	if p := sh.probes; p != nil {
 		p.PoolMisses.Inc()
 	}
-	return &procEvent{net: net}
+	return &procEvent{sh: sh}
 }
 
 // Fire consumes the update: counters, Adj-RIB-In, decision, exports.
 func (e *procEvent) Fire(*des.Scheduler) {
-	net := e.net
+	sh := e.sh
+	net := sh.net
 	nd := &net.nodes[e.to]
 	nd.recvBySlot[e.fromSlot]++
-	net.totalUpdates++
-	net.tickRate()
-	if p := net.probes; p != nil {
+	sh.totalUpdates++
+	sh.tickRate()
+	if p := sh.probes; p != nil {
 		p.UpdatesProcessed.Inc()
 	}
 	if net.updateHook != nil {
 		net.updateHook(UpdateRecord{
-			Time:   net.sched.Now(),
+			Time:   sh.sched.Now(),
 			From:   nd.nbrIDs[e.fromSlot],
 			To:     nd.id,
 			Kind:   e.kind,
@@ -467,9 +567,9 @@ func (e *procEvent) Fire(*des.Scheduler) {
 	// event is available for the sends applyDecision may trigger. The Path
 	// is NOT pooled — it lives on in the Adj-RIB-In.
 	e.path, e.pathID = nil, NoPath
-	net.procFree = append(net.procFree, e)
+	sh.procFree = append(sh.procFree, e)
 	// Chain the next parked delivery, if any, under its reserved ticket
-	// (see transmit). Completion times are monotone per receiver, so the
+	// (see deliver). Completion times are monotone per receiver, so the
 	// ticket can never be in the past.
 	if nd.inboxHead < len(nd.inbox) {
 		m := nd.inbox[nd.inboxHead]
@@ -478,9 +578,9 @@ func (e *procEvent) Fire(*des.Scheduler) {
 		if nd.inboxHead == len(nd.inbox) {
 			nd.inbox, nd.inboxHead = nd.inbox[:0], 0
 		}
-		next := net.newProcEvent()
+		next := sh.newProcEvent()
 		next.to, next.fromSlot, next.kind, next.prefix, next.path, next.pathID = nd.id, m.fromSlot, m.kind, m.prefix, m.path, m.pathID
-		net.sched.AtTicket(m.tk, next)
+		sh.sched.AtTicket(m.tk, next)
 	} else {
 		nd.delivering = false
 	}
@@ -490,38 +590,39 @@ func (e *procEvent) Fire(*des.Scheduler) {
 // flushEvent fires when a per-interface MRAI timer expires with queued
 // updates. Pooled like procEvent.
 type flushEvent struct {
-	net  *Network
+	sh   *netShard
 	node topology.NodeID
 	slot int32
 }
 
 // newFlushEvent takes a recycled flushEvent or allocates a fresh one.
-func (net *Network) newFlushEvent() *flushEvent {
-	if n := len(net.flushFree); n > 0 {
-		e := net.flushFree[n-1]
-		net.flushFree[n-1] = nil
-		net.flushFree = net.flushFree[:n-1]
-		if p := net.probes; p != nil {
+func (sh *netShard) newFlushEvent() *flushEvent {
+	if n := len(sh.flushFree); n > 0 {
+		e := sh.flushFree[n-1]
+		sh.flushFree[n-1] = nil
+		sh.flushFree = sh.flushFree[:n-1]
+		if p := sh.probes; p != nil {
 			p.PoolHits.Inc()
 		}
 		return e
 	}
-	if p := net.probes; p != nil {
+	if p := sh.probes; p != nil {
 		p.PoolMisses.Inc()
 	}
-	return &flushEvent{net: net}
+	return &flushEvent{sh: sh}
 }
 
 // Fire sends every queued update on the interface and restarts the timer if
 // anything was sent.
 func (e *flushEvent) Fire(*des.Scheduler) {
-	net := e.net
+	sh := e.sh
+	net := sh.net
 	nd := &net.nodes[e.node]
 	q := &nd.out[e.slot]
 	slot := int(e.slot)
-	net.flushFree = append(net.flushFree, e)
+	sh.flushFree = append(sh.flushFree, e)
 	q.scheduled = false
-	if p := net.probes; p != nil {
+	if p := sh.probes; p != nil {
 		p.MRAIFlushes.Inc()
 	}
 	if q.down || q.pending.Len() == 0 {
@@ -541,45 +642,46 @@ func (e *flushEvent) Fire(*des.Scheduler) {
 		sent = true
 	}
 	if sent {
-		q.expiry = net.sched.Now() + des.Time(nd.src.Jitter(int64(net.cfg.MRAI), net.cfg.JitterLo, net.cfg.JitterHi))
+		q.expiry = sh.sched.Now() + des.Time(nd.src.Jitter(int64(net.cfg.MRAI), net.cfg.JitterLo, net.cfg.JitterHi))
 	}
 }
 
 // prefixFlushEvent is flushEvent for PerPrefix MRAI scope. Pooled like
 // procEvent.
 type prefixFlushEvent struct {
-	net    *Network
+	sh     *netShard
 	node   topology.NodeID
 	slot   int32
 	prefix Prefix
 }
 
 // newPrefixFlushEvent takes a recycled event or allocates a fresh one.
-func (net *Network) newPrefixFlushEvent() *prefixFlushEvent {
-	if n := len(net.prefixFlushFree); n > 0 {
-		e := net.prefixFlushFree[n-1]
-		net.prefixFlushFree[n-1] = nil
-		net.prefixFlushFree = net.prefixFlushFree[:n-1]
-		if p := net.probes; p != nil {
+func (sh *netShard) newPrefixFlushEvent() *prefixFlushEvent {
+	if n := len(sh.prefixFlushFree); n > 0 {
+		e := sh.prefixFlushFree[n-1]
+		sh.prefixFlushFree[n-1] = nil
+		sh.prefixFlushFree = sh.prefixFlushFree[:n-1]
+		if p := sh.probes; p != nil {
 			p.PoolHits.Inc()
 		}
 		return e
 	}
-	if p := net.probes; p != nil {
+	if p := sh.probes; p != nil {
 		p.PoolMisses.Inc()
 	}
-	return &prefixFlushEvent{net: net}
+	return &prefixFlushEvent{sh: sh}
 }
 
 // Fire sends the queued update for one (interface, prefix) pair.
 func (e *prefixFlushEvent) Fire(*des.Scheduler) {
-	net := e.net
+	sh := e.sh
+	net := sh.net
 	nd := &net.nodes[e.node]
 	q := &nd.out[e.slot]
 	slot, f := int(e.slot), e.prefix
-	net.prefixFlushFree = append(net.prefixFlushFree, e)
+	sh.prefixFlushFree = append(sh.prefixFlushFree, e)
 	q.prefixScheduled.Delete(f)
-	if p := net.probes; p != nil {
+	if p := sh.probes; p != nil {
 		p.PrefixMRAIFlushes.Inc()
 	}
 	if q.down {
@@ -596,7 +698,7 @@ func (e *prefixFlushEvent) Fire(*des.Scheduler) {
 	} else {
 		q.lastSent.Set(f, pu.path)
 	}
-	q.prefixExpiry.Set(f, net.sched.Now()+des.Time(nd.src.Jitter(int64(net.cfg.MRAI), net.cfg.JitterLo, net.cfg.JitterHi)))
+	q.prefixExpiry.Set(f, sh.sched.Now()+des.Time(nd.src.Jitter(int64(net.cfg.MRAI), net.cfg.JitterLo, net.cfg.JitterHi)))
 }
 
 // --- core protocol flow --------------------------------------------------
@@ -647,15 +749,15 @@ func (net *Network) reconcile(nd *node, f Prefix, ps *prefixState) {
 }
 
 // timerIdle reports whether an update for (q, f) may be sent immediately.
-func (net *Network) timerIdle(q *outQueue, f Prefix) bool {
+func (net *Network) timerIdle(nd *node, q *outQueue, f Prefix) bool {
 	if net.cfg.MRAI == 0 {
 		return true
 	}
 	if net.cfg.Scope == PerPrefix {
 		exp, _ := q.prefixExpiry.Get(f)
-		return exp <= net.sched.Now()
+		return exp <= nd.sh.sched.Now()
 	}
-	return q.expiry <= net.sched.Now()
+	return q.expiry <= nd.sh.sched.Now()
 }
 
 // restartTimer starts the MRAI timer for (nd, j[, f]) after a send.
@@ -663,7 +765,7 @@ func (net *Network) restartTimer(nd *node, j int, f Prefix) {
 	if net.cfg.MRAI == 0 {
 		return
 	}
-	expiry := net.sched.Now() + des.Time(nd.src.Jitter(int64(net.cfg.MRAI), net.cfg.JitterLo, net.cfg.JitterHi))
+	expiry := nd.sh.sched.Now() + des.Time(nd.src.Jitter(int64(net.cfg.MRAI), net.cfg.JitterLo, net.cfg.JitterHi))
 	q := &nd.out[j]
 	if net.cfg.Scope == PerPrefix {
 		q.prefixExpiry.Set(f, expiry)
@@ -676,24 +778,25 @@ func (net *Network) restartTimer(nd *node, j int, f Prefix) {
 // its MRAI timer expires.
 func (net *Network) ensureFlush(nd *node, j int, f Prefix) {
 	q := &nd.out[j]
+	sh := nd.sh
 	if net.cfg.Scope == PerPrefix {
 		if armed, _ := q.prefixScheduled.Get(f); armed {
 			return
 		}
 		q.prefixScheduled.Set(f, true)
-		e := net.newPrefixFlushEvent()
+		e := sh.newPrefixFlushEvent()
 		e.node, e.slot, e.prefix = nd.id, int32(j), f
 		exp, _ := q.prefixExpiry.Get(f)
-		net.sched.At(exp, e)
+		sh.sched.At(exp, e)
 		return
 	}
 	if q.scheduled {
 		return
 	}
 	q.scheduled = true
-	e := net.newFlushEvent()
+	e := sh.newFlushEvent()
 	e.node, e.slot = nd.id, int32(j)
-	net.sched.At(q.expiry, e)
+	sh.sched.At(q.expiry, e)
 }
 
 // setDesired reconciles the wire state toward neighbor j for prefix f with
@@ -716,7 +819,7 @@ func (net *Network) setDesired(nd *node, j int, f Prefix, want Path, wantID Path
 			q.lastSent.Delete(f)
 			return
 		}
-		if net.timerIdle(q, f) {
+		if net.timerIdle(nd, q, f) {
 			net.transmit(nd, j, f, Withdraw, nil, NoPath)
 			q.lastSent.Delete(f)
 			net.restartTimer(nd, j, f)
@@ -733,7 +836,7 @@ func (net *Network) setDesired(nd *node, j int, f Prefix, want Path, wantID Path
 		q.pending.Delete(f)
 		return
 	}
-	if net.timerIdle(q, f) {
+	if net.timerIdle(nd, q, f) {
 		net.transmit(nd, j, f, Announce, want, wantID)
 		q.lastSent.Set(f, want)
 		net.restartTimer(nd, j, f)
@@ -743,41 +846,73 @@ func (net *Network) setDesired(nd *node, j int, f Prefix, want Path, wantID Path
 	net.ensureFlush(nd, j, f)
 }
 
-// transmit delivers one update to the neighbor at slot j, modeling the
-// receiver's FIFO queue + single processor: processing completes a uniform
-// (0, MaxProcessingDelay] after the receiver becomes free.
-//
-// Only the receiver's next completion lives in the scheduler queue; while
-// it is pending, further messages park in the receiver's inbox with their
-// tickets reserved here, in arrival order. procEvent.Fire re-schedules the
-// front of the inbox, so deliveries chain one at a time — same fire times,
-// same fire order, a fraction of the queued events.
+// transmit sends one update to the neighbor at slot j. With zero LinkDelay
+// (the classic engine) the update is admitted to the receiver's processor
+// inline — identical op order, RNG draws and ticket reservations to the
+// historical single-threaded engine. In windowed mode the update is
+// appended to the sender shard's outbox, stamped with its arrival time
+// (now + LinkDelay) and the sender's per-node sequence number; the next
+// barrier admits it on the receiver's shard in canonical
+// (arrival, sender, seq) order (see exchange).
 func (net *Network) transmit(nd *node, j int, f Prefix, kind UpdateKind, path Path, pathID PathID) {
 	nd.sentUpdates++
-	if p := net.probes; p != nil {
+	if p := nd.sh.probes; p != nil {
 		if kind == Withdraw {
 			p.WithdrawalsSent.Inc()
 		} else {
 			p.AnnouncementsSent.Inc()
 		}
 	}
-	to := &net.nodes[nd.nbrIDs[j]]
+	if net.windowed {
+		sh := nd.sh
+		nd.msgSeq++
+		to := nd.nbrIDs[j]
+		d := net.nodes[to].sh.idx
+		sh.outbox[d] = append(sh.outbox[d], wireMsg{
+			arrival:  sh.sched.Now() + net.cfg.LinkDelay,
+			sender:   nd.id,
+			seq:      nd.msgSeq,
+			to:       to,
+			fromSlot: nd.reverse[j],
+			kind:     kind,
+			prefix:   f,
+			path:     path,
+			pathID:   pathID,
+		})
+		return
+	}
+	net.deliver(&net.nodes[nd.nbrIDs[j]], nd.sh.sched.Now(), nd.reverse[j], f, kind, path, pathID)
+}
+
+// deliver admits one arriving update to the receiver's FIFO queue + single
+// processor: processing completes a uniform (0, MaxProcessingDelay] after
+// the receiver becomes free (and never before the message arrives). Shared
+// by the classic inline path (arrival = send time) and barrier admission
+// (arrival = send time + LinkDelay).
+//
+// Only the receiver's next completion lives in the scheduler queue; while
+// it is pending, further messages park in the receiver's inbox with their
+// tickets reserved here, in admission order. procEvent.Fire re-schedules
+// the front of the inbox, so deliveries chain one at a time — same fire
+// times, same fire order, a fraction of the queued events.
+func (net *Network) deliver(to *node, arrival des.Time, fromSlot int32, f Prefix, kind UpdateKind, path Path, pathID PathID) {
+	sh := to.sh
 	start := to.busyUntil
-	if now := net.sched.Now(); start < now {
-		start = now
+	if start < arrival {
+		start = arrival
 	}
 	done := start + des.Time(to.src.UniformDuration(int64(net.cfg.MaxProcessingDelay)))
 	to.busyUntil = done
-	tk := net.sched.Reserve(done)
+	tk := sh.sched.Reserve(done)
 	if to.delivering {
-		to.inbox = append(to.inbox, inMsg{tk: tk, fromSlot: nd.reverse[j], kind: kind, prefix: f, path: path, pathID: pathID})
-		if p := net.probes; p != nil {
+		to.inbox = append(to.inbox, inMsg{tk: tk, fromSlot: fromSlot, kind: kind, prefix: f, path: path, pathID: pathID})
+		if p := sh.probes; p != nil {
 			p.InboxDeferrals.Inc()
 		}
 		return
 	}
 	to.delivering = true
-	e := net.newProcEvent()
-	e.to, e.fromSlot, e.kind, e.prefix, e.path, e.pathID = to.id, nd.reverse[j], kind, f, path, pathID
-	net.sched.AtTicket(tk, e)
+	e := sh.newProcEvent()
+	e.to, e.fromSlot, e.kind, e.prefix, e.path, e.pathID = to.id, fromSlot, kind, f, path, pathID
+	sh.sched.AtTicket(tk, e)
 }

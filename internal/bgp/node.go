@@ -154,6 +154,13 @@ type outQueue struct {
 type node struct {
 	id  topology.NodeID
 	typ topology.NodeType
+	// sh is the shard owning this node: its event queue, path arena,
+	// counters and event pools (the classic engine has exactly one shard).
+	sh *netShard
+	// msgSeq numbers this node's transmitted updates in windowed mode; the
+	// (arrival, sender, msgSeq) triple is the canonical barrier-admission
+	// order that makes results independent of the shard count.
+	msgSeq uint64
 	// nbrIDs[j] and nbrRels[j] are the neighbor's ID and relation at slot
 	// j, in the canonical CSR order (customers, peers, providers).
 	nbrIDs  []topology.NodeID

@@ -1,0 +1,6 @@
+//go:build !race
+
+package bgp
+
+// raceEnabled is false in regular builds; see race.go.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package bgp
+
+// raceEnabled is true in race-instrumented builds: the windowed executor
+// always fans out to per-shard goroutines so the race tier exercises the
+// concurrent paths regardless of GOMAXPROCS (see fanoutOK).
+const raceEnabled = true

@@ -240,12 +240,14 @@ func (net *Network) WarmStart(origin topology.NodeID, f Prefix) {
 
 // warmPrepend builds the advertisement [id, tail...] in the engine's path
 // storage: interned (deduplicated, with a stable PathID) in compact mode,
-// arena-allocated otherwise.
+// allocated in the advertising node's shard arena otherwise. WarmStart is
+// single-threaded, so the cross-shard arena writes are unsynchronized by
+// design.
 func (net *Network) warmPrepend(id topology.NodeID, tail Path) (Path, PathID) {
 	if net.intern != nil {
 		return net.intern.prepend(id, tail)
 	}
-	return net.paths.prepend(id, tail), NoPath
+	return net.nodes[id].arena.prepend(id, tail), NoPath
 }
 
 // warmBest runs the decision process over the subset of nd's neighbors with

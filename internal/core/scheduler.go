@@ -24,9 +24,12 @@ import (
 // callbacks are deliberately excluded — results are independent of both —
 // so the same experiment requested at different worker counts still hits
 // the cache. CellTimeout is excluded for the same reason: a deadline decides
-// whether a result arrives, never what it is. Scenario names are unique
-// across the package, which makes the name a faithful stand-in for the
-// (unexported) parameter transform.
+// whether a result arrives, never what it is. So is bgp.Config.Shards: the
+// sharded executor is byte-identical at every shard count (the determinism
+// tier enforces it), so cells dedupe across shard counts — but LinkDelay
+// stays in the key, because the propagation latency does change results.
+// Scenario names are unique across the package, which makes the name a
+// faithful stand-in for the (unexported) parameter transform.
 type CellKey struct {
 	Scenario     string
 	N            int
@@ -40,6 +43,7 @@ type CellKey struct {
 
 // cellKey projects the cacheable part of an event config onto a key.
 func cellKey(scName string, n int, topoSeed uint64, ev Config) CellKey {
+	ev.BGP.Shards = 0 // results are shard-count invariant; see CellKey
 	return CellKey{
 		Scenario:     scName,
 		N:            n,

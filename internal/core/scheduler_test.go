@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"bgpchurn/internal/bgp"
+	"bgpchurn/internal/des"
 	"bgpchurn/internal/scenario"
 	"bgpchurn/internal/topology"
 )
@@ -103,6 +104,40 @@ func TestGridSharedSweepComputedOnce(t *testing.T) {
 	}
 	if !reflect.DeepEqual(cold, warm) {
 		t.Fatal("cache hit differs from cache miss for identical config")
+	}
+}
+
+func TestShardCountExcludedFromCacheKey(t *testing.T) {
+	// Results are shard-count invariant, so cells differing only in
+	// BGP.Shards must dedupe to one cache entry — while LinkDelay, a model
+	// parameter, must keep distinct cells distinct.
+	ev := testConfig(5, 3)
+	ev.BGP.LinkDelay = 10 * des.Millisecond
+	sharded := ev
+	sharded.BGP.Shards = 4
+	classic := testConfig(5, 3) // LinkDelay 0
+	if cellKey("BASELINE", 200, 5, ev) != cellKey("BASELINE", 200, 5, sharded) {
+		t.Fatal("cell keys differ across shard counts")
+	}
+	if cellKey("BASELINE", 200, 5, ev) == cellKey("BASELINE", 200, 5, classic) {
+		t.Fatal("cell keys collide across link delays")
+	}
+
+	s := NewScheduler(2)
+	_, runs := countCalls(s)
+	sizes := []int{150}
+	out, err := s.RunGrid(context.Background(), []GridRequest{
+		{Scenario: scenario.Baseline, Sizes: sizes, TopologySeed: 5, Event: ev},
+		{Scenario: scenario.Baseline, Sizes: sizes, TopologySeed: 5, Event: sharded},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt64(runs); got != 1 {
+		t.Fatalf("grid ran %d cells, want 1 (shards=1 and shards=4 share a key)", got)
+	}
+	if out[0].Points[0].R != out[1].Points[0].R {
+		t.Fatal("sharded cell not served from the unsharded cell's cache entry")
 	}
 }
 

@@ -1,0 +1,87 @@
+package des
+
+// Conservative parallel-window coordination for groups of schedulers.
+//
+// A caller that partitions its model across several Schedulers can run them
+// in lockstep windows: pick the earliest pending event time across the
+// group, round it up to the next multiple of the lookahead (the minimum
+// latency of any cross-scheduler interaction), run every scheduler to that
+// barrier — in parallel, since nothing fired inside the window can affect
+// another scheduler before the barrier — then exchange cross-scheduler
+// messages and repeat. The helpers here are purely mechanical; the
+// correctness argument (and the canonical message merge order that makes
+// the composition deterministic) lives with the caller, see DESIGN.md
+// "Sharded DES".
+
+import (
+	"sync"
+	"time"
+)
+
+// NextWindow returns the end of the synchronization window containing tmin:
+// the smallest positive multiple of width that is >= tmin. Every event
+// fired in the window therefore has fire time s with
+// NextWindow-width < s <= NextWindow, so a message it emits with latency
+// >= width arrives strictly after the window — the conservative-lookahead
+// property that makes running the window's schedulers in parallel exact.
+func NextWindow(tmin, width Time) Time {
+	if tmin <= 0 {
+		return width
+	}
+	return ((tmin-1)/width + 1) * width
+}
+
+// GroupPeek returns the earliest pending event time across the group, and
+// whether any scheduler has a pending event at all.
+func GroupPeek(ss []*Scheduler) (Time, bool) {
+	var min Time
+	ok := false
+	for _, s := range ss {
+		if at, has := s.PeekTime(); has && (!ok || at < min) {
+			min, ok = at, true
+		}
+	}
+	return min, ok
+}
+
+// RunGroupUntil advances every scheduler in the group to the common
+// deadline and returns the total number of events fired. With parallel set,
+// each scheduler runs on its own goroutine — legal exactly when the
+// deadline respects the group's lookahead (no event fired before the
+// deadline can schedule work on another member at or before it). fired must
+// have len >= len(ss); it is caller-provided scratch so the steady state
+// stays allocation-free. elapsed, when non-nil (same length contract),
+// receives each scheduler's wall-clock run time, from which the caller can
+// derive the window's shard skew.
+func RunGroupUntil(ss []*Scheduler, deadline Time, parallel bool, fired []uint64, elapsed []time.Duration) uint64 {
+	runOne := func(i int) {
+		if elapsed != nil {
+			t0 := time.Now()
+			fired[i] = ss[i].RunUntil(deadline)
+			elapsed[i] = time.Since(t0)
+			return
+		}
+		fired[i] = ss[i].RunUntil(deadline)
+	}
+	if !parallel || len(ss) == 1 {
+		for i := range ss {
+			runOne(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(len(ss) - 1)
+		for i := 1; i < len(ss); i++ {
+			go func(i int) {
+				defer wg.Done()
+				runOne(i)
+			}(i)
+		}
+		runOne(0)
+		wg.Wait()
+	}
+	var total uint64
+	for _, f := range fired[:len(ss)] {
+		total += f
+	}
+	return total
+}

@@ -167,6 +167,14 @@ type Metrics struct {
 		InternHits        *Counter // intern lookups served by an existing entry
 	}
 
+	// Shards instruments the sharded windowed executor's barrier
+	// coordinator (internal/bgp with Config.LinkDelay > 0).
+	Shards struct {
+		Barriers     *Counter   // synchronization windows executed
+		CrossUpdates *Counter   // updates exchanged across shard boundaries
+		WindowSkew   *Histogram // per-window max-min shard wall time (stall)
+	}
+
 	// Core instruments the experiment scheduler (internal/core).
 	Core struct {
 		CellsComputed    *Counter   // grid cells actually computed
@@ -227,6 +235,11 @@ func New() *Metrics {
 	m.BGP.InternedPaths = m.counter("bgpchurn_bgp_interned_paths_total", "Distinct AS paths interned by compact-RIB engines.")
 	m.BGP.InternBytes = m.counter("bgpchurn_bgp_intern_bytes_total", "Slab bytes storing interned AS path content.")
 	m.BGP.InternHits = m.counter("bgpchurn_bgp_intern_hits_total", "Path intern lookups served by an existing entry.")
+
+	m.Shards.Barriers = m.counter("bgpchurn_shard_barriers_total", "Synchronization windows executed by the sharded DES coordinator.")
+	m.Shards.CrossUpdates = m.counter("bgpchurn_shard_cross_updates_total", "Updates exchanged across shard boundaries at barriers.")
+	m.Shards.WindowSkew = m.histogram("bgpchurn_shard_window_skew_seconds", "Per-window shard skew: max minus min shard wall time (stall waiting at the barrier).",
+		[]float64{0.000001, 0.00001, 0.0001, 0.0005, 0.001, 0.005, 0.025, 0.1, 0.5, 1})
 
 	m.Core.CellsComputed = m.counter("bgpchurn_core_cells_computed_total", "Experiment grid cells computed.")
 	m.Core.CellsCached = m.counter("bgpchurn_core_cells_cached_total", "Experiment grid cells served from the result cache.")

@@ -67,6 +67,35 @@ func (m *Metrics) NewBGPProbes() *BGPProbes {
 	}
 }
 
+// ShardProbes instruments one sharded network's barrier coordinator.
+// Incremented only by the coordinator goroutine (between windows), never by
+// shard goroutines.
+type ShardProbes struct {
+	Barriers     *Cell // synchronization windows executed
+	CrossUpdates *Cell // updates exchanged across shard boundaries
+	windowSkew   *Histogram
+	shard        ShardID
+}
+
+// NewShardProbes resolves a barrier-coordinator probe block on a fresh
+// shard.
+func (m *Metrics) NewShardProbes() *ShardProbes {
+	s := m.Shard()
+	return &ShardProbes{
+		Barriers:     m.Shards.Barriers.Cell(s),
+		CrossUpdates: m.Shards.CrossUpdates.Cell(s),
+		windowSkew:   m.Shards.WindowSkew,
+		shard:        s,
+	}
+}
+
+// ObserveSkew records one window's shard skew: the max-min spread of the
+// shards' wall-clock run times, i.e. how long the fastest shard stalled at
+// the barrier.
+func (p *ShardProbes) ObserveSkew(d time.Duration) {
+	p.windowSkew.Observe(p.shard, d.Seconds())
+}
+
 // CoreProbes instruments one core.Scheduler instance.
 type CoreProbes struct {
 	CellsComputed    *Cell

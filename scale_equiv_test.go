@@ -70,6 +70,51 @@ func TestCompactEngineEquivalentAcrossScenarios(t *testing.T) {
 	}
 }
 
+// TestShardedSweepEquivalentAcrossScenarios sweeps every growth model at
+// n ∈ {1000, 3000} on the windowed executor and demands byte-identical
+// results and U(X) CSV artifacts for shards ∈ {1, 2, 4, 8}, under both the
+// classic and the compact RIB engine. The shards=1 classic sweep is the
+// reference; every other (engine, shards) combination must reproduce it —
+// so the test also proves the two engines agree on the windowed schedule.
+func TestShardedSweepEquivalentAcrossScenarios(t *testing.T) {
+	sizes := []int{1000, 3000}
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			ev := DefaultExperiment(7)
+			ev.Origins = 4
+			var wantFP string
+			var wantCSV []byte
+			for _, engine := range []string{"classic", "compact"} {
+				base := shardedVariant(ev, 0)
+				if engine == "compact" {
+					base = compactVariant(base)
+				}
+				for _, shards := range shardCounts {
+					cfg := base
+					cfg.BGP.Shards = shards
+					sw, err := Sweep(sc, SweepConfig{Sizes: sizes, TopologySeed: 7, Event: cfg})
+					if err != nil {
+						t.Fatal(err)
+					}
+					fp, csv := fingerprintSweep(sw), uCSV(sw)
+					if wantFP == "" {
+						wantFP, wantCSV = fp, csv
+						continue
+					}
+					if fp != wantFP {
+						t.Fatalf("%s/shards=%d diverges:\nwant %s\ngot  %s", engine, shards, wantFP, fp)
+					}
+					if !bytes.Equal(csv, wantCSV) {
+						t.Fatalf("%s/shards=%d U(X) CSV differs:\nwant:\n%s\ngot:\n%s", engine, shards, wantCSV, csv)
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestCompactEngineEquivalentProtocolVariants covers the protocol paths the
 // scenario sweep leaves at defaults: WRATE withdrawal rate-limiting,
 // per-prefix MRAI scope, MRAI disabled, and RFC 2439 dampening. Each runs
