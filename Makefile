@@ -5,7 +5,7 @@ GO ?= go
 # Label under which `make bench-kernel` records its run in BENCH_kernel.json.
 BENCH_LABEL ?= current
 
-.PHONY: test race bench bench-kernel bench-e2e bench-scale scale-smoke bench-shard shard-smoke fuzz-smoke obs-guard resume-smoke resume-guard build
+.PHONY: test race bench bench-kernel bench-e2e bench-scale scale-smoke bench-gen gen-smoke bench-shard shard-smoke fuzz-smoke obs-guard resume-smoke resume-guard build
 
 build:
 	$(GO) build ./...
@@ -41,10 +41,9 @@ bench-e2e:
 
 # bench-scale runs the internet-scale trajectory: one warm-start compact-RIB
 # churn cell at n ∈ {10k, 50k, 100k} on a growth-chained Baseline topology,
-# recording ns/op plus peak RSS (VmHWM) per size in BENCH_scale.json. Slow:
-# the growth chain's preferential-attachment scans are quadratic in n, so
-# the 100k point takes tens of minutes of setup; the cells themselves are
-# sub-minute.
+# recording ns/op plus peak RSS (VmHWM) per size in BENCH_scale.json. The
+# growth chain runs on the Fenwick-indexed generator (see bench-gen), so
+# setup is seconds per size; the cells themselves are sub-minute.
 bench-scale:
 	$(GO) test -run '^$$' -bench 'BenchmarkScaleCell' -benchtime 1x -timeout 120m . \
 		| $(GO) run ./cmd/benchjson -label "$(BENCH_LABEL)" -out BENCH_scale.json
@@ -57,6 +56,33 @@ bench-scale:
 scale-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkScaleCell/n=10000$$' -benchtime 1x -timeout 20m . \
 		| $(GO) run ./cmd/benchguard -guard BenchmarkScaleCell/n=10000 -metric peakRSS-MB -budget 128
+
+# bench-gen runs the topology-generation trajectory: the accelerated
+# generator (Fenwick-indexed preferential attachment, shared cones) at
+# n ∈ {10k, 50k, 100k}, one process per size so peakRSS-MB is that run's
+# own high-water mark, recorded in BENCH_gen.json. The retained linear-scan
+# oracle provides the "before" record: set GEN_BENCH_LINEAR=all and
+# BENCH_LABEL=linear-scan to re-measure it (the 100k point alone takes
+# ~30 minutes; by default the Linear benchmark only runs its 10k point).
+bench-gen:
+	rm -f /tmp/bench-gen.txt
+	for n in 10000 50000 100000; do \
+		$(GO) test -run '^$$' -bench "BenchmarkTopologyGenerate\$$/n=$$n\$$" -benchtime 1x -timeout 60m . \
+			| tee -a /tmp/bench-gen.txt || exit 1; \
+	done
+	$(GO) run ./cmd/benchjson -label "$(BENCH_LABEL)" -out BENCH_gen.json < /tmp/bench-gen.txt
+
+# gen-smoke mirrors the CI job of the same name: the n=50k Baseline topology
+# must generate within absolute wall-clock and peak-RSS budgets. The budgets
+# are roughly 8x today's numbers (~1.3 s, ~60 MB) to absorb slow runners: a
+# regression that reintroduced a linear scan per draw or dense per-node cone
+# bitsets would still blow past them by an order of magnitude (the linear
+# oracle takes ~108 s at this size).
+gen-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkTopologyGenerate$$/n=50000$$' -benchtime 1x -timeout 20m . \
+		| tee /tmp/gen-smoke.txt \
+		| $(GO) run ./cmd/benchguard -guard BenchmarkTopologyGenerate/n=50000 -metric ns/op -budget 10e9
+	$(GO) run ./cmd/benchguard -guard BenchmarkTopologyGenerate/n=50000 -metric peakRSS-MB -budget 256 < /tmp/gen-smoke.txt
 
 # bench-shard runs the sharded-executor trajectory: one warm-start windowed
 # churn cell at n ∈ {10k, 50k} × shards ∈ {1, 2, 4, 8}, recording ns/op,

@@ -10,10 +10,9 @@ package bgpchurn
 // The topologies form a growth chain (10k grown to 50k grown to 100k),
 // exercising the incremental generator at scale, and are built lazily so a
 // filtered run (scale-smoke selects only n=10000) never pays for the sizes
-// it skips. The chain, not the cell, dominates setup wall-clock: the
-// paper's preferential-attachment construction scans all candidates per
-// link, so generation is quadratic in n while the warm cell itself is
-// near-linear. Peak RSS is the process high-water mark (VmHWM); with sizes
+// it skips. The chain runs on the Fenwick-indexed generator (seconds per
+// size — see BENCH_gen.json), so the warm cell, not setup, dominates
+// wall-clock. Peak RSS is the process high-water mark (VmHWM); with sizes
 // ascending each reading is dominated by the largest cell completed so far.
 // Run this benchmark alone (as the Makefile target does) for clean numbers.
 

@@ -82,6 +82,14 @@ const (
 // GenerateTopology builds a topology from explicit parameters.
 func GenerateTopology(p TopologyParams) (*Topology, error) { return topology.Generate(p) }
 
+// GenerateTopologyLinear builds the same topology as GenerateTopology via
+// the retained O(n²) linear-scan sampler — the draw-sequence oracle the
+// accelerated generator is differential-tested against. Byte-identical
+// output, quadratic cost; useful only for verification and benchmarking.
+func GenerateTopologyLinear(p TopologyParams) (*Topology, error) {
+	return topology.GenerateLinear(p)
+}
+
 // GrowTopology extends an existing topology to the larger parameter set p
 // without regenerating it: every pre-existing node keeps its ID, type,
 // regions and links, and new nodes attach preferentially exactly as the
@@ -91,6 +99,12 @@ func GenerateTopology(p TopologyParams) (*Topology, error) { return topology.Gen
 // modified. Scenario.Params with a fixed seed yields growth-compatible
 // parameter sets across sizes.
 func GrowTopology(t *Topology, p TopologyParams) (*Topology, error) { return topology.Grow(t, p) }
+
+// GrowTopologyLinear is GrowTopology on the linear-scan oracle path; see
+// GenerateTopologyLinear.
+func GrowTopologyLinear(t *Topology, p TopologyParams) (*Topology, error) {
+	return topology.GrowLinear(t, p)
+}
 
 // ComputeTopologyStats measures a topology's structural properties;
 // sampleSources bounds the BFS sample for the average path length (0 =

@@ -1,0 +1,145 @@
+package bgpchurn
+
+// Differential tier for the accelerated topology generator: the Fenwick
+// samplers, shared customer cones and region-bucketed peering pools must
+// reproduce the retained linear-scan generator bit for bit — same RNG draw
+// sequence, same picks, hence the same Topology down to neighbor-list
+// order. These tests compare complete topologies (every node field, every
+// link, in order) for every growth scenario, and for growth chains where
+// the accelerated path must also match when extending a prefix either path
+// generated.
+
+import (
+	"fmt"
+	"testing"
+)
+
+// requireEqualTopologies fails unless a and b are identical in every
+// observable field, including neighbor-list order (the generator's output
+// is order-deterministic, so any divergence is a draw-sequence bug).
+func requireEqualTopologies(t *testing.T, label string, a, b *Topology) {
+	t.Helper()
+	if a.N() != b.N() || a.NumRegions != b.NumRegions || a.Seed != b.Seed {
+		t.Fatalf("%s: shape differs: n=%d/%d regions=%d/%d seed=%d/%d",
+			label, a.N(), b.N(), a.NumRegions, b.NumRegions, a.Seed, b.Seed)
+	}
+	for i := range a.Nodes {
+		x, y := &a.Nodes[i], &b.Nodes[i]
+		if x.ID != y.ID || x.Type != y.Type || x.Regions != y.Regions {
+			t.Fatalf("%s: node %d identity differs: %+v vs %+v", label, i, x, y)
+		}
+		requireEqualIDs(t, label, i, "providers", x.Providers, y.Providers)
+		requireEqualIDs(t, label, i, "customers", x.Customers, y.Customers)
+		requireEqualIDs(t, label, i, "peers", x.Peers, y.Peers)
+	}
+}
+
+func requireEqualIDs(t *testing.T, label string, node int, kind string, a, b []NodeID) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: node %d has %d %s links vs %d", label, node, len(a), kind, len(b))
+	}
+	for k := range a {
+		if a[k] != b[k] {
+			t.Fatalf("%s: node %d %s[%d] = %v vs %v", label, node, kind, k, a[k], b[k])
+		}
+	}
+}
+
+// TestGeneratorEquivalentAcrossScenarios generates every growth scenario at
+// n ∈ {1000, 3000} under two independent seeds with both generator paths
+// and demands full-topology equality.
+func TestGeneratorEquivalentAcrossScenarios(t *testing.T) {
+	for _, sc := range Scenarios() {
+		sc := sc
+		for _, seed := range []uint64{3, 17} {
+			seed := seed
+			t.Run(fmt.Sprintf("%s/seed=%d", sc.Name, seed), func(t *testing.T) {
+				t.Parallel()
+				sizes := []int{1000, 3000}
+				if raceEnabled {
+					// Generation is single-threaded; the race detector
+					// adds no coverage, only a multiplier on the
+					// oracle's O(n²) cost.
+					sizes = []int{1000}
+				}
+				for _, n := range sizes {
+					p := sc.Params(n, seed)
+					fast, err := GenerateTopology(p)
+					if err != nil {
+						t.Fatal(err)
+					}
+					linear, err := GenerateTopologyLinear(p)
+					if err != nil {
+						t.Fatal(err)
+					}
+					requireEqualTopologies(t, fmt.Sprintf("n=%d", n), fast, linear)
+					if err := fast.Validate(); err != nil {
+						t.Fatalf("n=%d: generated topology invalid: %v", n, err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestGeneratorPhaseTimings checks that an attached metrics hub records a
+// per-phase wall-time histogram for every generation phase, and that the
+// phase breakdown lands in the flat snapshot the run manifest captures.
+func TestGeneratorPhaseTimings(t *testing.T) {
+	m := NewObsMetrics()
+	InstrumentTopologyGeneration(m)
+	defer InstrumentTopologyGeneration(nil)
+	if _, err := GenerateTopology(Baseline.Params(2000, 5)); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	if snap["bgpchurn_topo_gen_seconds_count"] != 1 {
+		t.Fatalf("generation not observed: %v", snap["bgpchurn_topo_gen_seconds_count"])
+	}
+	var phaseSum float64
+	for _, ph := range []string{"clique", "mnodes", "stubs", "cones", "mpeering", "cppeering"} {
+		name := "bgpchurn_topo_phase_" + ph + "_seconds"
+		if snap[name+"_count"] != 1 {
+			t.Fatalf("phase %s not observed exactly once: %v", ph, snap[name+"_count"])
+		}
+		phaseSum += snap[name+"_sum"]
+	}
+	if total := snap["bgpchurn_topo_gen_seconds_sum"]; phaseSum > total {
+		t.Fatalf("phase breakdown %v exceeds generation total %v", phaseSum, total)
+	}
+}
+
+// TestGrowEquivalentAcrossScenarios chains growth 1000 → 3000 for every
+// scenario: the accelerated Grow must match the linear Grow exactly, on
+// top of either path's prefix (the prefixes are already proven equal
+// above, so one prefix serves both).
+func TestGrowEquivalentAcrossScenarios(t *testing.T) {
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			const seed = 29
+			p := sc.Params(3000, seed)
+			if sc.Params(1000, seed).NT != p.NT {
+				t.Skip("scenario scales the tier-1 clique with n; not growth-compatible")
+			}
+			small, err := GenerateTopology(sc.Params(1000, seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast, err := GrowTopology(small, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			linear, err := GrowTopologyLinear(small, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireEqualTopologies(t, "grow 1000->3000", fast, linear)
+			if err := fast.Validate(); err != nil {
+				t.Fatalf("grown topology invalid: %v", err)
+			}
+		})
+	}
+}

@@ -194,10 +194,11 @@ type Metrics struct {
 
 	// Topo instruments topology generation (internal/topology).
 	Topo struct {
-		Generated  *Counter   // topologies generated
-		Nodes      *Counter   // nodes created across all generations
-		Edges      *Counter   // links created across all generations
-		GenSeconds *Histogram // wall time per generation
+		Generated    *Counter                  // topologies generated
+		Nodes        *Counter                  // nodes created across all generations
+		Edges        *Counter                  // links created across all generations
+		GenSeconds   *Histogram                // wall time per generation
+		PhaseSeconds [GenPhaseCount]*Histogram // wall time per generation phase
 	}
 
 	// registration order, for deterministic exposition.
@@ -262,6 +263,12 @@ func New() *Metrics {
 	m.Topo.Edges = m.counter("bgpchurn_topo_edges_total", "Links created by topology generation.")
 	m.Topo.GenSeconds = m.histogram("bgpchurn_topo_gen_seconds", "Wall-clock seconds per topology generation.",
 		[]float64{0.0001, 0.001, 0.01, 0.05, 0.1, 0.5, 1, 5, 10})
+	for ph := GenPhase(0); ph < GenPhaseCount; ph++ {
+		m.Topo.PhaseSeconds[ph] = m.histogram(
+			"bgpchurn_topo_phase_"+ph.String()+"_seconds",
+			"Wall-clock seconds in the "+ph.String()+" topology-generation phase.",
+			[]float64{0.0001, 0.001, 0.01, 0.05, 0.1, 0.5, 1, 5, 10})
+	}
 
 	return m
 }

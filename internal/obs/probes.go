@@ -147,12 +147,33 @@ func (p *CoreProbes) ObserveCancel(d time.Duration) {
 	p.cancelSeconds.Observe(p.shard, d.Seconds())
 }
 
+// GenPhase identifies one phase of topology generation, in execution
+// order. The Grow path skips PhaseClique (the clique is inherited).
+type GenPhase int
+
+const (
+	PhaseClique GenPhase = iota
+	PhaseMNodes
+	PhaseStubs
+	PhaseCones
+	PhaseMPeering
+	PhaseCPPeering
+	GenPhaseCount
+)
+
+var genPhaseNames = [GenPhaseCount]string{
+	"clique", "mnodes", "stubs", "cones", "mpeering", "cppeering",
+}
+
+func (p GenPhase) String() string { return genPhaseNames[p] }
+
 // TopoProbes instruments topology generation.
 type TopoProbes struct {
 	Generated *Cell
 	Nodes     *Cell
 	Edges     *Cell
 	genSec    *Histogram
+	phaseSec  [GenPhaseCount]*Histogram
 	shard     ShardID
 }
 
@@ -160,16 +181,25 @@ type TopoProbes struct {
 // shard.
 func (m *Metrics) NewTopoProbes() *TopoProbes {
 	s := m.Shard()
-	return &TopoProbes{
+	p := &TopoProbes{
 		Generated: m.Topo.Generated.Cell(s),
 		Nodes:     m.Topo.Nodes.Cell(s),
 		Edges:     m.Topo.Edges.Cell(s),
 		genSec:    m.Topo.GenSeconds,
 		shard:     s,
 	}
+	for ph := GenPhase(0); ph < GenPhaseCount; ph++ {
+		p.phaseSec[ph] = m.Topo.PhaseSeconds[ph]
+	}
+	return p
 }
 
 // ObserveGen records one generation's wall time.
 func (p *TopoProbes) ObserveGen(d time.Duration) {
 	p.genSec.Observe(p.shard, d.Seconds())
+}
+
+// ObservePhase records the wall time one generation spent in phase ph.
+func (p *TopoProbes) ObservePhase(ph GenPhase, d time.Duration) {
+	p.phaseSec[ph].Observe(p.shard, d.Seconds())
 }

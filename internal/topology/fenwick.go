@@ -1,0 +1,58 @@
+package topology
+
+// fenwick is a binary-indexed tree over int64 weights, 1-based internally
+// (index 0 is unused), supporting point updates and the prefix-descent
+// select used by the accelerated preferential-attachment sampler. The tree
+// length is fixed at construction: generator samplers know their class
+// capacity (NT, NM) up front, so no resizing path exists.
+type fenwick []int64
+
+// newFenwick returns a tree over cap zero-weight positions.
+func newFenwick(cap int) fenwick { return make(fenwick, cap+1) }
+
+// add applies delta to the weight at 0-based position pos.
+func (f fenwick) add(pos int, delta int64) {
+	for i := pos + 1; i < len(f); i += i & -i {
+		f[i] += delta
+	}
+}
+
+// highBit returns the largest power of two <= n, or 0 for n <= 0. It is the
+// starting stride of the prefix descent.
+func highBit(n int) int {
+	b := 1
+	for b<<1 <= n {
+		b <<= 1
+	}
+	if n <= 0 {
+		return 0
+	}
+	return b
+}
+
+// descend finds the 0-based position of the element holding cumulative
+// weight target across the given trees summed position-wise: the smallest
+// position p such that sum of prefix weights through p exceeds target. All
+// trees must have the same capacity cap; high must be highBit(cap). The
+// caller guarantees 0 <= target < total summed weight, which implies the
+// returned position holds a strictly positive summed weight — exactly the
+// element a linear scan accumulating weights in position order would stop
+// at with the same target.
+func descend(trees []fenwick, high, cap int, target int64) int {
+	idx := 0
+	var acc int64
+	for bit := high; bit > 0; bit >>= 1 {
+		next := idx + bit
+		if next <= cap {
+			var sum int64
+			for _, t := range trees {
+				sum += t[next]
+			}
+			if acc+sum <= target {
+				acc += sum
+				idx = next
+			}
+		}
+	}
+	return idx
+}

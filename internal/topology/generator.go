@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"bgpchurn/internal/rng"
+
+	"bgpchurn/internal/obs"
 )
 
 // Generate builds a topology per the paper's two-phase procedure: first the
@@ -15,32 +17,56 @@ import (
 // providers are always chosen among earlier nodes), region-constrained
 // connectivity, simple graph (no parallel links), and no peering between a
 // node and a member of its customer tree.
-func Generate(p Params) (*Topology, error) {
+//
+// Selection runs on the Fenwick-indexed samplers (sampler.go): every pick
+// consumes exactly one Intn with the same total as the retained linear
+// scan, so the output is byte-identical to GenerateLinear — the gen_equiv
+// differential tier proves it per scenario.
+func Generate(p Params) (*Topology, error) { return generate(p, false) }
+
+// GenerateLinear is the retained O(n²) linear-scan generator, kept as the
+// draw-sequence oracle for the differential and fuzz tiers (and for
+// before/after benchmarking). Same inputs, byte-identical output.
+func GenerateLinear(p Params) (*Topology, error) { return generate(p, true) }
+
+func generate(p Params, linear bool) (*Topology, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	// Probes are resolved up front so the uninstrumented path pays one
 	// atomic load per call and never touches the wall clock.
 	var start time.Time
+	var pt phaseTimer
 	probes := genProbes.Load()
 	if probes != nil {
 		start = time.Now()
+		pt.enabled, pt.last = true, start
 	}
 	g := &builder{
-		p:     p,
-		r:     rng.New(p.Seed),
-		topo:  &Topology{NumRegions: p.Regions, Seed: p.Seed},
-		edges: make(map[uint64]struct{}, p.N*4),
+		p:      p,
+		r:      rng.New(p.Seed),
+		topo:   &Topology{NumRegions: p.Regions, Seed: p.Seed},
+		edges:  make(map[uint64]struct{}, p.N*4),
+		linear: linear,
 	}
 	g.addTClique()
+	if !linear {
+		g.initSamplers()
+	}
+	pt.lap(obs.PhaseClique)
 	g.addMNodes(p.NM)
+	pt.lap(obs.PhaseMNodes)
 	g.addStubs(CP, p.NCP, p.DCP, p.TCP, p.CPSpread)
 	g.addStubs(C, p.NC, p.DC, p.TC, 0)
+	pt.lap(obs.PhaseStubs)
 	g.prepareCones()
+	pt.lap(obs.PhaseCones)
 	g.addMPeering()
+	pt.lap(obs.PhaseMPeering)
 	g.addCPPeering()
+	pt.lap(obs.PhaseCPPeering)
 	if probes != nil {
-		instrumentGen(probes, start, g.topo.N(), len(g.edges))
+		instrumentGen(probes, start, g.topo.N(), len(g.edges), &pt)
 	}
 	return g.topo, nil
 }
@@ -53,6 +79,23 @@ func MustGenerate(p Params) *Topology {
 		panic(fmt.Sprintf("topology: %v", err))
 	}
 	return t
+}
+
+// samplers bundles the accelerated selection structures. Nil on the linear
+// path; built by initSamplers once the tier-1 clique (Generate) or the
+// cloned prefix (Grow) is in place.
+type samplers struct {
+	// transitT/transitM index the provider classes by transitDegree+1 for
+	// the preferential-attachment picks of connectProviders.
+	transitT *paSampler
+	transitM *paSampler
+	// peerM indexes M nodes by peerDegree+1; built at the start of the M-M
+	// peering phase (both phases' degree bases are frozen until then).
+	peerM *paSampler
+	// mBuckets/cpBuckets are the region-bucketed uniform candidate pools
+	// for CP peering; built at the start of that phase.
+	mBuckets  *regionBuckets
+	cpBuckets *regionBuckets
 }
 
 type builder struct {
@@ -71,10 +114,30 @@ type builder struct {
 	mIDs []NodeID
 	// cpIDs caches the IDs of CP nodes in creation order.
 	cpIDs []NodeID
-	// cones[v] is the customer cone of v as a bitset over node IDs,
-	// computed once after the transit phase (the hierarchy is frozen by
-	// then) and only for nodes that participate in peering (M and CP).
+	// linear selects the retained linear-scan oracle path: dense cone
+	// bitsets and two-pass weightedPick scans instead of samp/coneSets.
+	linear bool
+	// samp holds the Fenwick samplers and region buckets (nil when linear).
+	samp *samplers
+	// cones[v] is the customer cone of v as a dense bitset over node IDs
+	// (linear path only), computed once after the transit phase and only
+	// for nodes that participate in peering (M and CP).
 	cones [][]uint64
+	// coneSets are the shared size-adaptive cones (accelerated path only).
+	coneSets []coneSet
+	// ancMark/ancEpoch/ancStack are the scratch state of the transitive-
+	// provider walk in excludeConeRelated; mMaskR, qMask and mProv are the
+	// phase scratch built by prepareMPeeringScratch (per-region M-membership
+	// bitmasks, the per-round OR of them, and M-only provider lists).
+	ancMark  []uint32
+	ancEpoch uint32
+	ancStack []NodeID
+	mMaskR   [][]uint64
+	qMask    []uint64
+	mProv    [][]NodeID
+	// candScratch/eligScratch are reused across addUniformPeers calls.
+	candScratch []NodeID
+	eligScratch []NodeID
 	// peerFromM/peerFromCP are the first indices of mIDs/cpIDs that the
 	// peering phase draws links *for*. Generate leaves them at zero (every
 	// node peers); Grow sets them past the pre-existing nodes, whose peering
@@ -83,9 +146,38 @@ type builder struct {
 	peerFromCP int
 }
 
-// prepareCones materializes customer-cone bitsets for all M and CP nodes so
-// the peering phase can test tree membership in O(1).
+// initSamplers builds the provider-class samplers over the nodes that exist
+// so far: the full T clique, and (on the Grow path) the pre-existing M
+// nodes with their reconstructed degrees. Later M nodes are inserted by
+// addMNodes as they finish their own provider round.
+func (g *builder) initSamplers() {
+	s := &samplers{
+		transitT: newPASampler(g.p.N, g.p.NT),
+		transitM: newPASampler(g.p.N, g.p.NM),
+	}
+	for t := NodeID(0); int(t) < g.p.NT; t++ {
+		s.transitT.insert(t, g.topo.Nodes[t].Regions, int64(g.transitDegree[t]+1))
+	}
+	for _, m := range g.mIDs {
+		s.transitM.insert(m, g.topo.Nodes[m].Regions, int64(g.transitDegree[m]+1))
+	}
+	g.samp = s
+}
+
+// prepareCones materializes the customer cones needed by the peering
+// phase's tree-membership tests.
 func (g *builder) prepareCones() {
+	if g.linear {
+		g.prepareConesDense()
+		return
+	}
+	g.prepareConesShared()
+}
+
+// prepareConesDense is the oracle-path cone builder: a per-node DFS into a
+// dense n-bit set for all M and CP nodes. O(n²) time and O(n²/64) bytes —
+// the costs prepareConesShared removes.
+func (g *builder) prepareConesDense() {
 	n := len(g.topo.Nodes)
 	words := (n + 63) / 64
 	g.cones = make([][]uint64, n)
@@ -112,8 +204,11 @@ func (g *builder) prepareCones() {
 
 // inTree reports whether d is in a's precomputed customer cone.
 func (g *builder) inTree(a, d NodeID) bool {
-	bits := g.cones[a]
-	return bits != nil && bits[d/64]&(1<<(uint(d)%64)) != 0
+	if g.linear {
+		bits := g.cones[a]
+		return bits != nil && bits[d/64]&(1<<(uint(d)%64)) != 0
+	}
+	return g.coneSets[a].contains(d)
 }
 
 func edgeKey(a, b NodeID) uint64 {
@@ -165,6 +260,14 @@ func (g *builder) addTransitLink(provider, customer NodeID) {
 	g.edges[edgeKey(provider, customer)] = struct{}{}
 	g.transitDegree[provider]++
 	g.transitDegree[customer]++
+	if g.samp != nil {
+		// Each endpoint lives in at most one of the two provider samplers;
+		// addWeight ignores non-members, so both are told unconditionally.
+		g.samp.transitT.addWeight(provider, 1)
+		g.samp.transitM.addWeight(provider, 1)
+		g.samp.transitT.addWeight(customer, 1)
+		g.samp.transitM.addWeight(customer, 1)
+	}
 }
 
 func (g *builder) addPeerLink(a, b NodeID) {
@@ -173,6 +276,10 @@ func (g *builder) addPeerLink(a, b NodeID) {
 	g.edges[edgeKey(a, b)] = struct{}{}
 	g.peerDegree[a]++
 	g.peerDegree[b]++
+	if g.samp != nil && g.samp.peerM != nil {
+		g.samp.peerM.addWeight(a, 1)
+		g.samp.peerM.addWeight(b, 1)
+	}
 }
 
 // addTClique creates the tier-1 nodes, present in all regions and fully
@@ -197,6 +304,12 @@ func (g *builder) addMNodes(count int) {
 		id := g.newNode(M, g.pickRegions(g.p.MSpread))
 		g.mIDs = append(g.mIDs, id)
 		g.connectProviders(id, g.p.DM, g.p.TM, g.p.MaxTProvidersPerM, g.p.MaxMProviders)
+		if g.samp != nil {
+			// Insert after the node's own provider round: the linear scan
+			// excludes the node from its own candidate set (m == id), and a
+			// node absent from the sampler is excluded for free.
+			g.samp.transitM.insert(id, g.topo.Nodes[id].Regions, int64(g.transitDegree[id]+1))
+		}
 	}
 }
 
@@ -216,6 +329,11 @@ func (g *builder) addStubs(typ NodeType, count int, mhd, probT, spread float64) 
 // T node with probability probT and an M node otherwise, subject to the
 // per-type caps; an empty or exhausted M candidate set falls back to T
 // (tier-1 nodes are present in every region, so the graph stays connected).
+//
+// On the accelerated path, neighbor exclusion is incremental: id is brand
+// new, so its only neighbors are the providers accepted earlier in this
+// same round — each accepted provider is excluded from its sampler, and
+// restoreAll reinstates everything when the round ends.
 func (g *builder) connectProviders(id NodeID, mhd, probT float64, maxT, maxM int) {
 	want := g.r.CountAroundMean(mhd, 1)
 	nT, nM := 0, 0
@@ -226,7 +344,7 @@ func (g *builder) connectProviders(id NodeID, mhd, probT float64, maxT, maxM int
 		}
 		if maxM != Unlimited && nM >= maxM {
 			if maxT != Unlimited && nT >= maxT {
-				return // both classes capped: no further providers possible
+				break // both classes capped: no further providers possible
 			}
 			pickT = true
 		}
@@ -251,12 +369,23 @@ func (g *builder) connectProviders(id NodeID, mhd, probT float64, maxT, maxM int
 			nM++
 		}
 		g.addTransitLink(prov, id)
+		if g.samp != nil {
+			g.samp.transitT.exclude(prov)
+			g.samp.transitM.exclude(prov)
+		}
+	}
+	if g.samp != nil {
+		g.samp.transitT.restoreAll()
+		g.samp.transitM.restoreAll()
 	}
 }
 
 // pickTProvider selects a tier-1 provider by preferential attachment on
 // transit degree, excluding existing neighbors of id.
 func (g *builder) pickTProvider(id NodeID) NodeID {
+	if g.samp != nil {
+		return g.samp.transitT.draw(g.r, g.topo.Nodes[id].Regions)
+	}
 	return g.weightedPick(func(yield func(NodeID, int)) {
 		for t := NodeID(0); int(t) < g.p.NT; t++ {
 			if !g.adjacent(t, id) {
@@ -270,6 +399,9 @@ func (g *builder) pickTProvider(id NodeID) NodeID {
 // preferential attachment on transit degree.
 func (g *builder) pickMProvider(id NodeID) NodeID {
 	regions := g.topo.Nodes[id].Regions
+	if g.samp != nil {
+		return g.samp.transitM.draw(g.r, regions)
+	}
 	return g.weightedPick(func(yield func(NodeID, int)) {
 		for _, m := range g.mIDs {
 			if m == id || !g.topo.Nodes[m].Regions.Overlaps(regions) || g.adjacent(m, id) {
@@ -283,7 +415,8 @@ func (g *builder) pickMProvider(id NodeID) NodeID {
 // weightedPick draws one candidate with probability proportional to its
 // weight, in two passes over the candidate enumeration (total weight, then
 // selection), so no candidate slice is materialized. Returns None if the
-// candidate set is empty.
+// candidate set is empty. This is the linear-scan oracle the Fenwick
+// samplers are differential-tested against.
 func (g *builder) weightedPick(enumerate func(yield func(NodeID, int))) NodeID {
 	total := 0
 	enumerate(func(_ NodeID, w int) { total += w })
@@ -324,6 +457,10 @@ func (g *builder) peeringAllowed(a, b NodeID) bool {
 // addMPeering gives each M node from index peerFromM on ~PM peering links
 // to other M nodes chosen by preferential attachment on peering degree.
 func (g *builder) addMPeering() {
+	if !g.linear {
+		g.addMPeeringFast()
+		return
+	}
 	for _, a := range g.mIDs[g.peerFromM:] {
 		want := g.r.CountAroundMean(g.p.PM, 0)
 		for s := 0; s < want; s++ {
@@ -342,28 +479,123 @@ func (g *builder) addMPeering() {
 	}
 }
 
+// addMPeeringFast is addMPeering on a peerDegree+1 Fenwick sampler. Per M
+// node a, the peeringAllowed rejections are pre-excluded once — a itself,
+// its neighbors, its cone, its transitive providers — then each accepted
+// link only excludes the new peer; one round of exclusions serves all ~PM
+// slots, whose draws differ only by the nodes linked in between.
+func (g *builder) addMPeeringFast() {
+	s := newPASampler(g.p.N, len(g.mIDs))
+	for _, m := range g.mIDs {
+		s.insert(m, g.topo.Nodes[m].Regions, int64(g.peerDegree[m]+1))
+	}
+	g.samp.peerM = s
+	g.prepareMPeeringScratch()
+	for _, a := range g.mIDs[g.peerFromM:] {
+		want := g.r.CountAroundMean(g.p.PM, 0)
+		if want == 0 {
+			continue
+		}
+		nd := &g.topo.Nodes[a]
+		q := nd.Regions
+		qMask := g.buildQMask(q)
+		s.exclude(a)
+		for _, x := range nd.Providers {
+			if g.topo.Nodes[x].Regions.Overlaps(q) {
+				s.exclude(x)
+			}
+		}
+		for _, x := range nd.Customers {
+			if g.topo.Nodes[x].Regions.Overlaps(q) {
+				s.exclude(x)
+			}
+		}
+		for _, x := range nd.Peers {
+			if g.topo.Nodes[x].Regions.Overlaps(q) {
+				s.exclude(x)
+			}
+		}
+		g.excludeConeRelated(a, q, qMask, s)
+		for k := 0; k < want; k++ {
+			b := s.draw(g.r, nd.Regions)
+			if b == None {
+				break // no eligible peer remains for a
+			}
+			g.addPeerLink(a, b)
+			s.exclude(b)
+		}
+		s.restoreAll()
+	}
+}
+
 // addCPPeering gives each CP node from index peerFromCP on ~PCPM peering
 // links to M nodes and ~PCPCP links to other CP nodes, selected uniformly
 // within its regions.
 func (g *builder) addCPPeering() {
+	var mb, cpb *regionBuckets
+	if !g.linear {
+		mb = newRegionBuckets(g.p.Regions, g.mIDs, g.topo.Nodes)
+		cpb = newRegionBuckets(g.p.Regions, g.cpIDs, g.topo.Nodes)
+		g.samp.mBuckets, g.samp.cpBuckets = mb, cpb
+	}
 	for _, a := range g.cpIDs[g.peerFromCP:] {
-		g.addUniformPeers(a, g.mIDs, g.p.PCPM)
-		g.addUniformPeers(a, g.cpIDs, g.p.PCPCP)
+		g.addUniformPeers(a, g.mIDs, mb, g.p.PCPM)
+		g.addUniformPeers(a, g.cpIDs, cpb, g.p.PCPCP)
 	}
 }
 
 // addUniformPeers links a to ~mean uniformly chosen eligible candidates.
-func (g *builder) addUniformPeers(a NodeID, pool []NodeID, mean float64) {
+// With buckets, only region-overlapping pool members are enumerated; the
+// bucket merge yields them in pool order, so the eligible slice — and
+// every Intn index into it — matches the full-pool scan exactly.
+func (g *builder) addUniformPeers(a NodeID, pool []NodeID, buckets *regionBuckets, mean float64) {
 	want := g.r.CountAroundMean(mean, 0)
 	if want == 0 {
 		return
 	}
 	// Collect the eligible candidates once; uniform selection without
 	// replacement by partial shuffle.
-	eligible := make([]NodeID, 0, 16)
-	for _, c := range pool {
-		if g.peeringAllowed(a, c) {
+	var eligible []NodeID
+	if buckets != nil {
+		// Bucket members already overlap a's regions; adjacency is tested
+		// via epoch marks on a's neighbor lists instead of a hash lookup
+		// per candidate (the lists and the edge map are kept in sync, so
+		// the answers are identical).
+		nd := &g.topo.Nodes[a]
+		g.ancEpoch++
+		if g.ancEpoch == 0 {
+			for i := range g.ancMark {
+				g.ancMark[i] = 0
+			}
+			g.ancEpoch = 1
+		}
+		for _, x := range nd.Providers {
+			g.ancMark[x] = g.ancEpoch
+		}
+		for _, x := range nd.Customers {
+			g.ancMark[x] = g.ancEpoch
+		}
+		for _, x := range nd.Peers {
+			g.ancMark[x] = g.ancEpoch
+		}
+		g.candScratch = buckets.candidates(nd.Regions, g.candScratch[:0])
+		eligible = g.eligScratch[:0]
+		for _, c := range g.candScratch {
+			if c == a || g.ancMark[c] == g.ancEpoch {
+				continue
+			}
+			if g.inTree(a, c) || g.inTree(c, a) {
+				continue
+			}
 			eligible = append(eligible, c)
+		}
+		g.eligScratch = eligible
+	} else {
+		eligible = make([]NodeID, 0, 16)
+		for _, c := range pool {
+			if g.peeringAllowed(a, c) {
+				eligible = append(eligible, c)
+			}
 		}
 	}
 	for s := 0; s < want && len(eligible) > 0; s++ {

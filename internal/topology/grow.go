@@ -2,7 +2,9 @@ package topology
 
 import (
 	"fmt"
+	"time"
 
+	"bgpchurn/internal/obs"
 	"bgpchurn/internal/rng"
 )
 
@@ -27,7 +29,14 @@ import (
 // frozen (p.Regions and p.NT must match t), and the per-type counts must be
 // non-decreasing. The returned topology is fresh — t is never mutated, so
 // engines holding it (and its cached CSR) stay valid.
-func Grow(t *Topology, p Params) (*Topology, error) {
+func Grow(t *Topology, p Params) (*Topology, error) { return grow(t, p, false) }
+
+// GrowLinear is Grow on the retained linear-scan oracle path; see
+// GenerateLinear. Byte-identical output to Grow, proved by the gen_equiv
+// and grow parity tiers.
+func GrowLinear(t *Topology, p Params) (*Topology, error) { return grow(t, p, true) }
+
+func grow(t *Topology, p Params, linear bool) (*Topology, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -41,11 +50,19 @@ func Grow(t *Topology, p Params) (*Topology, error) {
 		return nil, fmt.Errorf("topology: grow requires non-decreasing node counts (M %d->%d, CP %d->%d, C %d->%d)",
 			c[M], p.NM, c[CP], p.NCP, c[C], p.NC)
 	}
+	var start time.Time
+	var pt phaseTimer
+	probes := genProbes.Load()
+	if probes != nil {
+		start = time.Now()
+		pt.enabled, pt.last = true, start
+	}
 	g := &builder{
-		p:     p,
-		r:     rng.New(p.Seed),
-		topo:  cloneTopology(t),
-		edges: make(map[uint64]struct{}, p.N*4),
+		p:      p,
+		r:      rng.New(p.Seed),
+		topo:   cloneTopology(t),
+		edges:  make(map[uint64]struct{}, p.N*4),
+		linear: linear,
 	}
 	g.topo.Seed = p.Seed // provenance: the seed of the latest growth step
 	// Reconstruct the builder's incremental state from the existing graph:
@@ -70,12 +87,26 @@ func Grow(t *Topology, p Params) (*Topology, error) {
 		}
 	}
 	g.peerFromM, g.peerFromCP = len(g.mIDs), len(g.cpIDs)
+	preNodes, preEdges := len(g.topo.Nodes), len(g.edges)
+	if !linear {
+		g.initSamplers()
+	}
 	g.addMNodes(p.NM - c[M])
+	pt.lap(obs.PhaseMNodes)
 	g.addStubs(CP, p.NCP-c[CP], p.DCP, p.TCP, p.CPSpread)
 	g.addStubs(C, p.NC-c[C], p.DC, p.TC, 0)
+	pt.lap(obs.PhaseStubs)
 	g.prepareCones()
+	pt.lap(obs.PhaseCones)
 	g.addMPeering()
+	pt.lap(obs.PhaseMPeering)
 	g.addCPPeering()
+	pt.lap(obs.PhaseCPPeering)
+	if probes != nil {
+		// Counters record the delta this growth step created, not the
+		// inherited prefix.
+		instrumentGen(probes, start, g.topo.N()-preNodes, len(g.edges)-preEdges, &pt)
+	}
 	return g.topo, nil
 }
 

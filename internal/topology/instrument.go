@@ -19,10 +19,36 @@ var genProbes atomic.Pointer[obs.TopoProbes]
 // hub: SetObsProbes(m.NewTopoProbes()).
 func SetObsProbes(p *obs.TopoProbes) { genProbes.Store(p) }
 
-// instrumentGen records one successful generation.
-func instrumentGen(p *obs.TopoProbes, start time.Time, nodes, edges int) {
+// phaseTimer splits one generation's wall time across the generator
+// phases. Disabled (the zero value) every lap is a single branch; enabled,
+// each lap reads the clock once and charges the elapsed interval to the
+// finished phase.
+type phaseTimer struct {
+	enabled bool
+	last    time.Time
+	laps    [obs.GenPhaseCount]time.Duration
+}
+
+func (t *phaseTimer) lap(p obs.GenPhase) {
+	if !t.enabled {
+		return
+	}
+	now := time.Now()
+	t.laps[p] = now.Sub(t.last)
+	t.last = now
+}
+
+// instrumentGen records one successful generation (or growth step, with
+// nodes/edges holding the delta). Phases with a zero lap — not executed,
+// e.g. the clique phase on the Grow path — are not observed.
+func instrumentGen(p *obs.TopoProbes, start time.Time, nodes, edges int, pt *phaseTimer) {
 	p.Generated.Inc()
 	p.Nodes.Add(uint64(nodes))
 	p.Edges.Add(uint64(edges))
 	p.ObserveGen(time.Since(start))
+	for ph, d := range pt.laps {
+		if d > 0 {
+			p.ObservePhase(obs.GenPhase(ph), d)
+		}
+	}
 }

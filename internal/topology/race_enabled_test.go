@@ -1,0 +1,8 @@
+//go:build race
+
+package topology
+
+// raceEnabled reports a -race test binary; the at-scale parity test skips
+// under it (generation is single-threaded, so the detector adds cost but
+// no coverage there).
+const raceEnabled = true

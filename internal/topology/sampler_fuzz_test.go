@@ -1,0 +1,105 @@
+package topology
+
+import (
+	"testing"
+
+	"bgpchurn/internal/rng"
+)
+
+// FuzzWeightedSampler differential-tests the Fenwick sampler against the
+// linear-scan model (samplerModel, the weightedPick semantics) under an
+// arbitrary op stream: inserts with fuzzer-chosen region sets and weights
+// — including weight zero — weight growth, redundant exclusions, and draws
+// under fuzzer-chosen region queries. Before every draw the eligible
+// totals must agree (so both sides consume one Intn of the same bound from
+// lockstep RNG streams), and the picks must be identical; a draw ends the
+// exclusion round on both sides.
+//
+// Op encoding, one byte plus operands (truncated operands end the stream):
+//
+//	op%4 == 0: insert   — operands regionByte (low 4 bits, 0 -> region 0
+//	                      only) and weightByte (weight = byte%4)
+//	op%4 == 1: addWeight — operands nodeByte (mod inserted count) and
+//	                      deltaByte (delta = 1 + byte%3)
+//	op%4 == 2: exclude  — operand nodeByte (mod inserted count)
+//	op%4 == 3: draw     — operand regionByte; compares totals and picks,
+//	                      then restores both sides
+func FuzzWeightedSampler(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 3, 3, 1})                       // one node, one draw
+	f.Add([]byte{0, 1, 0, 0, 3, 2, 3, 1, 3, 3})        // zero-weight member
+	f.Add([]byte{0, 1, 2, 0, 2, 3, 2, 0, 2, 0, 3, 3})  // redundant exclusion
+	f.Add([]byte{0, 15, 3, 0, 1, 3, 1, 0, 2, 3, 2, 3}) // mixed region sets
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const cap = 48
+		s := newPASampler(cap, cap)
+		m := newSamplerModel()
+		seed := uint64(len(data)) + 1
+		rS, rM := rng.New(seed), rng.New(seed)
+		regionSet := func(b byte) RegionSet {
+			rs := RegionSet(b & 0x0f)
+			if rs == 0 {
+				rs = RegionSet(0).Add(0)
+			}
+			return rs
+		}
+		n := 0
+		i := 0
+		for i < len(data) {
+			op := data[i]
+			i++
+			switch op % 4 {
+			case 0: // insert
+				if i+1 >= len(data) || n >= cap {
+					i += 2
+					continue
+				}
+				rs := regionSet(data[i])
+				w := int64(data[i+1] % 4)
+				i += 2
+				s.insert(NodeID(n), rs, w)
+				m.insert(NodeID(n), rs, w)
+				n++
+			case 1: // addWeight
+				if i+1 >= len(data) || n == 0 {
+					i += 2
+					continue
+				}
+				id := NodeID(int(data[i]) % n)
+				d := int64(1 + data[i+1]%3)
+				i += 2
+				s.addWeight(id, d)
+				m.addWeight(id, d)
+			case 2: // exclude
+				if i >= len(data) || n == 0 {
+					i++
+					continue
+				}
+				id := NodeID(int(data[i]) % n)
+				i++
+				s.exclude(id)
+				m.excluded[id] = true
+			case 3: // draw, then end the exclusion round
+				if i >= len(data) {
+					continue
+				}
+				q := regionSet(data[i])
+				i++
+				if st, mt := samplerTotal(s, q), m.total(q); st != mt {
+					t.Fatalf("eligible total diverges for query %v: sampler %d, model %d", q, st, mt)
+				}
+				if got, want := s.draw(rS, q), m.draw(rM, q); got != want {
+					t.Fatalf("draw diverges for query %v: sampler %v, model %v", q, got, want)
+				}
+				s.restoreAll()
+				for id := range m.excluded {
+					delete(m.excluded, id)
+				}
+			}
+		}
+		// The streams must have consumed the same number of draws.
+		if a, b := rS.Intn(1<<30), rM.Intn(1<<30); a != b {
+			t.Fatalf("RNG streams desynchronized: %d vs %d", a, b)
+		}
+	})
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package bgpchurn
+
+// raceEnabled reports that this test binary was built with -race; the
+// generator-equivalence tiers shrink under it (generation is
+// single-threaded, so the detector adds cost but no coverage there).
+const raceEnabled = false
