@@ -5,7 +5,7 @@ GO ?= go
 # Label under which `make bench-kernel` records its run in BENCH_kernel.json.
 BENCH_LABEL ?= current
 
-.PHONY: test race bench bench-kernel bench-e2e bench-scale scale-smoke bench-gen gen-smoke bench-shard shard-smoke fuzz-smoke obs-guard resume-smoke resume-guard build
+.PHONY: test race bench bench-kernel bench-e2e bench-scale scale-smoke bench-gen gen-smoke bench-shard shard-smoke fuzz-smoke obs-guard bench-obs sse-smoke resume-smoke resume-guard build
 
 build:
 	$(GO) build ./...
@@ -115,11 +115,32 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzOpenJournal -fuzztime 20x ./internal/core/
 
 # obs-guard mirrors the CI job of the same name: instrumentation must not
-# allocate beyond the warm baseline plus a fixed per-run setup budget.
+# allocate beyond the warm baseline plus a fixed per-run setup budget. Two
+# guards share one bench run: metrics probes get the default (near-zero)
+# slack, and causal tracing gets a per-origin budget — ~140 allocs per
+# origin close three spans and their Stats maps (~2.8k at 20 origins), so
+# the 4096 slack absorbs exactly that fixed cost while a per-update
+# allocation on the traced hot path (~50k updates/run) still blows it.
 obs-guard:
 	$(GO) vet ./internal/obs/ ./cmd/benchguard/
-	$(GO) test -run '^$$' -bench 'BenchmarkRunCEvents/(warm|obs)' -benchmem -benchtime 3x . \
+	$(GO) test -run '^$$' -bench 'BenchmarkRunCEvents/(warm|obs|spans)' -benchmem -benchtime 3x . \
+		| tee /tmp/obs-guard.txt \
 		| $(GO) run ./cmd/benchguard -base BenchmarkRunCEvents/warm -guard BenchmarkRunCEvents/obs
+	$(GO) run ./cmd/benchguard -base BenchmarkRunCEvents/warm -guard BenchmarkRunCEvents/spans -slack 4096 < /tmp/obs-guard.txt
+
+# bench-obs runs the observability overhead benches (warm baseline vs
+# metrics hub vs causal tracing) and records them in BENCH_obs.json under
+# the same labeling scheme as the other bench-* targets, so the spans-off
+# and spans-on kernel costs are tracked PR over PR.
+bench-obs:
+	$(GO) test -run '^$$' -bench 'BenchmarkRunCEvents/(warm|obs|spans)' -benchmem -benchtime 5x . \
+		| $(GO) run ./cmd/benchjson -label "$(BENCH_LABEL)" -out BENCH_obs.json
+
+# sse-smoke streams /progress from a live -fast grid and asserts the SSE
+# frames are well-formed (see scripts/sse_smoke.sh). Mirrors the CI
+# obs-guard job's smoke step.
+sse-smoke:
+	./scripts/sse_smoke.sh
 
 # resume-smoke exercises crash recovery across real processes: run the -fast
 # grid, SIGINT it partway, rerun with -resume, and require that only the

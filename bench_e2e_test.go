@@ -66,6 +66,18 @@ func BenchmarkRunCEvents(b *testing.B) {
 		instrumented.Obs = NewObsMetrics()
 		benchmarkRunCEvents(b, instrumented)
 	})
+	// spans: warm run with causal tracing on — the engine threads cause IDs
+	// and tallies attribution, and each origin closes three spans. The CI
+	// obs-guard job budgets its allocs/op against the warm baseline: the
+	// per-origin span cost is fixed (~a few records and one Stats map), so a
+	// per-update allocation sneaking into the traced hot path blows the
+	// budget immediately.
+	b.Run("spans", func(b *testing.B) {
+		traced := cfg
+		traced.WarmStart = true
+		traced.Spans = NewSpanRecorder()
+		benchmarkRunCEvents(b, traced)
+	})
 	// journal: warm run followed by the crash-safe checkpoint the scheduler
 	// appends after every cell. The resume-guard comparison against the warm
 	// baseline enforces that checkpointing stays a fixed per-cell cost (JSON

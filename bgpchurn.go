@@ -460,6 +460,62 @@ type UpdateTrace = obs.UpdateTrace
 // prefix and update kind.
 type TraceRecord = obs.TraceRecord
 
+// SpanRecorder collects the sweep→cell→origin→event causal span hierarchy
+// of a run. Attach via Experiment.Spans; export with WriteJSONL or
+// WriteChromeTrace. Recording is provably inert: results are byte-identical
+// with spans on (the determinism tier enforces it).
+type SpanRecorder = obs.SpanRecorder
+
+// SpanRecord is one completed span: level, wall- and virtual-time extent,
+// grid-cell identity and attribution stats.
+type SpanRecord = obs.SpanRecord
+
+// Span levels, outermost to innermost.
+const (
+	SpanSweep  = obs.SpanSweep
+	SpanCell   = obs.SpanCell
+	SpanOrigin = obs.SpanOrigin
+	SpanEvent  = obs.SpanEvent
+)
+
+// NewSpanRecorder creates an empty span recorder whose wall epoch is now.
+func NewSpanRecorder() *SpanRecorder { return obs.NewSpanRecorder() }
+
+// ReadSpanJSONL parses a stream written by SpanRecorder.WriteJSONL.
+func ReadSpanJSONL(r io.Reader) ([]SpanRecord, error) { return obs.ReadSpanJSONL(r) }
+
+// ProgressBroker fans live progress events out to /progress SSE
+// subscribers; obtain a server's broker via ObsServer.Progress.
+type ProgressBroker = obs.ProgressBroker
+
+// CauseID is the compact root-cause identity every in-flight update carries
+// while causal tracing is enabled (0 = tracing off / no open cause).
+type CauseID = bgp.CauseID
+
+// CauseKind classifies the routing event behind a cause ID.
+type CauseKind = bgp.CauseKind
+
+// Cause kinds.
+const (
+	CauseNone        = bgp.CauseNone
+	CauseWithdraw    = bgp.CauseWithdraw
+	CauseAnnounce    = bgp.CauseAnnounce
+	CauseLinkFail    = bgp.CauseLinkFail
+	CauseLinkRestore = bgp.CauseLinkRestore
+)
+
+// EventAttribution is one routing event's provenance tree: per-type×relation
+// update counts and active-session counts (the live Eq.-1 m·q·e terms),
+// duplicate/implicit-withdrawal classification, path-exploration depth, and
+// the event's virtual convergence span. Produced by Network.EndCause.
+type EventAttribution = bgp.EventAttribution
+
+// TypeAttribution is the per-node-type slice of an EventAttribution.
+type TypeAttribution = bgp.TypeAttribution
+
+// RelAttribution is the per-relation slice of a TypeAttribution.
+type RelAttribution = bgp.RelAttribution
+
 // Manifest is the per-run provenance record (config, seeds, toolchain,
 // per-cell timings, cache traffic, final metric snapshot).
 type Manifest = obs.Manifest

@@ -87,6 +87,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		cellTimeout = fs.Duration("cell-timeout", 0, "per-cell wall-clock deadline (0 = none); a timed-out cell counts as a transient fault")
 		shards      = fs.Int("shards", 0, "barrier-synchronized node shards per simulation run (0/1 = unsharded; >1 requires -link-delay); results are byte-identical at every value")
 		linkDelay   = fs.Duration("link-delay", 0, "per-session propagation latency (0 = the paper's instant-admission model); positive values select the windowed executor that -shards parallelizes")
+		spansPath   = fs.String("spans", "", "write sweep/cell/origin/event causal spans as JSONL to this file (enables root-cause tracing; results stay byte-identical)")
+		chromePath  = fs.String("chrome-trace", "", "write the causal spans as Chrome trace_event JSON to this file (open in chrome://tracing or Perfetto); implies span recording")
+		metricsOut  = fs.String("metrics-out", "", "write a one-shot Prometheus-text metrics snapshot to this file at exit, for runs that never start the -obs server")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return exitUsage
@@ -150,13 +153,22 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	if *tracePath != "" {
 		r.trace = bgpchurn.NewUpdateTrace(*traceCap)
 	}
+	if *spansPath != "" || *chromePath != "" {
+		r.spans = bgpchurn.NewSpanRecorder()
+	}
 	if *obsAddr != "" {
 		srv, err := bgpchurn.ServeObs(*obsAddr, r.metrics)
 		if err != nil {
 			return fail(err)
 		}
 		defer srv.Close()
-		fmt.Fprintf(stdout, "obs: serving /metrics, /debug/vars, /debug/pprof/ on http://%s\n", srv.Addr())
+		r.progress = srv.Progress()
+		fmt.Fprintf(stdout, "obs: serving /metrics, /debug/vars, /debug/pprof/, /progress on http://%s\n", srv.Addr())
+	}
+	if r.spans != nil && r.progress != nil {
+		// Stream each completed span to /progress subscribers as it lands.
+		progress := r.progress
+		r.spans.OnSpan(func(s bgpchurn.SpanRecord) { progress.Publish("span", s) })
 	}
 	if *journalPath != "" {
 		if *resume {
@@ -187,10 +199,14 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 	r.sched.OnCell = func(cs bgpchurn.CellStatus) {
 		r.recordCell(cs)
+		r.publishCell(cs)
 		logCell(report.CellEvent{
 			Scenario: cs.Scenario, N: cs.N, Seed: cs.Seed, State: cs.State.String(),
 			Attempt: cs.Attempt, Elapsed: cs.Elapsed, Err: cs.Err,
 		})
+	}
+	r.sched.OnResult = func(cs bgpchurn.CellStatus, res *bgpchurn.Result) {
+		r.publishResult(cs, res)
 	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -293,6 +309,29 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "trace: %s (%d records, %d overwritten)\n", *tracePath, r.trace.Len(), r.trace.Dropped())
 		}
 	}
+	if r.spans != nil {
+		if *spansPath != "" {
+			if err := writeFileWith(*spansPath, r.spans.WriteJSONL); err != nil && runErr == nil {
+				runErr = err
+			} else if err == nil {
+				fmt.Fprintf(stdout, "spans: %s (%d spans)\n", *spansPath, r.spans.Len())
+			}
+		}
+		if *chromePath != "" {
+			if err := writeFileWith(*chromePath, r.spans.WriteChromeTrace); err != nil && runErr == nil {
+				runErr = err
+			} else if err == nil {
+				fmt.Fprintf(stdout, "chrome-trace: %s\n", *chromePath)
+			}
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeFileWith(*metricsOut, r.metrics.WritePrometheus); err != nil && runErr == nil {
+			runErr = err
+		} else if err == nil {
+			fmt.Fprintf(stdout, "metrics: %s\n", *metricsOut)
+		}
+	}
 	if j := r.sched.Journal(); j != nil {
 		if err := j.Err(); err != nil {
 			fmt.Fprintf(stderr, "experiments: journal incomplete (results are unaffected): %v\n", err)
@@ -324,11 +363,17 @@ func run(argv []string, stdout, stderr io.Writer) int {
 
 // writeTrace exports the update-trace ring as JSONL.
 func writeTrace(path string, tr *bgpchurn.UpdateTrace) error {
+	return writeFileWith(path, tr.WriteJSONL)
+}
+
+// writeFileWith creates path and streams write into it, closing on every
+// path.
+func writeFileWith(path string, write func(io.Writer) error) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := tr.WriteJSONL(f); err != nil {
+	if err := write(f); err != nil {
 		f.Close()
 		return err
 	}
@@ -367,9 +412,65 @@ type runner struct {
 	metrics *bgpchurn.ObsMetrics
 	// trace, when non-nil, captures the most recent updates (-trace flag).
 	trace *bgpchurn.UpdateTrace
+	// spans, when non-nil, collects the sweep→cell→origin→event causal span
+	// hierarchy (-spans / -chrome-trace flags).
+	spans *bgpchurn.SpanRecorder
+	// progress, when non-nil, is the obs server's /progress SSE broker;
+	// cell status, results and spans stream into it mid-grid.
+	progress *bgpchurn.ProgressBroker
 	// cells accumulates manifest entries, one per OnCell progress event
 	// except "start". Appends happen inside the serialized OnCell callback.
 	cells []bgpchurn.CellTiming
+	// rollCells/rollU accumulate the rolling Eq.-1 attribution summary
+	// streamed on /progress: completed-cell count and running sums of U(X)
+	// per node type. Updated only inside the serialized OnResult callback.
+	rollCells int
+	rollU     [4]float64
+}
+
+// publishCell streams one scheduler progress event to /progress.
+func (r *runner) publishCell(cs bgpchurn.CellStatus) {
+	if r.progress == nil {
+		return
+	}
+	payload := map[string]any{
+		"scenario":   cs.Scenario,
+		"n":          cs.N,
+		"state":      cs.State.String(),
+		"attempt":    cs.Attempt,
+		"elapsed_ms": float64(cs.Elapsed) / float64(time.Millisecond),
+	}
+	if cs.Err != nil {
+		payload["err"] = cs.Err.Error()
+	}
+	r.progress.Publish("cell", payload)
+}
+
+// publishResult folds one available cell result into the rolling Eq.-1
+// attribution summary and streams it. Calls arrive serialized (the
+// scheduler's OnResult mutex), so the accumulators need no locking.
+func (r *runner) publishResult(cs bgpchurn.CellStatus, res *bgpchurn.Result) {
+	if r.progress == nil || res == nil {
+		return
+	}
+	r.rollCells++
+	cell := map[string]any{
+		"scenario":      cs.Scenario,
+		"n":             cs.N,
+		"total_updates": res.TotalUpdates,
+		"peak_rate":     res.PeakRate,
+	}
+	mean := map[string]float64{}
+	for _, t := range []bgpchurn.NodeType{bgpchurn.T, bgpchurn.M, bgpchurn.CP, bgpchurn.C} {
+		r.rollU[t] += res.U(t)
+		cell["u_"+t.String()] = res.U(t)
+		mean["u_"+t.String()] = r.rollU[t] / float64(r.rollCells)
+	}
+	r.progress.Publish("attribution", map[string]any{
+		"cells":        r.rollCells,
+		"cell":         cell,
+		"rolling_mean": mean,
+	})
 }
 
 // recordCell stores one scheduler progress event for the run manifest.
@@ -391,6 +492,15 @@ func (r *runner) recordCell(cs bgpchurn.CellStatus) {
 		ct.Err = cs.Err.Error()
 	}
 	r.cells = append(r.cells, ct)
+	if r.spans != nil && cs.State == bgpchurn.CellDone {
+		end := r.spans.Now()
+		dur := float64(cs.Elapsed) / float64(time.Microsecond)
+		r.spans.Append(bgpchurn.SpanRecord{
+			Level: bgpchurn.SpanCell, Name: "cell",
+			StartUS: end - dur, DurUS: dur,
+			Scenario: cs.Scenario, N: cs.N,
+		})
+	}
 }
 
 // writeManifest assembles and writes the run manifest: provenance, the
@@ -518,7 +628,17 @@ func (r *runner) prefetch(wanted map[string]bool) error {
 	})
 	fmt.Fprintf(r.stdout, "scheduling %d sweeps (%d grid cells, parallelism %d)...\n",
 		len(reqs), len(reqs)*len(r.sizes()), r.workers())
+	var gridStart float64
+	if r.spans != nil {
+		gridStart = r.spans.Now()
+	}
 	_, err := r.sched.RunGrid(r.ctx, reqs)
+	if r.spans != nil {
+		r.spans.Append(bgpchurn.SpanRecord{
+			Level: bgpchurn.SpanSweep, Name: fmt.Sprintf("grid (%d sweeps)", len(reqs)),
+			StartUS: gridStart, DurUS: r.spans.Now() - gridStart,
+		})
+	}
 	return err
 }
 
@@ -547,6 +667,7 @@ func (r *runner) experiment(wrate bool) bgpchurn.Experiment {
 	cfg.BGP.Shards = r.shards
 	cfg.Obs = r.metrics
 	cfg.Trace = r.trace
+	cfg.Spans = r.spans
 	return cfg
 }
 

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"io"
 	"os"
@@ -403,5 +404,78 @@ func TestWriteManifestEndToEnd(t *testing.T) {
 	}
 	if mf.WallSeconds != 2 {
 		t.Fatalf("wall seconds = %v", mf.WallSeconds)
+	}
+}
+
+// TestRunWritesSpanAndMetricsArtifacts drives the binary seam with the
+// observability flags: -spans and -chrome-trace must produce parseable
+// span artifacts, -metrics-out a Prometheus-text snapshot, and the
+// manifest must record all three paths in its flag map.
+func TestRunWritesSpanAndMetricsArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	spans := filepath.Join(dir, "spans.jsonl")
+	chrome := filepath.Join(dir, "chrome.json")
+	metrics := filepath.Join(dir, "metrics.txt")
+	manifest := filepath.Join(dir, "manifest.json")
+	code := run([]string{
+		"-fig", "4", "-fast", "-origins", "3", "-seed", "1",
+		"-spans", spans, "-chrome-trace", chrome, "-metrics-out", metrics,
+		"-manifest", manifest, "-journal", "",
+	}, io.Discard, io.Discard)
+	if code != exitOK {
+		t.Fatalf("run: exit %d, want %d", code, exitOK)
+	}
+
+	f, err := os.Open(spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := bgpchurn.ReadSpanJSONL(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := map[string]int{}
+	for _, s := range recs {
+		levels[s.Level]++
+	}
+	// 3 cells × 3 origins × (withdraw + announce + origin) + 3 cell + 1 sweep.
+	if levels[bgpchurn.SpanEvent] != 18 || levels[bgpchurn.SpanOrigin] != 9 ||
+		levels[bgpchurn.SpanCell] != 3 || levels[bgpchurn.SpanSweep] != 1 {
+		t.Fatalf("span level counts = %v", levels)
+	}
+
+	raw, err := os.ReadFile(chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome trace has no events")
+	}
+
+	snap, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(snap, []byte("bgpchurn_bgp_updates_processed_total")) {
+		t.Fatalf("metrics snapshot missing update counter:\n%s", snap)
+	}
+
+	mf, err := bgpchurn.ReadManifest(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for flagName, want := range map[string]string{
+		"spans": spans, "chrome-trace": chrome, "metrics-out": metrics,
+	} {
+		if got := mf.Config[flagName]; got != want {
+			t.Fatalf("manifest config[%s] = %q, want %q", flagName, got, want)
+		}
 	}
 }

@@ -71,6 +71,12 @@ type Network struct {
 	// windowed executor runs shards sequentially while it is attached.
 	updateHook func(UpdateRecord)
 
+	// causal is the attached causal tracer (nil when tracing is off; see
+	// causal.go). Unlike updateHook it is shard-safe by construction —
+	// every write it takes during a window is shard-disjoint — so it never
+	// forces sequential execution.
+	causal *causalTrace
+
 	// obs is the attached metrics hub (nil when detached); build re-attaches
 	// probe blocks from it after Grow recreates the shards.
 	obs *obs.Metrics
@@ -169,8 +175,9 @@ func (net *Network) build(topo *topology.Topology) error {
 		}
 	}
 	// Re-attach probe blocks after Grow recreated the shards (no-op when no
-	// hub is attached).
+	// hub is attached), and re-size the causal tracer if one is attached.
 	net.attachObs()
+	net.attachCausal()
 	return nil
 }
 
@@ -335,6 +342,7 @@ func (net *Network) Reset(seed uint64) { net.reinit(seed) }
 func (net *Network) reinit(seed uint64) {
 	for _, sh := range net.shards {
 		sh.sched.Reset(true)
+		sh.activeCause = 0
 		sh.totalUpdates = 0
 		sh.rateBucket, sh.rateCount, sh.ratePeak = 0, 0, 0
 		sh.rateLog = sh.rateLog[:0]
@@ -456,7 +464,8 @@ type inMsg struct {
 	kind     UpdateKind
 	prefix   Prefix
 	path     Path
-	pathID   PathID // interned ID of path (compact mode)
+	pathID   PathID  // interned ID of path (compact mode)
+	cause    CauseID // root cause of the update (0 when tracing is off)
 }
 
 // procEvent is the completion of processing one received update at a node.
@@ -470,7 +479,8 @@ type procEvent struct {
 	kind     UpdateKind
 	prefix   Prefix
 	path     Path
-	pathID   PathID // interned ID of path (compact mode)
+	pathID   PathID  // interned ID of path (compact mode)
+	cause    CauseID // root cause of the update (0 when tracing is off)
 }
 
 // newProcEvent takes a recycled procEvent or allocates a fresh one.
@@ -495,6 +505,10 @@ func (e *procEvent) Fire(*des.Scheduler) {
 	sh := e.sh
 	net := sh.net
 	nd := &net.nodes[e.to]
+	// The event's root cause becomes the shard's active cause: every update
+	// this processing step transmits (or queues behind an MRAI timer)
+	// inherits it.
+	sh.activeCause = e.cause
 	nd.recvBySlot[e.fromSlot]++
 	sh.totalUpdates++
 	sh.tickRate()
@@ -509,6 +523,8 @@ func (e *procEvent) Fire(*des.Scheduler) {
 			Kind:   e.kind,
 			Prefix: e.prefix,
 			Path:   e.path,
+			PathID: e.pathID,
+			Cause:  e.cause,
 		})
 	}
 	ps := nd.state(e.prefix)
@@ -528,6 +544,9 @@ func (e *procEvent) Fire(*des.Scheduler) {
 			// sender-side suppression, kept as defense in depth.
 		}
 		ps.ribID[e.fromSlot] = now
+		if tr := net.causal; tr != nil {
+			tr.record(sh, e.to, e.fromSlot, e.kind, had == now, had == NoPath)
+		}
 		if d := &net.cfg.Dampening; d.Enabled && had != NoPath {
 			switch {
 			case e.kind == Withdraw:
@@ -550,6 +569,9 @@ func (e *procEvent) Fire(*des.Scheduler) {
 			} else {
 				ps.ribIn[e.fromSlot] = e.path
 			}
+		}
+		if tr := net.causal; tr != nil {
+			tr.record(sh, e.to, e.fromSlot, e.kind, had.Equal(ps.ribIn[e.fromSlot]), had == nil)
 		}
 		if d := &net.cfg.Dampening; d.Enabled && had != nil {
 			// RFC 2439 flap accounting: a withdrawal of a reachable route,
@@ -579,7 +601,7 @@ func (e *procEvent) Fire(*des.Scheduler) {
 			nd.inbox, nd.inboxHead = nd.inbox[:0], 0
 		}
 		next := sh.newProcEvent()
-		next.to, next.fromSlot, next.kind, next.prefix, next.path, next.pathID = nd.id, m.fromSlot, m.kind, m.prefix, m.path, m.pathID
+		next.to, next.fromSlot, next.kind, next.prefix, next.path, next.pathID, next.cause = nd.id, m.fromSlot, m.kind, m.prefix, m.path, m.pathID, m.cause
 		sh.sched.AtTicket(m.tk, next)
 	} else {
 		nd.delivering = false
@@ -633,6 +655,9 @@ func (e *flushEvent) Fire(*des.Scheduler) {
 	for _, f := range nd.scratch {
 		pu, _ := q.pending.Get(f)
 		q.pending.Delete(f)
+		// Each drained update is attributed to the cause that queued (or
+		// last replaced) it, not to whatever fired most recently.
+		sh.activeCause = pu.cause
 		net.transmit(nd, slot, f, pu.kind, pu.path, pu.id)
 		if pu.kind == Withdraw {
 			q.lastSent.Delete(f)
@@ -692,6 +717,7 @@ func (e *prefixFlushEvent) Fire(*des.Scheduler) {
 		return
 	}
 	q.pending.Delete(f)
+	sh.activeCause = pu.cause
 	net.transmit(nd, slot, f, pu.kind, pu.path, pu.id)
 	if pu.kind == Withdraw {
 		q.lastSent.Delete(f)
@@ -725,6 +751,9 @@ func (net *Network) applyDecision(nd *node, f Prefix, ps *prefixState) {
 	}
 	ps.fullValid = false // the cached advertisement body is stale
 	nd.bestChanges++
+	if tr := net.causal; tr != nil {
+		tr.tallies[nd.sh.idx].exploration[nd.typ]++
+	}
 	net.reconcile(nd, f, ps)
 	if net.cfg.Check {
 		net.checkReconciled(nd, f, ps)
@@ -825,7 +854,7 @@ func (net *Network) setDesired(nd *node, j int, f Prefix, want Path, wantID Path
 			net.restartTimer(nd, j, f)
 			return
 		}
-		q.pending.Set(f, pendingUpdate{kind: Withdraw})
+		q.pending.Set(f, pendingUpdate{kind: Withdraw, cause: nd.sh.activeCause})
 		net.ensureFlush(nd, j, f)
 		return
 	}
@@ -842,7 +871,7 @@ func (net *Network) setDesired(nd *node, j int, f Prefix, want Path, wantID Path
 		net.restartTimer(nd, j, f)
 		return
 	}
-	q.pending.Set(f, pendingUpdate{kind: Announce, path: want, id: wantID})
+	q.pending.Set(f, pendingUpdate{kind: Announce, path: want, id: wantID, cause: nd.sh.activeCause})
 	net.ensureFlush(nd, j, f)
 }
 
@@ -878,10 +907,11 @@ func (net *Network) transmit(nd *node, j int, f Prefix, kind UpdateKind, path Pa
 			prefix:   f,
 			path:     path,
 			pathID:   pathID,
+			cause:    nd.sh.activeCause,
 		})
 		return
 	}
-	net.deliver(&net.nodes[nd.nbrIDs[j]], nd.sh.sched.Now(), nd.reverse[j], f, kind, path, pathID)
+	net.deliver(&net.nodes[nd.nbrIDs[j]], nd.sh.sched.Now(), nd.reverse[j], f, kind, path, pathID, nd.sh.activeCause)
 }
 
 // deliver admits one arriving update to the receiver's FIFO queue + single
@@ -895,7 +925,7 @@ func (net *Network) transmit(nd *node, j int, f Prefix, kind UpdateKind, path Pa
 // tickets reserved here, in admission order. procEvent.Fire re-schedules
 // the front of the inbox, so deliveries chain one at a time — same fire
 // times, same fire order, a fraction of the queued events.
-func (net *Network) deliver(to *node, arrival des.Time, fromSlot int32, f Prefix, kind UpdateKind, path Path, pathID PathID) {
+func (net *Network) deliver(to *node, arrival des.Time, fromSlot int32, f Prefix, kind UpdateKind, path Path, pathID PathID, cause CauseID) {
 	sh := to.sh
 	start := to.busyUntil
 	if start < arrival {
@@ -905,7 +935,7 @@ func (net *Network) deliver(to *node, arrival des.Time, fromSlot int32, f Prefix
 	to.busyUntil = done
 	tk := sh.sched.Reserve(done)
 	if to.delivering {
-		to.inbox = append(to.inbox, inMsg{tk: tk, fromSlot: fromSlot, kind: kind, prefix: f, path: path, pathID: pathID})
+		to.inbox = append(to.inbox, inMsg{tk: tk, fromSlot: fromSlot, kind: kind, prefix: f, path: path, pathID: pathID, cause: cause})
 		if p := sh.probes; p != nil {
 			p.InboxDeferrals.Inc()
 		}
@@ -913,6 +943,6 @@ func (net *Network) deliver(to *node, arrival des.Time, fromSlot int32, f Prefix
 	}
 	to.delivering = true
 	e := sh.newProcEvent()
-	e.to, e.fromSlot, e.kind, e.prefix, e.path, e.pathID = to.id, fromSlot, kind, f, path, pathID
+	e.to, e.fromSlot, e.kind, e.prefix, e.path, e.pathID, e.cause = to.id, fromSlot, kind, f, path, pathID, cause
 	sh.sched.AtTicket(tk, e)
 }

@@ -115,6 +115,11 @@ type pendingUpdate struct {
 	path Path
 	// id is the interned ID of path (compact mode only; NoPath otherwise).
 	id PathID
+	// cause is the root cause of the queued update. A newer update for the
+	// same prefix replaces the whole pendingUpdate — cause included — so
+	// MRAI coalescing attributes the eventual send to the newest
+	// invalidating cause.
+	cause CauseID
 }
 
 // outQueue is the per-neighbor output state: the MRAI timer, the queue of

@@ -41,6 +41,9 @@ type wireMsg struct {
 	prefix   Prefix
 	path     Path
 	pathID   PathID
+	// cause is the update's root cause (0 when tracing is off); it rides
+	// the barrier merge untouched — admission order never looks at it.
+	cause CauseID
 }
 
 // rateSec is one second of a shard's update-rate log (see tickRate).
@@ -63,6 +66,13 @@ type netShard struct {
 	lo, hi int32
 
 	sched des.Scheduler
+
+	// activeCause is the root cause of whatever this shard is currently
+	// firing: procEvent.Fire sets it from the event, the flush events set
+	// it per drained pendingUpdate, and BeginCause stamps it at event
+	// start so API-triggered sends inherit the root. Only the owning
+	// goroutine touches it during a window.
+	activeCause CauseID
 
 	// paths bump-allocates every path the shard's nodes create
 	// (advertisement bodies, warm-start routes); Reset drops its slab, see
@@ -265,7 +275,7 @@ func (net *Network) admitDest(dst *netShard) {
 	})
 	for i := range buf {
 		m := &buf[i]
-		net.deliver(&net.nodes[m.to], m.arrival, m.fromSlot, m.prefix, m.kind, m.path, m.pathID)
+		net.deliver(&net.nodes[m.to], m.arrival, m.fromSlot, m.prefix, m.kind, m.path, m.pathID, m.cause)
 		buf[i] = wireMsg{} // release the path
 	}
 	dst.inbox = buf[:0]

@@ -26,8 +26,20 @@ type UpdateRecord struct {
 	// Prefix is the affected destination.
 	Prefix Prefix
 	// Path is the announced AS path (nil for withdrawals). The slice is
-	// shared with the engine and must not be modified.
+	// shared with the engine and must not be modified. It must also not be
+	// retained past the hook call: Network.Reset drops the arena slabs
+	// backing it. A hook that buffers records must either copy the slice
+	// or keep only the fixed-size identity below (PathID + len) — the
+	// bounded -trace ring does the latter (see obs.TraceRecord).
 	Path Path
+	// PathID is the hash-consed identity of Path under the compact engine
+	// (NoPath otherwise, and on withdrawals). Unlike Path it stays valid
+	// across Reset — the intern table is never cleared — so it is the safe
+	// form to retain.
+	PathID PathID
+	// Cause is the root-cause ID of the routing event whose propagation
+	// produced this update (0 when causal tracing is off; see CauseID).
+	Cause CauseID
 }
 
 // SetUpdateHook installs fn to be called for every update processed from

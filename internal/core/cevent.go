@@ -78,10 +78,18 @@ type Config struct {
 	// from the scheduler's cache key for the same reason Parallelism is.
 	Obs *obs.Metrics
 	// Trace, when non-nil, records every processed update into the bounded
-	// ring (time, from, to, prefix, kind). Meant for debugging sessions, not
-	// steady-state runs: appending takes a mutex, though it never allocates.
-	// Excluded from the cache key like Obs.
+	// ring (time, from, to, prefix, kind, cause, interned path identity).
+	// Meant for debugging sessions, not steady-state runs: appending takes a
+	// mutex, though it never allocates. Excluded from the cache key like Obs.
 	Trace *obs.UpdateTrace
+	// Spans, when non-nil, enables causal tracing: every worker network is
+	// run with a causal tracer attached (bgp.EnableCausalTrace), each
+	// origin's DOWN and UP phases become root causes, and per-origin and
+	// per-event spans — with live Eq.-1 m·q·e attribution in their Stats —
+	// are appended to the recorder. Tracing never changes results (the
+	// determinism tier proves byte-identical output at every shard count),
+	// so Spans is excluded from the cache key like Obs and Trace.
+	Spans *obs.SpanRecorder
 	// CellTimeout, when positive, bounds the wall-clock time of each grid
 	// cell run through the scheduler. A cell exceeding it fails with a
 	// CellTimeoutError — a transient fault that is retried, then
@@ -241,14 +249,24 @@ func RunCEventsContext(ctx context.Context, topo *topology.Topology, cfg Config)
 			if cfg.Obs != nil {
 				net.SetObs(cfg.Obs)
 			}
+			if cfg.Spans != nil {
+				net.EnableCausalTrace()
+			}
 			if tr := cfg.Trace; tr != nil {
 				net.SetUpdateHook(func(u bgp.UpdateRecord) {
+					// Only fixed-size fields cross into the ring: the
+					// engine-owned u.Path slice is reduced to its interned
+					// identity + length, so no record can retain arena
+					// storage across the per-origin Resets.
 					tr.Append(obs.TraceRecord{
-						T:      int64(u.Time),
-						From:   int32(u.From),
-						To:     int32(u.To),
-						Prefix: int32(u.Prefix),
-						Kind:   uint8(u.Kind),
+						T:       int64(u.Time),
+						From:    int32(u.From),
+						To:      int32(u.To),
+						Prefix:  int32(u.Prefix),
+						Kind:    uint8(u.Kind),
+						PathLen: uint16(len(u.Path)),
+						Cause:   uint32(u.Cause),
+						PathID:  uint32(u.PathID),
 					})
 				})
 			}
@@ -336,6 +354,11 @@ func pickOrigins(cNodes []topology.NodeID, k int, seed uint64) []topology.NodeID
 // runOneOrigin performs the full event procedure for one originator and
 // fills acc with its per-node-type statistics.
 func runOneOrigin(net *bgp.Network, topo *topology.Topology, origin topology.NodeID, seed uint64, settle des.Time, cfg Config, acc *originAccum) error {
+	spans := cfg.Spans
+	var originWall float64
+	if spans != nil {
+		originWall = spans.Now()
+	}
 	net.Reset(seed)
 
 	// Initial propagation: the prefix exists and the network is converged
@@ -354,6 +377,7 @@ func runOneOrigin(net *bgp.Network, topo *topology.Topology, origin topology.Nod
 
 	down := func() error { net.WithdrawPrefix(origin, thePrefix); return nil }
 	up := func() error { net.Originate(origin, thePrefix); return nil }
+	downCause, upCause := bgp.CauseWithdraw, bgp.CauseAnnounce
 	if cfg.Kind == LinkEvent {
 		if len(topo.Nodes[origin].Providers) == 0 {
 			return fmt.Errorf("core: link-event origin %d has no provider link to fail", origin)
@@ -361,30 +385,81 @@ func runOneOrigin(net *bgp.Network, topo *topology.Topology, origin topology.Nod
 		provider := topo.Nodes[origin].Providers[0]
 		down = func() error { return net.FailLink(origin, provider) }
 		up = func() error { return net.RestoreLink(origin, provider) }
+		downCause, upCause = bgp.CauseLinkFail, bgp.CauseLinkRestore
 	}
 
 	// DOWN: the owner withdraws the prefix (or its primary link fails).
+	var eventWall float64
+	if spans != nil {
+		eventWall = spans.Now()
+		net.BeginCause(downCause, origin)
+	}
 	start := net.Now()
 	if err := down(); err != nil {
 		return err
 	}
 	net.Run()
 	acc.downSec = (net.Now() - start).Seconds()
+	if spans != nil {
+		emitEventSpan(spans, net.EndCause(), eventWall, topo.N())
+	}
 
 	net.Settle(settle)
 
 	// UP: the owner re-announces (or the link is restored).
+	if spans != nil {
+		eventWall = spans.Now()
+		net.BeginCause(upCause, origin)
+	}
 	start = net.Now()
 	if err := up(); err != nil {
 		return err
 	}
 	net.Run()
 	acc.upSec = (net.Now() - start).Seconds()
+	if spans != nil {
+		emitEventSpan(spans, net.EndCause(), eventWall, topo.N())
+	}
 
 	acc.total = float64(net.TotalUpdates())
 	acc.peak = float64(net.PeakUpdateRate())
 	collect(net, topo, acc)
+	if spans != nil {
+		spans.Append(obs.SpanRecord{
+			Level:    obs.SpanOrigin,
+			Name:     fmt.Sprintf("origin %d", origin),
+			StartUS:  originWall,
+			DurUS:    spans.Now() - originWall,
+			VStartUS: 0,
+			VEndUS:   net.Now().Microseconds(),
+			N:        topo.N(),
+			Origin:   int64(origin),
+			Stats: map[string]float64{
+				"total_updates": acc.total,
+				"peak_rate":     acc.peak,
+				"down_s":        acc.downSec,
+				"up_s":          acc.upSec,
+			},
+		})
+	}
 	return nil
+}
+
+// emitEventSpan converts one closed root cause into an event span carrying
+// the live Eq.-1 attribution in its Stats.
+func emitEventSpan(spans *obs.SpanRecorder, attr bgp.EventAttribution, wallStart float64, n int) {
+	spans.Append(obs.SpanRecord{
+		Level:    obs.SpanEvent,
+		Name:     attr.Kind.String(),
+		StartUS:  wallStart,
+		DurUS:    spans.Now() - wallStart,
+		VStartUS: attr.Start.Microseconds(),
+		VEndUS:   attr.End.Microseconds(),
+		N:        n,
+		Origin:   int64(attr.Origin),
+		Cause:    uint64(attr.Cause),
+		Stats:    attr.Stats(),
+	})
 }
 
 // collect reduces per-node per-neighbor counters into per-type factor

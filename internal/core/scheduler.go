@@ -20,10 +20,12 @@ import (
 
 // CellKey identifies one (scenario, size) grid cell by every input that
 // determines its Result: the scenario name, the size, the sweep-level
-// topology seed, and the event configuration. Config.Parallelism and all
-// callbacks are deliberately excluded — results are independent of both —
-// so the same experiment requested at different worker counts still hits
-// the cache. CellTimeout is excluded for the same reason: a deadline decides
+// topology seed, and the event configuration. Config.Parallelism, all
+// callbacks, and the observability attachments (Obs, Trace, Spans) are
+// deliberately excluded — results are independent of them all (the
+// determinism tier proves it for the attachments) — so the same experiment
+// requested at different worker counts or probe settings still hits the
+// cache. CellTimeout is excluded for the same reason: a deadline decides
 // whether a result arrives, never what it is. So is bgp.Config.Shards: the
 // sharded executor is byte-identical at every shard count (the determinism
 // tier enforces it), so cells dedupe across shard counts — but LinkDelay
@@ -216,6 +218,15 @@ type Scheduler struct {
 	// hit, and one CellCancelled event per abandoned cell. Calls are
 	// serialized; the callback needs no locking.
 	OnCell func(CellStatus)
+
+	// OnResult, when non-nil, receives every cell Result the moment it is
+	// available — once per computed cell (State == CellDone) and once per
+	// cache hit that carries a result (CellCached/CellResumed). It exists so
+	// a progress plane can stream rolling attribution summaries mid-grid
+	// without waiting for assembly. Calls are serialized with OnCell on the
+	// same mutex; the Result is shared with the cache and must be treated as
+	// read-only.
+	OnResult func(CellStatus, *Result)
 
 	mu       sync.Mutex
 	cache    map[CellKey]*cacheEntry
@@ -442,6 +453,17 @@ func (s *Scheduler) emit(cs CellStatus) {
 	s.OnCell(cs)
 }
 
+// emitResult delivers one available cell result, serialized on the same
+// mutex as emit so OnCell and OnResult observe a consistent order.
+func (s *Scheduler) emitResult(cs CellStatus, res *Result) {
+	if s.OnResult == nil || res == nil {
+		return
+	}
+	s.emitMu.Lock()
+	defer s.emitMu.Unlock()
+	s.OnResult(cs, res)
+}
+
 // cellError uniformly names a failing cell. Fault types already carry the
 // cell key in their message, so they pass through unwrapped for errors.As.
 func cellError(scName string, n int, err error) error {
@@ -489,7 +511,11 @@ func (s *Scheduler) cell(ctx context.Context, sc scenario.Scenario, n int, topoS
 				probes.CellsCached.Inc()
 			}
 		}
-		s.emit(CellStatus{Scenario: sc.Name, N: n, Seed: seed, State: state, Elapsed: time.Since(start), Err: e.err})
+		cs := CellStatus{Scenario: sc.Name, N: n, Seed: seed, State: state, Elapsed: time.Since(start), Err: e.err}
+		s.emit(cs)
+		if e.err == nil {
+			s.emitResult(cs, e.res)
+		}
 		return e.res, e.err
 	}
 	e := &cacheEntry{ready: make(chan struct{})}
@@ -560,7 +586,11 @@ func (s *Scheduler) cell(ctx context.Context, sc scenario.Scenario, n int, topoS
 			probes.CellsFailed.Inc()
 		}
 	}
-	s.emit(CellStatus{Scenario: sc.Name, N: n, Seed: seed, State: state, Attempt: attempts, Elapsed: elapsed, Err: err})
+	cs := CellStatus{Scenario: sc.Name, N: n, Seed: seed, State: state, Attempt: attempts, Elapsed: elapsed, Err: err}
+	s.emit(cs)
+	if state == CellDone {
+		s.emitResult(cs, res)
+	}
 	return res, err
 }
 

@@ -28,6 +28,10 @@ const (
 // Seconds reports t as a floating-point number of seconds.
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
+// Microseconds reports t as a floating-point number of microseconds — the
+// unit Chrome trace_event timestamps use, so span exporters convert once.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
 // String renders t like the standard library's time.Duration ("30s").
 func (t Time) String() string { return time.Duration(t).String() }
 

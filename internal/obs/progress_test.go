@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"bufio"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestProgressBrokerReplaysLatestPerType(t *testing.T) {
+	b := NewProgressBroker()
+	defer b.Close()
+	b.Publish("cell", map[string]int{"n": 1})
+	b.Publish("cell", map[string]int{"n": 2})
+	b.Publish("attribution", map[string]int{"cells": 1})
+
+	ch, replay := b.subscribe()
+	if ch == nil {
+		t.Fatal("subscribe on open broker returned nil")
+	}
+	defer b.unsubscribe(ch)
+	if len(replay) != 2 {
+		t.Fatalf("replay has %d messages, want 2 (latest per type)", len(replay))
+	}
+	// First-seen order: cell (latest one), then attribution.
+	if replay[0].event != "cell" || !strings.Contains(string(replay[0].data), `"n":2`) {
+		t.Fatalf("replay[0] = %s %s, want latest cell", replay[0].event, replay[0].data)
+	}
+	if replay[1].event != "attribution" {
+		t.Fatalf("replay[1] = %s, want attribution", replay[1].event)
+	}
+}
+
+func TestProgressBrokerNonBlockingPublishDrops(t *testing.T) {
+	b := NewProgressBroker()
+	defer b.Close()
+	ch, _ := b.subscribe()
+	defer b.unsubscribe(ch)
+	// Fill the buffer and overflow it; the publisher must never block.
+	for i := 0; i < subBuffer+10; i++ {
+		b.Publish("cell", i)
+	}
+	if b.Dropped() != 10 {
+		t.Fatalf("Dropped = %d, want 10", b.Dropped())
+	}
+	// The subscriber still drains the buffered prefix.
+	m := <-ch
+	if m.event != "cell" || m.id != 1 {
+		t.Fatalf("first buffered message = %+v", m)
+	}
+}
+
+func TestProgressBrokerCloseDisconnects(t *testing.T) {
+	b := NewProgressBroker()
+	ch, _ := b.subscribe()
+	b.Close()
+	if _, ok := <-ch; ok {
+		t.Fatal("subscriber channel still open after Close")
+	}
+	if got, _ := b.subscribe(); got != nil {
+		t.Fatal("subscribe after Close must return nil")
+	}
+	b.Publish("cell", 1) // must be a no-op, not a panic
+	b.Close()            // idempotent
+	if b.Subscribers() != 0 {
+		t.Fatalf("Subscribers = %d after Close", b.Subscribers())
+	}
+}
+
+// sseClient connects to url and returns raw lines until the stream ends or
+// limit lines arrive.
+func sseClient(t *testing.T, url string, limit int) []string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+	var lines []string
+	sc := bufio.NewScanner(resp.Body)
+	for len(lines) < limit && sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	return lines
+}
+
+func TestServeProgressEndpointStreams(t *testing.T) {
+	m := New()
+	srv, err := Serve(":0", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	broker := srv.Progress()
+	broker.Publish("cell", map[string]any{"scenario": "BASELINE", "n": 1000, "state": "done"})
+
+	// Keep publishing until the client has connected and read its lines, so
+	// the test never depends on subscribe/publish interleaving.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			case <-time.After(time.Millisecond):
+				broker.Publish("attribution", map[string]any{"cells": i})
+			}
+		}
+	}()
+	lines := sseClient(t, "http://"+srv.Addr()+"/progress", 12)
+	close(stop)
+	wg.Wait()
+
+	joined := strings.Join(lines, "\n")
+	if !strings.HasPrefix(lines[0], ":") {
+		t.Fatalf("stream must start with a comment line, got %q", lines[0])
+	}
+	if !strings.Contains(joined, "event: cell") {
+		t.Fatalf("no cell event in stream:\n%s", joined)
+	}
+	if !strings.Contains(joined, `"scenario":"BASELINE"`) {
+		t.Fatalf("cell payload missing:\n%s", joined)
+	}
+	if !strings.Contains(joined, "event: attribution") {
+		t.Fatalf("no attribution event in stream:\n%s", joined)
+	}
+	// Every data line must directly follow an event/id pair (SSE framing).
+	for i, l := range lines {
+		if strings.HasPrefix(l, "data: ") {
+			if i < 2 || !strings.HasPrefix(lines[i-2], "event: ") || !strings.HasPrefix(lines[i-1], "id: ") {
+				t.Fatalf("malformed framing around line %d:\n%s", i, joined)
+			}
+		}
+	}
+}
+
+func TestServeAddrInUse(t *testing.T) {
+	m := New()
+	srv, err := Serve("127.0.0.1:0", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if _, err := Serve(srv.Addr(), New()); err == nil {
+		t.Fatal("second Serve on a bound address must fail")
+	}
+}
+
+func TestServeCloseWhileStreaming(t *testing.T) {
+	m := New()
+	srv, err := Serve(":0", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := make(chan string, 256)
+	go func() {
+		defer close(lines)
+		resp, err := http.Get("http://" + srv.Addr() + "/progress")
+		if err != nil {
+			return
+		}
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+	}()
+	// Publish until the client has observed a cell event, so shutdown below
+	// happens mid-stream, with a live subscriber.
+	sawEvent := false
+	deadline := time.After(10 * time.Second)
+	for !sawEvent {
+		srv.Progress().Publish("cell", map[string]int{"n": 1})
+		select {
+		case l, ok := <-lines:
+			if !ok {
+				t.Fatal("stream ended before delivering any event")
+			}
+			if strings.HasPrefix(l, "event: cell") {
+				sawEvent = true
+			}
+		case <-time.After(time.Millisecond):
+		case <-deadline:
+			t.Fatal("client never observed a cell event")
+		}
+	}
+	// Tear the server down under the open stream: it must end, not hang.
+	srv.Close()
+	for {
+		select {
+		case _, ok := <-lines:
+			if !ok {
+				return // stream terminated cleanly
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("SSE stream did not terminate after server Close")
+		}
+	}
+}
+
+func TestServeCloseWhileScraping(t *testing.T) {
+	// A metrics scrape racing server shutdown must not deadlock or panic;
+	// each request either completes or fails with a connection error.
+	m := New()
+	srv, err := Serve(":0", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + srv.Addr()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				resp, err := http.Get(base + "/metrics")
+				if err != nil {
+					return // server gone: expected after Close
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	time.Sleep(5 * time.Millisecond)
+	srv.Close()
+	wg.Wait()
+}

@@ -15,11 +15,14 @@ import (
 //	/metrics       Prometheus text exposition
 //	/debug/vars    expvar JSON (runtime memstats + the "bgpchurn" snapshot)
 //	/debug/pprof/  net/http/pprof profiles
+//	/progress      SSE stream of per-cell status + attribution summaries
 //
-// Close shuts the listener down; in-flight scrapes are aborted.
+// Close shuts the listener down; in-flight scrapes are aborted and
+// connected /progress subscribers are disconnected.
 type Server struct {
-	ln  net.Listener
-	srv *http.Server
+	ln       net.Listener
+	srv      *http.Server
+	progress *ProgressBroker
 }
 
 // expvarMetrics is the hub the process-global expvar "bgpchurn" variable
@@ -62,13 +65,22 @@ func Serve(addr string, m *Metrics) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	broker := NewProgressBroker()
+	mux.Handle("/progress", broker)
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}, progress: broker}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
 }
 
+// Progress returns the server's progress broker; publish run events to it
+// and every /progress subscriber receives them as SSE.
+func (s *Server) Progress() *ProgressBroker { return s.progress }
+
 // Addr returns the bound address (host:port), useful with ":0".
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server and releases the port.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close stops the server and releases the port. Open SSE streams end.
+func (s *Server) Close() error {
+	s.progress.Close()
+	return s.srv.Close()
+}

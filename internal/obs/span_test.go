@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpanRecorderAssignsSeqInCompletionOrder(t *testing.T) {
+	r := NewSpanRecorder()
+	for i := 0; i < 5; i++ {
+		r.Append(SpanRecord{Level: SpanEvent, Name: "e"})
+	}
+	if r.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", r.Len())
+	}
+	for i, s := range r.Snapshot() {
+		if s.Seq != int64(i) {
+			t.Fatalf("span %d has Seq %d", i, s.Seq)
+		}
+	}
+}
+
+func TestSpanRecorderConcurrentAppendsKeepUniqueSeq(t *testing.T) {
+	r := NewSpanRecorder()
+	var wg sync.WaitGroup
+	const workers, per = 8, 50
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Append(SpanRecord{Level: SpanOrigin, Name: "o"})
+			}
+		}()
+	}
+	wg.Wait()
+	seen := map[int64]bool{}
+	for _, s := range r.Snapshot() {
+		if seen[s.Seq] {
+			t.Fatalf("duplicate Seq %d", s.Seq)
+		}
+		seen[s.Seq] = true
+	}
+	if len(seen) != workers*per {
+		t.Fatalf("recorded %d spans, want %d", len(seen), workers*per)
+	}
+}
+
+func TestSpanJSONLRoundTrip(t *testing.T) {
+	r := NewSpanRecorder()
+	r.Append(SpanRecord{
+		Level: SpanEvent, Name: "withdraw",
+		StartUS: 10, DurUS: 5, VStartUS: 100, VEndUS: 200,
+		Scenario: "BASELINE", N: 1000, Origin: 42, Cause: 7,
+		Stats: map[string]float64{"updates": 12, "dup": 3},
+	})
+	r.Append(SpanRecord{Level: SpanCell, Name: "cell", StartUS: 0, DurUS: 20, Scenario: "BASELINE", N: 1000})
+	var sb strings.Builder
+	if err := r.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSpanJSONL(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("round trip returned %d spans, want 2", len(back))
+	}
+	ev := back[0]
+	if ev.Level != SpanEvent || ev.Name != "withdraw" || ev.Cause != 7 || ev.Origin != 42 {
+		t.Fatalf("event span mangled: %+v", ev)
+	}
+	if ev.Stats["updates"] != 12 || ev.Stats["dup"] != 3 {
+		t.Fatalf("event stats mangled: %v", ev.Stats)
+	}
+	if ev.VStartUS != 100 || ev.VEndUS != 200 {
+		t.Fatalf("virtual extent mangled: %+v", ev)
+	}
+}
+
+func TestReadSpanJSONLReportsBadLine(t *testing.T) {
+	_, err := ReadSpanJSONL(strings.NewReader("{\"level\":\"cell\"}\n\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("err = %v, want line-3 parse error", err)
+	}
+}
+
+func TestSpanChromeTraceWellFormed(t *testing.T) {
+	r := NewSpanRecorder()
+	// One wall-only span and one with a virtual extent (duplicated on pid 2).
+	r.Append(SpanRecord{Level: SpanSweep, Name: "grid", StartUS: 0, DurUS: 100})
+	r.Append(SpanRecord{Level: SpanEvent, Name: "announce", StartUS: 5, DurUS: 10,
+		VStartUS: 1000, VEndUS: 3000, Scenario: "BASELINE", N: 400,
+		Stats: map[string]float64{"updates": 4}})
+	var sb strings.Builder
+	if err := r.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string             `json:"name"`
+			Cat  string             `json:"cat"`
+			Ph   string             `json:"ph"`
+			TS   float64            `json:"ts"`
+			Dur  float64            `json:"dur"`
+			PID  int                `json:"pid"`
+			TID  int                `json:"tid"`
+			Args map[string]float64 `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, sb.String())
+	}
+	// grid (wall only) + announce (wall + virtual) = 3 events.
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("got %d trace events, want 3", len(doc.TraceEvents))
+	}
+	var wall, virt int
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			t.Fatalf("phase %q, want X", e.Ph)
+		}
+		switch e.PID {
+		case 1:
+			wall++
+		case 2:
+			virt++
+			if e.TS != 1000 || e.Dur != 2000 {
+				t.Fatalf("virtual event extent ts=%v dur=%v, want 1000/2000", e.TS, e.Dur)
+			}
+		default:
+			t.Fatalf("unexpected pid %d", e.PID)
+		}
+	}
+	if wall != 2 || virt != 1 {
+		t.Fatalf("wall=%d virt=%d, want 2/1", wall, virt)
+	}
+	if !strings.Contains(sb.String(), "announce BASELINE/n=400") {
+		t.Fatalf("cell identity missing from event name:\n%s", sb.String())
+	}
+}
+
+func TestSpanChromeTraceEmptyRecorder(t *testing.T) {
+	var sb strings.Builder
+	if err := NewSpanRecorder().WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("empty chrome trace is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if string(doc["traceEvents"]) == "null" {
+		t.Fatal("traceEvents must be an empty array, not null")
+	}
+}
+
+func TestSpanOnSpanPublishes(t *testing.T) {
+	r := NewSpanRecorder()
+	var got []SpanRecord
+	var mu sync.Mutex
+	r.OnSpan(func(s SpanRecord) {
+		mu.Lock()
+		got = append(got, s)
+		mu.Unlock()
+	})
+	r.Append(SpanRecord{Level: SpanCell, Name: "a"})
+	r.OnSpan(nil)
+	r.Append(SpanRecord{Level: SpanCell, Name: "b"})
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || got[0].Name != "a" {
+		t.Fatalf("publish hook got %v, want exactly the span appended while installed", got)
+	}
+}

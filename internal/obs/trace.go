@@ -10,9 +10,11 @@ import (
 
 // TraceRecord is one processed update in the bounded trace ring: the
 // virtual completion time, the sending and receiving ASes, the prefix and
-// the update kind. Records are fixed-size on purpose — no AS path — so
-// appending never allocates and the ring's memory is bounded by its
-// capacity alone.
+// the update kind. Records are fixed-size on purpose — the AS path is
+// carried as an intern identity (PathID) and a length, never as a slice —
+// so appending never allocates, the ring's memory is bounded by its
+// capacity alone, and a record can never retain engine-owned path storage
+// across a Network Reset (TestTraceRecordFixedSize guards this).
 type TraceRecord struct {
 	// T is the virtual time in nanoseconds since simulation start.
 	T int64 `json:"t"`
@@ -23,6 +25,15 @@ type TraceRecord struct {
 	Prefix int32 `json:"prefix"`
 	// Kind is 0 for announce, 1 for withdraw.
 	Kind uint8 `json:"kind"`
+	// PathLen is the AS-path length (0 for withdrawals).
+	PathLen uint16 `json:"path_len,omitempty"`
+	// Cause is the root-cause ID of the routing event (C-event phase or
+	// link event) whose propagation produced this update; 0 when causal
+	// tracing is off.
+	Cause uint32 `json:"cause,omitempty"`
+	// PathID is the hash-consed path identity under the compact RIB
+	// engine (0 when the classic engine is running or on withdrawals).
+	PathID uint32 `json:"path_id,omitempty"`
 }
 
 // KindString names the record's update kind.

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -103,5 +104,22 @@ func TestKindString(t *testing.T) {
 	}
 	if got := (TraceRecord{Kind: 1}).KindString(); got != "withdraw" {
 		t.Fatalf("Kind 1 = %q", got)
+	}
+}
+
+// TestTraceRecordFixedSize is the shared-slice-footgun regression guard: a
+// ring-buffered record outlives Network.Reset, so it must never contain a
+// reference-typed field (slice, pointer, string, map) that could pin
+// engine-owned path storage. The AS path crosses into the ring only as its
+// interned identity (PathID) plus a length.
+func TestTraceRecordFixedSize(t *testing.T) {
+	typ := reflect.TypeOf(TraceRecord{})
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		switch f.Type.Kind() {
+		case reflect.Slice, reflect.Ptr, reflect.String, reflect.Map,
+			reflect.Interface, reflect.Chan, reflect.Func, reflect.UnsafePointer:
+			t.Fatalf("TraceRecord.%s has reference kind %s: records would retain engine-owned storage across Reset", f.Name, f.Type.Kind())
+		}
 	}
 }

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# sse_smoke.sh — /progress streaming smoke test (run by `make sse-smoke` and
+# the CI obs-guard job).
+#
+# Starts a -fast grid with the obs server on a free port, streams /progress
+# with curl while the grid runs, and asserts the Server-Sent-Events framing:
+#
+#   1. the stream opens with the comment banner line,
+#   2. cell and attribution events both arrive,
+#   3. every data: line is valid JSON and directly follows event:/id: lines.
+#
+# Any drift in the SSE framing, the broker wiring, or the event payloads
+# fails this script.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+work=$(mktemp -d)
+trap 'kill "$exp_pid" 2>/dev/null || true; rm -rf "$work"' EXIT
+
+go build -o "$work/experiments" ./cmd/experiments
+
+echo "== starting -fast grid with obs server"
+"$work/experiments" -fig all -fast -obs 127.0.0.1:0 -out "$work/out" \
+    -manifest '' -journal '' >"$work/exp.log" 2>&1 &
+exp_pid=$!
+
+# The serving line prints the bound address before the grid starts.
+addr=
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's#^obs: serving .* on http://##p' "$work/exp.log" | head -1)
+    [ -n "$addr" ] && break
+    if ! kill -0 "$exp_pid" 2>/dev/null; then
+        echo "FAIL: experiments exited before serving obs" >&2
+        cat "$work/exp.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "FAIL: obs serving line never appeared" >&2
+    cat "$work/exp.log" >&2
+    exit 1
+fi
+echo "   obs server on $addr"
+
+echo "== streaming /progress mid-grid"
+# Stream for a few seconds while cells complete; curl exits 28 on --max-time,
+# which is the expected way to stop reading an endless stream.
+set +e
+curl -sN --max-time 5 "http://$addr/progress" >"$work/stream.txt"
+curl_code=$?
+set -e
+if [ "$curl_code" -ne 0 ] && [ "$curl_code" -ne 28 ] && [ "$curl_code" -ne 18 ]; then
+    echo "FAIL: curl exited $curl_code" >&2
+    exit 1
+fi
+
+head -c 0 "$work/stream.txt" # ensure readable
+if ! head -1 "$work/stream.txt" | grep -q '^:'; then
+    echo "FAIL: stream does not open with the SSE comment banner" >&2
+    head -5 "$work/stream.txt" >&2
+    exit 1
+fi
+if ! grep -q '^event: cell$' "$work/stream.txt"; then
+    echo "FAIL: no cell event in stream" >&2
+    head -20 "$work/stream.txt" >&2
+    exit 1
+fi
+if ! grep -q '^event: attribution$' "$work/stream.txt"; then
+    echo "FAIL: no attribution event in stream" >&2
+    head -20 "$work/stream.txt" >&2
+    exit 1
+fi
+# Framing: every data: line is preceded by event: then id:, and its payload
+# is one JSON object.
+awk '
+    /^event: /{ prev2 = prev1; prev1 = "event"; next }
+    /^id: [0-9]+$/{ prev2 = prev1; prev1 = "id"; next }
+    /^data: /{
+        if (prev1 != "id" || prev2 != "event") { print "bad framing before: " $0; exit 1 }
+        payload = substr($0, 7)
+        if (payload !~ /^\{.*\}$/) { print "non-object payload: " $0; exit 1 }
+        prev2 = prev1; prev1 = "data"; next
+    }
+    { prev2 = prev1; prev1 = "other" }
+' "$work/stream.txt"
+
+events=$(grep -c '^event: ' "$work/stream.txt")
+echo "== waiting for grid to finish"
+wait "$exp_pid"
+
+echo "ok: streamed $events well-formed SSE events from a live grid"
