@@ -5,7 +5,7 @@ GO ?= go
 # Label under which `make bench-kernel` records its run in BENCH_kernel.json.
 BENCH_LABEL ?= current
 
-.PHONY: test race bench bench-kernel bench-e2e bench-scale scale-smoke bench-gen gen-smoke bench-shard shard-smoke fuzz-smoke obs-guard bench-obs sse-smoke resume-smoke resume-guard build
+.PHONY: test race bench bench-kernel bench-e2e bench-scale scale-smoke bench-gen gen-smoke bench-shard shard-smoke fuzz-smoke obs-guard bench-obs sse-smoke resume-smoke resume-guard churnd-smoke build
 
 build:
 	$(GO) build ./...
@@ -148,6 +148,15 @@ sse-smoke:
 # uninterrupted reference. Mirrors the CI resume-guard job.
 resume-smoke:
 	./scripts/resume_smoke.sh
+
+# churnd-smoke exercises the serving layer across real processes: two
+# tenants submit overlapping grids over HTTP (shared cells must dedup on
+# the scheduler cache), the daemon is SIGKILLed mid-grid, and a restart on
+# the same journal must recover the checkpointed cells, recompute only the
+# missing ones, and serve a byte-identical CSV. Mirrors the CI churnd-smoke
+# job.
+churnd-smoke:
+	./scripts/churnd_smoke.sh
 
 # resume-guard enforces the checkpointing cost contract: appending a cell to
 # the journal is a fixed per-cell budget (JSON encode + hash + one write,

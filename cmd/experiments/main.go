@@ -60,6 +60,36 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// exitNow is the second-signal hard-exit seam; tests may override it.
+var exitNow = os.Exit
+
+// armSecondSignalExit waits for the grid context to be cancelled by the
+// first SIGINT/SIGTERM, then re-arms signal delivery so the next signal
+// forces an immediate exit with code 130 — a wedged drain (a cell stuck in
+// an in-flight computation) must never hold the process hostage. The
+// returned disarm func stops the watcher; run() defers it so test
+// invocations never leak a signal registration.
+func armSecondSignalExit(ctx context.Context, stderr io.Writer) (disarm func()) {
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-done:
+			return
+		case <-ctx.Done():
+		}
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(sig)
+		select {
+		case <-sig:
+			fmt.Fprintln(stderr, "experiments: second signal, forced exit")
+			exitNow(exitInterrupted)
+		case <-done:
+		}
+	}()
+	return func() { close(done) }
+}
+
 // run is the whole binary behind a testable seam: parse flags, execute,
 // return the exit code. Cleanup happens in defers, so every exit path
 // flushes profiles, the journal, and the obs server.
@@ -127,10 +157,13 @@ func run(argv []string, stdout, stderr io.Writer) int {
 
 	// Graceful shutdown: the first SIGINT/SIGTERM cancels the grid context —
 	// no new cells start, in-flight cells drain, the journal and manifest
-	// are flushed, and the run exits with exitInterrupted. A second signal
-	// kills the process the hard way (signal.NotifyContext resets delivery).
+	// are flushed, and the run exits with exitInterrupted. NotifyContext
+	// keeps the signals registered until stop(), so a second signal would
+	// otherwise be swallowed; armSecondSignalExit turns it into an
+	// immediate hard exit (code 130) in case the drain wedges.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	defer armSecondSignalExit(ctx, stderr)()
 
 	r := &runner{
 		ctx:         ctx,

@@ -7,7 +7,9 @@ import (
 	"errors"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"testing"
 	"time"
 
@@ -476,6 +478,52 @@ func TestRunWritesSpanAndMetricsArtifacts(t *testing.T) {
 	} {
 		if got := mf.Config[flagName]; got != want {
 			t.Fatalf("manifest config[%s] = %q, want %q", flagName, got, want)
+		}
+	}
+}
+
+// TestSecondSignalForcesExit exercises the double-^C path: once the grid
+// context is cancelled (the first signal), the watcher re-arms delivery and
+// the next SIGINT forces an immediate exit with code 130 through the
+// exitNow seam.
+func TestSecondSignalForcesExit(t *testing.T) {
+	// Keep SIGINT from killing the test process while the watcher races to
+	// register its own handler.
+	guard := make(chan os.Signal, 8)
+	signal.Notify(guard, os.Interrupt)
+	defer signal.Stop(guard)
+
+	codes := make(chan int, 1)
+	old := exitNow
+	exitNow = func(code int) { codes <- code }
+	defer func() { exitNow = old }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var errBuf bytes.Buffer
+	disarm := armSecondSignalExit(ctx, &errBuf)
+	defer disarm()
+
+	cancel() // the "first signal": grid context cancelled
+
+	// The watcher registers its signal channel asynchronously after the
+	// context fires, so resend until one lands post-registration.
+	deadline := time.After(5 * time.Second)
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case code := <-codes:
+			if code != exitInterrupted {
+				t.Fatalf("forced exit code = %d, want %d", code, exitInterrupted)
+			}
+			return
+		case <-tick.C:
+			if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+				t.Fatalf("kill: %v", err)
+			}
+		case <-deadline:
+			t.Fatal("second signal never forced an exit")
 		}
 	}
 }

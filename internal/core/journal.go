@@ -86,12 +86,36 @@ type Journal struct {
 	err      error // first append failure, sticky
 }
 
+// JournalLockedError reports that a journal is already open for appending in
+// another process (or another Journal in this one). Two concurrent appenders
+// would interleave records and tear each other's tail repair, so the second
+// opener is refused outright rather than queued.
+type JournalLockedError struct {
+	// Path is the contested journal file.
+	Path string
+}
+
+func (e *JournalLockedError) Error() string {
+	return fmt.Sprintf("core: journal %s: already locked by another writer (point each process at its own -journal path)", e.Path)
+}
+
+// JournalLocksSupported reports whether this platform enforces the
+// exclusive-writer journal lock (advisory flock). Where it returns false,
+// OpenJournal never fails with JournalLockedError and concurrent writers
+// are not detected.
+func JournalLocksSupported() bool { return journalLocksSupported }
+
 // OpenJournal opens the journal at path for appending, creating it (and
 // parent directories) with a header line if it does not exist. Creation is
-// atomic: a partially created journal is never visible at path. An existing
-// journal is repaired first: a torn final line left by a crash mid-append
-// is truncated away (see repairJournalTail), so appends always start on a
-// record boundary.
+// atomic: a partially created journal is never visible at path. The opener
+// takes an exclusive advisory lock (flock) on the file for the life of the
+// Journal; a second concurrent opener — say, a stray cmd/experiments run
+// pointed at a churnd daemon's journal — fails fast with a
+// *JournalLockedError instead of interleaving appends. Readers
+// (LoadJournal) are unaffected: the lock is advisory and only writers take
+// it. An existing journal is repaired after the lock is held: a torn final
+// line left by a crash mid-append is truncated away (see
+// repairJournalTail), so appends always start on a record boundary.
 func OpenJournal(path string) (*Journal, error) {
 	if path == "" {
 		return nil, fmt.Errorf("core: empty journal path")
@@ -99,7 +123,9 @@ func OpenJournal(path string) (*Journal, error) {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return nil, fmt.Errorf("core: journal: %w", err)
 	}
+	existed := true
 	if _, err := os.Stat(path); os.IsNotExist(err) {
+		existed = false
 		hdr, err := json.Marshal(journalHeader{Journal: journalMagic, Version: JournalVersion})
 		if err != nil {
 			return nil, fmt.Errorf("core: journal: %w", err)
@@ -123,12 +149,28 @@ func OpenJournal(path string) (*Journal, error) {
 		}
 	} else if err != nil {
 		return nil, fmt.Errorf("core: journal: %w", err)
-	} else if err := repairJournalTail(path); err != nil {
-		return nil, err
 	}
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("core: journal: %w", err)
+	}
+	held, err := lockJournalFile(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("core: journal %s: %w", path, err)
+	}
+	if !held {
+		f.Close()
+		return nil, &JournalLockedError{Path: path}
+	}
+	// Repair only under the lock: a concurrent writer truncating the tail
+	// while this process appends is exactly the interleaving the lock rules
+	// out. The append fd is O_APPEND, so writes land at the repaired EOF.
+	if existed {
+		if err := repairJournalTail(path); err != nil {
+			f.Close()
+			return nil, err
+		}
 	}
 	return &Journal{path: path, f: f}, nil
 }

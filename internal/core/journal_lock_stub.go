@@ -1,0 +1,15 @@
+//go:build !unix
+
+package core
+
+import "os"
+
+// journalLocksSupported reports whether this platform enforces the
+// exclusive journal writer lock.
+const journalLocksSupported = false
+
+// lockJournalFile is a no-op on platforms without flock: the journal opens
+// normally, but concurrent writers are not excluded.
+func lockJournalFile(*os.File) (held bool, err error) {
+	return true, nil
+}

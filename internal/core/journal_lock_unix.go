@@ -1,0 +1,37 @@
+//go:build unix
+
+package core
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// journalLocksSupported reports whether this platform enforces the
+// exclusive journal writer lock (tests skip the contention cases where it
+// cannot).
+const journalLocksSupported = true
+
+// lockJournalFile takes a non-blocking exclusive advisory lock (flock) on
+// the journal's append fd. It returns (false, nil) when another open file
+// description already holds the lock — flock locks belong to the open file
+// description, so a second Journal in the same process conflicts exactly
+// like one in another process — and the lock is released automatically when
+// the fd is closed, including by process death, so a SIGKILLed daemon never
+// leaves a stale lock behind.
+func lockJournalFile(f *os.File) (held bool, err error) {
+	for {
+		err = syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+		switch {
+		case err == nil:
+			return true, nil
+		case errors.Is(err, syscall.EWOULDBLOCK):
+			return false, nil
+		case errors.Is(err, syscall.EINTR):
+			continue
+		default:
+			return false, err
+		}
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -333,4 +334,52 @@ func TestJournalResultFidelity(t *testing.T) {
 	if *recs[0].Result != *res {
 		t.Fatalf("result drifted through the journal:\nstored %+v\nloaded %+v", res, recs[0].Result)
 	}
+}
+
+func TestJournalSecondWriterRefused(t *testing.T) {
+	// Two appenders on one journal would interleave records and tear each
+	// other's tail repair; the second opener must be refused with a typed
+	// error while the first holds the file. flock locks belong to the open
+	// file description, so a second open in this process contends exactly
+	// like a second process would.
+	if !journalLocksSupported {
+		t.Skip("advisory journal locks unsupported on this platform")
+	}
+	path := filepath.Join(t.TempDir(), "cells.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Append(journalTestKey(100), journalTestResult(100)); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = OpenJournal(path)
+	var locked *JournalLockedError
+	if !errors.As(err, &locked) {
+		t.Fatalf("second open: got %v, want *JournalLockedError", err)
+	}
+	if locked.Path != path {
+		t.Fatalf("locked.Path = %q, want %q", locked.Path, path)
+	}
+	if !strings.Contains(locked.Error(), path) {
+		t.Fatalf("error message %q does not name the journal", locked.Error())
+	}
+
+	// The lock is advisory and writer-only: readers load the journal while
+	// the writer holds it (a live daemon must not block status tooling).
+	if recs, _, err := LoadJournal(path); err != nil || len(recs) != 1 {
+		t.Fatalf("LoadJournal under writer lock: recs=%d err=%v", len(recs), err)
+	}
+
+	// Closing the first writer releases the lock; a clean handoff succeeds.
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	j2.Close()
 }

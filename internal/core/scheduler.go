@@ -43,6 +43,14 @@ type CellKey struct {
 	BGP          bgp.Config
 }
 
+// KeyFor returns the cell key the scheduler would use for one (scenario,
+// size) cell of a sweep: the projection of ev onto CellKey's cacheable
+// fields. Serving layers use it to match SubscribeCells events against the
+// cells of a submitted job without re-deriving the projection rules.
+func KeyFor(scenarioName string, n int, topoSeed uint64, ev Config) CellKey {
+	return cellKey(scenarioName, n, topoSeed, ev)
+}
+
 // cellKey projects the cacheable part of an event config onto a key.
 func cellKey(scName string, n int, topoSeed uint64, ev Config) CellKey {
 	ev.BGP.Shards = 0 // results are shard-count invariant; see CellKey
@@ -115,6 +123,10 @@ type CellStatus struct {
 	// Scenario and N name the grid cell.
 	Scenario string
 	N        int
+	// Key is the cell's full cache identity (see CellKey/KeyFor), so
+	// subscribers sharing the scheduler can route events to the jobs that
+	// requested the cell.
+	Key CellKey
 	// Seed is the cell's effective topology seed (request seed + N).
 	Seed uint64
 	// State says what happened.
@@ -246,7 +258,12 @@ type Scheduler struct {
 	// quarantine order.
 	quarantined []*CellQuarantinedError
 
-	emitMu sync.Mutex
+	// emitMu serializes every progress delivery (OnCell, OnResult and all
+	// subscribers) and guards the subscriber lists.
+	emitMu     sync.Mutex
+	cellSubs   []cellSubscriber
+	resultSubs []resultSubscriber
+	nextSubID  int
 
 	// probes is the scheduler's observability block; nil when disabled
 	// (see SetObs).
@@ -288,6 +305,85 @@ type cacheEntry struct {
 	dropped bool
 	// elem is this entry's position in the scheduler's LRU list.
 	elem *list.Element
+}
+
+// cellSubscriber and resultSubscriber are fan-out registrations added by
+// SubscribeCells/SubscribeResults, delivered in registration order.
+type cellSubscriber struct {
+	id int
+	fn func(CellStatus)
+}
+
+type resultSubscriber struct {
+	id int
+	fn func(CellStatus, *Result)
+}
+
+// SubscribeCells registers an additional progress callback alongside OnCell:
+// every event OnCell would see is also delivered to fn, serialized on the
+// same mutex (subscribers never need their own locking, and must not block —
+// a slow subscriber stalls every worker's progress reporting). Unlike the
+// single OnCell field, any number of subscribers may coexist, which is what
+// lets several serving-layer jobs watch one shared scheduler. The returned
+// cancel function removes the subscription; it is idempotent.
+func (s *Scheduler) SubscribeCells(fn func(CellStatus)) (cancel func()) {
+	s.emitMu.Lock()
+	defer s.emitMu.Unlock()
+	id := s.nextSubID
+	s.nextSubID++
+	s.cellSubs = append(s.cellSubs, cellSubscriber{id, fn})
+	return func() {
+		s.emitMu.Lock()
+		defer s.emitMu.Unlock()
+		for i, sub := range s.cellSubs {
+			if sub.id == id {
+				s.cellSubs = append(s.cellSubs[:i:i], s.cellSubs[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// SubscribeResults registers an additional result callback alongside
+// OnResult, with the same delivery and blocking rules as SubscribeCells.
+// The *Result is shared with the cache and must be treated as read-only.
+func (s *Scheduler) SubscribeResults(fn func(CellStatus, *Result)) (cancel func()) {
+	s.emitMu.Lock()
+	defer s.emitMu.Unlock()
+	id := s.nextSubID
+	s.nextSubID++
+	s.resultSubs = append(s.resultSubs, resultSubscriber{id, fn})
+	return func() {
+		s.emitMu.Lock()
+		defer s.emitMu.Unlock()
+		for i, sub := range s.resultSubs {
+			if sub.id == id {
+				s.resultSubs = append(s.resultSubs[:i:i], s.resultSubs[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// SetCompute replaces the scheduler's computation seams: generate builds the
+// topology for one (scenario, n, seed) cell and run executes the experiment
+// on it. A nil argument keeps that seam unchanged. The seam exists for tests
+// and serving layers that substitute synthetic workloads; replacements must
+// stay deterministic in their inputs or the cache, journal and resume
+// guarantees all break. Set the seams before the first run: workers read
+// them without locking while a grid is in flight.
+func (s *Scheduler) SetCompute(
+	generate func(sc scenario.Scenario, n int, seed uint64) (*topology.Topology, error),
+	run func(ctx context.Context, t *topology.Topology, cfg Config) (*Result, error),
+) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if generate != nil {
+		s.generate = generate
+	}
+	if run != nil {
+		s.run = run
+	}
 }
 
 // SetObs attaches the metrics hub: cache traffic and per-cell wall times
@@ -443,25 +539,34 @@ func (s *Scheduler) dropEntry(key CellKey, e *cacheEntry) {
 	}
 }
 
-// emit delivers one progress event, serialized.
+// emit delivers one progress event to OnCell and every cell subscriber,
+// serialized.
 func (s *Scheduler) emit(cs CellStatus) {
-	if s.OnCell == nil {
-		return
-	}
 	s.emitMu.Lock()
 	defer s.emitMu.Unlock()
-	s.OnCell(cs)
+	if s.OnCell != nil {
+		s.OnCell(cs)
+	}
+	for _, sub := range s.cellSubs {
+		sub.fn(cs)
+	}
 }
 
-// emitResult delivers one available cell result, serialized on the same
-// mutex as emit so OnCell and OnResult observe a consistent order.
+// emitResult delivers one available cell result to OnResult and every result
+// subscriber, serialized on the same mutex as emit so cell and result events
+// observe a consistent order.
 func (s *Scheduler) emitResult(cs CellStatus, res *Result) {
-	if s.OnResult == nil || res == nil {
+	if res == nil {
 		return
 	}
 	s.emitMu.Lock()
 	defer s.emitMu.Unlock()
-	s.OnResult(cs, res)
+	if s.OnResult != nil {
+		s.OnResult(cs, res)
+	}
+	for _, sub := range s.resultSubs {
+		sub.fn(cs, res)
+	}
 }
 
 // cellError uniformly names a failing cell. Fault types already carry the
@@ -478,7 +583,7 @@ func (s *Scheduler) cell(ctx context.Context, sc scenario.Scenario, n int, topoS
 	key := cellKey(sc.Name, n, topoSeed, ev)
 	seed := topoSeed + uint64(n)
 	if err := ctx.Err(); err != nil {
-		return nil, s.cancelCell(sc.Name, n, seed, err)
+		return nil, s.cancelCell(key, sc.Name, n, seed, err)
 	}
 	s.mu.Lock()
 	probes := s.probes
@@ -511,7 +616,7 @@ func (s *Scheduler) cell(ctx context.Context, sc scenario.Scenario, n int, topoS
 				probes.CellsCached.Inc()
 			}
 		}
-		cs := CellStatus{Scenario: sc.Name, N: n, Seed: seed, State: state, Elapsed: time.Since(start), Err: e.err}
+		cs := CellStatus{Scenario: sc.Name, N: n, Key: key, Seed: seed, State: state, Elapsed: time.Since(start), Err: e.err}
 		s.emit(cs)
 		if e.err == nil {
 			s.emitResult(cs, e.res)
@@ -530,7 +635,7 @@ func (s *Scheduler) cell(ctx context.Context, sc scenario.Scenario, n int, topoS
 		progress(sc.Name, n)
 		s.emitMu.Unlock()
 	}
-	s.emit(CellStatus{Scenario: sc.Name, N: n, Seed: seed, State: CellStart})
+	s.emit(CellStatus{Scenario: sc.Name, N: n, Key: key, Seed: seed, State: CellStart})
 	start := time.Now()
 	res, err, attempts := s.computeWithRetry(ctx, key, sc, n, seed, ev, probes)
 	elapsed := time.Since(start)
@@ -555,7 +660,7 @@ func (s *Scheduler) cell(ctx context.Context, sc scenario.Scenario, n int, topoS
 		if probes != nil {
 			probes.CellsCancelled.Inc()
 		}
-		s.emit(CellStatus{Scenario: sc.Name, N: n, Seed: seed, State: CellCancelled, Attempt: attempts, Elapsed: elapsed, Err: e.err})
+		s.emit(CellStatus{Scenario: sc.Name, N: n, Key: key, Seed: seed, State: CellCancelled, Attempt: attempts, Elapsed: elapsed, Err: e.err})
 		return nil, e.err
 	case IsTransient(err):
 		// Retry budget exhausted: quarantine the cell instead of failing the
@@ -586,7 +691,7 @@ func (s *Scheduler) cell(ctx context.Context, sc scenario.Scenario, n int, topoS
 			probes.CellsFailed.Inc()
 		}
 	}
-	cs := CellStatus{Scenario: sc.Name, N: n, Seed: seed, State: state, Attempt: attempts, Elapsed: elapsed, Err: err}
+	cs := CellStatus{Scenario: sc.Name, N: n, Key: key, Seed: seed, State: state, Attempt: attempts, Elapsed: elapsed, Err: err}
 	s.emit(cs)
 	if state == CellDone {
 		s.emitResult(cs, res)
@@ -595,7 +700,7 @@ func (s *Scheduler) cell(ctx context.Context, sc scenario.Scenario, n int, topoS
 }
 
 // cancelCell records one cell abandoned before computation started.
-func (s *Scheduler) cancelCell(scName string, n int, seed uint64, cause error) error {
+func (s *Scheduler) cancelCell(key CellKey, scName string, n int, seed uint64, cause error) error {
 	err := fmt.Errorf("core: %s at n=%d: %w", scName, n, cause)
 	s.mu.Lock()
 	s.stats.Cancelled++
@@ -604,7 +709,7 @@ func (s *Scheduler) cancelCell(scName string, n int, seed uint64, cause error) e
 	if probes != nil {
 		probes.CellsCancelled.Inc()
 	}
-	s.emit(CellStatus{Scenario: scName, N: n, Seed: seed, State: CellCancelled, Err: err})
+	s.emit(CellStatus{Scenario: scName, N: n, Key: key, Seed: seed, State: CellCancelled, Err: err})
 	return err
 }
 
@@ -635,7 +740,7 @@ func (s *Scheduler) computeWithRetry(ctx context.Context, key CellKey, sc scenar
 		if probes != nil {
 			probes.CellRetries.Inc()
 		}
-		s.emit(CellStatus{Scenario: sc.Name, N: n, Seed: seed, State: CellRetried, Attempt: attempts, Err: err})
+		s.emit(CellStatus{Scenario: sc.Name, N: n, Key: key, Seed: seed, State: CellRetried, Attempt: attempts, Err: err})
 		if backoffRng == nil {
 			backoffRng = rng.New(keyHash(key) ^ retrySeedSalt)
 		}
@@ -803,7 +908,8 @@ feed:
 	for _, jb := range jobs[delivered:] {
 		r := &reqs[jb.req]
 		n := r.Sizes[jb.idx]
-		slots[jb.req][jb.idx] = slot{nil, s.cancelCell(r.Scenario.Name, n, r.TopologySeed+uint64(n), ctx.Err())}
+		key := cellKey(r.Scenario.Name, n, r.TopologySeed, r.Event)
+		slots[jb.req][jb.idx] = slot{nil, s.cancelCell(key, r.Scenario.Name, n, r.TopologySeed+uint64(n), ctx.Err())}
 	}
 	wg.Wait()
 	close(drained)

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"bgpchurn/internal/scenario"
+	"bgpchurn/internal/topology"
+)
+
+// stubCompute replaces the scheduler's seams with a trivial deterministic
+// computation so fan-out tests run in microseconds.
+func stubCompute(s *Scheduler) {
+	s.SetCompute(
+		func(sc scenario.Scenario, n int, seed uint64) (*topology.Topology, error) {
+			return &topology.Topology{Nodes: make([]topology.Node, n), Seed: seed}, nil
+		},
+		func(ctx context.Context, t *topology.Topology, cfg Config) (*Result, error) {
+			n := len(t.Nodes)
+			return &Result{N: n, Origins: cfg.Origins, TotalUpdates: float64(n) * 2}, nil
+		},
+	)
+}
+
+func TestSubscribeCellsFanOut(t *testing.T) {
+	// Two subscribers and the legacy OnCell field must each see the full
+	// serialized event stream with populated keys; a cancelled subscription
+	// stops receiving without disturbing the others.
+	s := NewScheduler(2)
+	stubCompute(s)
+
+	var mu sync.Mutex
+	var legacy, subA, subB []CellStatus
+	var results []int
+	s.OnCell = func(cs CellStatus) { mu.Lock(); legacy = append(legacy, cs); mu.Unlock() }
+	cancelA := s.SubscribeCells(func(cs CellStatus) { mu.Lock(); subA = append(subA, cs); mu.Unlock() })
+	cancelB := s.SubscribeCells(func(cs CellStatus) { mu.Lock(); subB = append(subB, cs); mu.Unlock() })
+	defer cancelB()
+	cancelRes := s.SubscribeResults(func(cs CellStatus, r *Result) {
+		mu.Lock()
+		results = append(results, r.N)
+		mu.Unlock()
+	})
+	defer cancelRes()
+
+	ev := testConfig(3, 4)
+	cfg := SweepConfig{Sizes: []int{100, 200}, TopologySeed: 3, Event: ev}
+	if _, err := s.RunSweep(context.Background(), scenario.Baseline, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(legacy) != 4 || len(subA) != 4 || len(subB) != 4 {
+		t.Fatalf("event counts legacy=%d subA=%d subB=%d, want 4 each (2 cells x start+done)",
+			len(legacy), len(subA), len(subB))
+	}
+	for _, cs := range subA {
+		want := KeyFor(cs.Scenario, cs.N, 3, ev)
+		if cs.Key != want {
+			t.Fatalf("event %+v carries key %+v, want %+v", cs.State, cs.Key, want)
+		}
+	}
+	if len(results) != 2 {
+		t.Fatalf("result subscriber saw %d results, want 2", len(results))
+	}
+
+	// After cancelling A, only B (and the field) keep receiving. The repeat
+	// request hits the cache, so each remaining observer gains 2 events.
+	cancelA()
+	cancelA() // idempotent
+	mu.Unlock()
+	if _, err := s.RunSweep(context.Background(), scenario.Baseline, cfg); err != nil {
+		mu.Lock()
+		t.Fatal(err)
+	}
+	mu.Lock()
+	if len(subA) != 4 {
+		t.Fatalf("cancelled subscriber still receiving: %d events", len(subA))
+	}
+	if len(subB) != 6 || len(legacy) != 6 {
+		t.Fatalf("surviving observers: subB=%d legacy=%d, want 6 each", len(subB), len(legacy))
+	}
+	if len(results) != 4 {
+		t.Fatalf("result subscriber saw %d results, want 4 (2 computed + 2 cached)", len(results))
+	}
+}

@@ -192,6 +192,21 @@ type Metrics struct {
 		CancelSeconds    *Histogram // cancellation latency: cancel to grid drain
 	}
 
+	// Serve instruments the churnd serving layer (internal/serve): job
+	// admission, load shedding, journal recovery and drain.
+	Serve struct {
+		JobsAdmitted    *Counter   // jobs accepted into the admission queue
+		JobsShed        *Counter   // jobs refused with 429 (queue full)
+		JobsRejected    *Counter   // jobs refused with 400 (invalid submission)
+		JobsCompleted   *Counter   // jobs that finished with every cell done
+		JobsFailed      *Counter   // jobs that finished with a failed cell
+		JobsCancelled   *Counter   // jobs cancelled by clients or drain
+		CellsDispatched *Counter   // cells handed to the shared scheduler
+		CellsRecovered  *Counter   // journal records replayed at daemon startup
+		QueueDepth      *Gauge     // jobs admitted and not yet finished
+		DrainSeconds    *Histogram // graceful-drain duration per shutdown
+	}
+
 	// Topo instruments topology generation (internal/topology).
 	Topo struct {
 		Generated    *Counter                  // topologies generated
@@ -257,6 +272,18 @@ func New() *Metrics {
 		[]float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300})
 	m.Core.CancelSeconds = m.histogram("bgpchurn_core_cancel_seconds", "Seconds from grid-context cancellation to worker-pool drain.",
 		[]float64{0.001, 0.005, 0.025, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30})
+
+	m.Serve.JobsAdmitted = m.counter("bgpchurn_serve_jobs_admitted_total", "Jobs accepted into the serving admission queue.")
+	m.Serve.JobsShed = m.counter("bgpchurn_serve_jobs_shed_total", "Jobs shed with 429 because the admission queue was full.")
+	m.Serve.JobsRejected = m.counter("bgpchurn_serve_jobs_rejected_total", "Jobs rejected with 400 for invalid submissions.")
+	m.Serve.JobsCompleted = m.counter("bgpchurn_serve_jobs_completed_total", "Jobs that finished with every cell done.")
+	m.Serve.JobsFailed = m.counter("bgpchurn_serve_jobs_failed_total", "Jobs that finished with at least one failed cell.")
+	m.Serve.JobsCancelled = m.counter("bgpchurn_serve_jobs_cancelled_total", "Jobs cancelled by clients or by server drain.")
+	m.Serve.CellsDispatched = m.counter("bgpchurn_serve_cells_dispatched_total", "Cells dispatched from jobs to the shared scheduler.")
+	m.Serve.CellsRecovered = m.counter("bgpchurn_serve_cells_recovered_total", "Journal checkpoint records recovered into the cache at daemon startup.")
+	m.Serve.QueueDepth = m.gauge("bgpchurn_serve_queue_depth", "Jobs admitted and not yet finished.")
+	m.Serve.DrainSeconds = m.histogram("bgpchurn_serve_drain_seconds", "Graceful-drain duration per shutdown.",
+		[]float64{0.001, 0.01, 0.1, 0.5, 1, 2.5, 5, 10, 30, 60, 120})
 
 	m.Topo.Generated = m.counter("bgpchurn_topo_generated_total", "Topologies generated.")
 	m.Topo.Nodes = m.counter("bgpchurn_topo_nodes_total", "Nodes created by topology generation.")

@@ -147,6 +147,45 @@ func (p *CoreProbes) ObserveCancel(d time.Duration) {
 	p.cancelSeconds.Observe(p.shard, d.Seconds())
 }
 
+// ServeProbes instruments one serving-layer instance (a churnd daemon's
+// internal/serve.Server).
+type ServeProbes struct {
+	JobsAdmitted    *Cell
+	JobsShed        *Cell
+	JobsRejected    *Cell
+	JobsCompleted   *Cell
+	JobsFailed      *Cell
+	JobsCancelled   *Cell
+	CellsDispatched *Cell
+	CellsRecovered  *Cell
+	QueueDepth      *GaugeCell
+	drainSec        *Histogram
+	shard           ShardID
+}
+
+// NewServeProbes resolves a serving-layer probe block on a fresh shard.
+func (m *Metrics) NewServeProbes() *ServeProbes {
+	s := m.Shard()
+	return &ServeProbes{
+		JobsAdmitted:    m.Serve.JobsAdmitted.Cell(s),
+		JobsShed:        m.Serve.JobsShed.Cell(s),
+		JobsRejected:    m.Serve.JobsRejected.Cell(s),
+		JobsCompleted:   m.Serve.JobsCompleted.Cell(s),
+		JobsFailed:      m.Serve.JobsFailed.Cell(s),
+		JobsCancelled:   m.Serve.JobsCancelled.Cell(s),
+		CellsDispatched: m.Serve.CellsDispatched.Cell(s),
+		CellsRecovered:  m.Serve.CellsRecovered.Cell(s),
+		QueueDepth:      m.Serve.QueueDepth.Cell(s),
+		drainSec:        m.Serve.DrainSeconds,
+		shard:           s,
+	}
+}
+
+// ObserveDrain records one graceful drain's duration.
+func (p *ServeProbes) ObserveDrain(d time.Duration) {
+	p.drainSec.Observe(p.shard, d.Seconds())
+}
+
 // GenPhase identifies one phase of topology generation, in execution
 // order. The Grow path skips PhaseClique (the clique is inherited).
 type GenPhase int

@@ -46,15 +46,12 @@ func publishExpvar(m *Metrics) {
 	})
 }
 
-// Serve starts the exposition server on addr (":0" picks a free port) and
-// returns immediately; the server runs until Close.
-func Serve(addr string, m *Metrics) (*Server, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
+// RegisterDebug installs the exposition endpoints on mux — /metrics
+// (Prometheus text), /debug/vars (expvar), /debug/pprof/* — and publishes
+// the process-global expvar snapshot for m. It is the shared plumbing
+// behind the standalone obs server and churnd's folded-in API mux.
+func RegisterDebug(mux *http.ServeMux, m *Metrics) {
 	publishExpvar(m)
-	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = m.WritePrometheus(w)
@@ -65,6 +62,17 @@ func Serve(addr string, m *Metrics) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// Serve starts the exposition server on addr (":0" picks a free port) and
+// returns immediately; the server runs until Close.
+func Serve(addr string, m *Metrics) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	RegisterDebug(mux, m)
 	broker := NewProgressBroker()
 	mux.Handle("/progress", broker)
 	s := &Server{ln: ln, srv: &http.Server{Handler: mux}, progress: broker}

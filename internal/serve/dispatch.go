@@ -1,0 +1,258 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"bgpchurn/internal/core"
+)
+
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// dispatch is the server's scheduling loop: it repeatedly picks the next
+// cell by weighted round-robin over tenants (respecting per-job budgets and
+// the global worker pool) and hands it to a cell goroutine. It parks while
+// nothing is runnable and exits when the server closes.
+func (s *Server) dispatch() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		var c *cellRun
+		for {
+			if s.closed {
+				return
+			}
+			if !s.draining && s.free > 0 {
+				if c = s.nextCellLocked(); c != nil {
+					break
+				}
+			}
+			s.cond.Wait()
+		}
+		j := c.job
+		s.free--
+		s.inflight++
+		j.inflight++
+		j.next++
+		if j.state == JobQueued {
+			j.state = JobRunning
+		}
+		c.state = cellRunning
+		s.probes.CellsDispatched.Inc()
+		go s.runCell(c)
+	}
+}
+
+// nextCellLocked implements weighted round-robin at cell granularity: the
+// tenant at the cursor dispatches up to `weight` consecutive cells (its
+// turn), then the cursor advances to the next tenant with runnable work.
+// A tenant with nothing runnable forfeits the rest of its turn. Caller
+// holds s.mu.
+func (s *Server) nextCellLocked() *cellRun {
+	n := len(s.order)
+	for i := 0; i < n; i++ {
+		idx := (s.cursor + i) % n
+		t := s.tenants[s.order[idx]]
+		c := t.nextRunnable()
+		if c == nil {
+			if i == 0 {
+				t.credit = t.weight // forfeited turn: reset for next visit
+			}
+			continue
+		}
+		if i > 0 {
+			// The turn passed to a new tenant: start it fresh.
+			s.cursor = idx
+			t.credit = t.weight
+		}
+		t.credit--
+		if t.credit <= 0 {
+			t.credit = t.weight
+			s.cursor = (idx + 1) % n
+		}
+		return c
+	}
+	return nil
+}
+
+// runCell computes one cell through the shared scheduler. Runs on its own
+// goroutine holding one global worker slot; everything it touches on the
+// job is mutated under the server mutex.
+func (s *Server) runCell(c *cellRun) {
+	j := c.job
+	j.broker.Publish("cell", CellView{Scenario: c.scenario.Name, N: c.n, State: cellRunning})
+	start := time.Now()
+	sw, err := s.sched.RunSweep(j.ctx, c.scenario, core.SweepConfig{
+		Sizes:        []int{c.n},
+		TopologySeed: j.seed,
+		Event:        j.event,
+	})
+	elapsed := time.Since(start)
+
+	s.mu.Lock()
+	c.elapsed = elapsed
+	switch {
+	case err == nil && sw != nil && len(sw.Points) == 1:
+		c.state = cellDone
+		c.res = sw.Points[0].R
+	case j.ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		c.state = cellCancelled
+		if cause := context.Cause(j.ctx); cause != nil && !errors.Is(cause, context.Canceled) {
+			c.errMsg = cause.Error()
+		} else if err != nil {
+			c.errMsg = err.Error()
+		}
+	default:
+		c.state = cellFailed
+		if err == nil {
+			err = fmt.Errorf("serve: cell %s/%d: no result", c.scenario.Name, c.n)
+		}
+		c.errMsg = err.Error()
+	}
+	j.inflight--
+	j.remaining--
+	s.inflight--
+	s.free++
+	finished := j.remaining == 0
+	if finished {
+		s.finishJobLocked(j)
+	}
+	if s.draining && s.inflight == 0 {
+		s.drainOnce.Do(func() { close(s.drained) })
+	}
+	s.cond.Broadcast()
+	view := CellView{
+		Scenario:  c.scenario.Name,
+		N:         c.n,
+		State:     c.state,
+		Detail:    c.detail,
+		ElapsedMS: float64(c.elapsed) / float64(time.Millisecond),
+		Err:       c.errMsg,
+	}
+	s.mu.Unlock()
+
+	j.broker.Publish("cell", view)
+	if finished {
+		s.publishFinished(j)
+	}
+}
+
+// shedPendingLocked cancels every undispatched cell of j (drain, client
+// cancel, server close). In-flight cells are untouched. Caller holds s.mu.
+func (s *Server) shedPendingLocked(j *Job, reason string) {
+	for _, c := range j.cells[j.next:] {
+		c.state = cellCancelled
+		c.errMsg = reason
+		j.remaining--
+	}
+	j.next = len(j.cells)
+}
+
+// finishJobLocked moves a job with no remaining cells into its terminal
+// state and retires it from the admission queue and fairness structures.
+// Caller holds s.mu; terminal-event publication happens outside the lock
+// via publishFinished.
+func (s *Server) finishJobLocked(j *Job) {
+	var failed, cancelled int
+	for _, c := range j.cells {
+		switch c.state {
+		case cellFailed:
+			failed++
+			if j.errMsg == "" {
+				j.errMsg = c.errMsg
+			}
+		case cellCancelled:
+			cancelled++
+			if j.errMsg == "" {
+				j.errMsg = c.errMsg
+			}
+		}
+	}
+	switch {
+	case failed > 0:
+		j.state = JobFailed
+		s.probes.JobsFailed.Inc()
+	case cancelled > 0:
+		j.state = JobCancelled
+		s.probes.JobsCancelled.Inc()
+	default:
+		j.state = JobDone
+		s.probes.JobsCompleted.Inc()
+	}
+	j.finished = time.Now()
+	j.cancel(nil) // release the deadline timer, if any
+
+	s.active--
+	s.probes.QueueDepth.Add(-1)
+
+	// Retire from the tenant's FIFO; drop the tenant entirely when idle so
+	// the WRR ring only visits tenants with work.
+	if t := s.tenants[j.tenant]; t != nil {
+		for i, tj := range t.jobs {
+			if tj == j {
+				t.jobs = append(t.jobs[:i:i], t.jobs[i+1:]...)
+				break
+			}
+		}
+		if len(t.jobs) == 0 {
+			delete(s.tenants, j.tenant)
+			for i, name := range s.order {
+				if name == j.tenant {
+					s.order = append(s.order[:i:i], s.order[i+1:]...)
+					if s.cursor > i {
+						s.cursor--
+					}
+					break
+				}
+			}
+			if len(s.order) == 0 {
+				s.cursor = 0
+			} else {
+				s.cursor %= len(s.order)
+			}
+		} else {
+			t.weight = 1
+			for _, tj := range t.jobs {
+				if tj.weight > t.weight {
+					t.weight = tj.weight
+				}
+			}
+		}
+	}
+
+	// Stop watching the job's keys.
+	for _, c := range j.cells {
+		watchers := s.watch[c.key]
+		for i, w := range watchers {
+			if w == c {
+				watchers = append(watchers[:i:i], watchers[i+1:]...)
+				break
+			}
+		}
+		if len(watchers) == 0 {
+			delete(s.watch, c.key)
+		} else {
+			s.watch[c.key] = watchers
+		}
+	}
+
+	// Bound the finished-job table: the oldest finished jobs are forgotten.
+	s.finished = append(s.finished, j.id)
+	for len(s.finished) > finishedRetention {
+		delete(s.jobs, s.finished[0])
+		s.finished = s.finished[1:]
+	}
+}
+
+// publishFinished emits the terminal SSE event and closes the job's
+// stream. Runs without the server mutex.
+func (s *Server) publishFinished(j *Job) {
+	s.mu.Lock()
+	view := j.viewLocked(true)
+	s.mu.Unlock()
+	j.broker.Publish("job", view)
+	j.broker.Close()
+}

@@ -1,0 +1,341 @@
+// Package serve is churnd's serving layer: a long-lived, multi-tenant sweep
+// server wrapping one shared core.Scheduler behind an HTTP API.
+//
+// Robustness is the design center (DESIGN.md, "Serving layer"):
+//
+//   - Admission control: the queue of admitted-but-unfinished jobs is
+//     bounded; a submission beyond the bound is shed immediately with
+//     429 + Retry-After instead of queueing unboundedly. Malformed or
+//     out-of-bounds submissions are rejected with 400 before they can
+//     consume any compute.
+//   - Fairness: cells are dispatched by weighted round-robin over tenants,
+//     and each job's concurrency budget is carved from the global worker
+//     pool, so one tenant's 10k-cell grid cannot starve another's
+//     two-cell probe.
+//   - Dedup: every job runs through the shared scheduler's singleflight
+//     result cache and checkpoint journal, so overlapping grids from
+//     concurrent clients compute each distinct cell exactly once.
+//   - Drain: Drain stops admitting, lets every in-flight cell run to
+//     completion (each is checkpointed to the journal as it lands), sheds
+//     undispatched cells, then closes the journal — a SIGTERM never loses
+//     finished work. A drain deadline hard-cancels stragglers.
+//   - Recovery: New replays the journal via Scheduler.Resume, so a daemon
+//     killed mid-grid (even SIGKILL) restarts with every checkpointed cell
+//     served from cache and only missing cells recomputed, byte-identical.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"bgpchurn/internal/core"
+	"bgpchurn/internal/obs"
+)
+
+// Defaults for Config's zero values.
+const (
+	DefaultQueueCap    = 64
+	DefaultMaxJobCells = 64
+	DefaultMaxN        = 100_000
+	DefaultMaxWeight   = 16
+	DefaultRetryAfter  = 5 * time.Second
+	// DefaultMinN keeps submissions above the smallest size the topology
+	// generator supports meaningfully (the clique plus a few of each tier).
+	DefaultMinN = 50
+	// finishedRetention bounds how many finished jobs stay queryable; the
+	// oldest are forgotten first, so a long-lived daemon's job table cannot
+	// grow without bound.
+	finishedRetention = 1024
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Workers bounds concurrently computing cells across all jobs
+	// (0 = GOMAXPROCS).
+	Workers int
+	// QueueCap bounds admitted-but-unfinished jobs (0 = DefaultQueueCap);
+	// submissions beyond it are shed with 429.
+	QueueCap int
+	// MaxJobCells bounds scenarios x sizes per job (0 = DefaultMaxJobCells).
+	MaxJobCells int
+	// MinN/MaxN bound admissible network sizes (0 = DefaultMinN/DefaultMaxN).
+	MinN, MaxN int
+	// CellTimeout, when > 0, is the per-cell deadline applied to every job
+	// (a job may only tighten it, never exceed it).
+	CellTimeout time.Duration
+	// Retries is the scheduler's transient-fault retry budget per cell.
+	Retries int
+	// Journal is the shared checkpoint journal path; "" disables
+	// checkpointing and restart recovery.
+	Journal string
+	// RetryAfter is the hint sent with 429 responses (0 = DefaultRetryAfter).
+	RetryAfter time.Duration
+	// Metrics is the hub to instrument into; nil builds a private one.
+	Metrics *obs.Metrics
+}
+
+// Server is the serving layer: one shared scheduler, a bounded fair
+// admission queue, and the HTTP API. Create with New, expose Handler, stop
+// with Drain (graceful) or Close (immediate).
+type Server struct {
+	cfg       Config
+	sched     *core.Scheduler
+	metrics   *obs.Metrics
+	probes    *obs.ServeProbes
+	journal   *core.Journal
+	recovered int
+	mux       *http.ServeMux
+	progress  *obs.ProgressBroker // global /progress feed
+	unsub     []func()
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	jobs      map[string]*Job
+	tenants   map[string]*tenant
+	order     []string // tenant names in WRR order (sorted)
+	cursor    int
+	nextID    uint64
+	active    int // admitted and not yet finished (the admission queue depth)
+	free      int // free global worker slots
+	inflight  int // cells currently computing
+	draining  bool
+	closed    bool
+	drained   chan struct{} // closed once draining && inflight == 0
+	drainOnce sync.Once
+	finished  []string // finished job IDs, oldest first, for retention
+	watch     map[core.CellKey][]*cellRun
+}
+
+// New builds the server: it opens (and flocks) the journal, replays it into
+// the shared scheduler's cache, and starts the dispatcher. The returned
+// server is ready to serve; stop it with Drain or Close.
+func New(cfg Config) (*Server, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = defaultWorkers()
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = DefaultQueueCap
+	}
+	if cfg.MaxJobCells <= 0 {
+		cfg.MaxJobCells = DefaultMaxJobCells
+	}
+	if cfg.MinN <= 0 {
+		cfg.MinN = DefaultMinN
+	}
+	if cfg.MaxN <= 0 {
+		cfg.MaxN = DefaultMaxN
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = DefaultRetryAfter
+	}
+	m := cfg.Metrics
+	if m == nil {
+		m = obs.New()
+	}
+	s := &Server{
+		cfg:      cfg,
+		sched:    core.NewScheduler(1),
+		metrics:  m,
+		probes:   m.NewServeProbes(),
+		progress: obs.NewProgressBroker(),
+		jobs:     map[string]*Job{},
+		tenants:  map[string]*tenant{},
+		free:     cfg.Workers,
+		drained:  make(chan struct{}),
+		watch:    map[core.CellKey][]*cellRun{},
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.sched.SetObs(m)
+	s.sched.SetRetryPolicy(cfg.Retries, 0)
+
+	if cfg.Journal != "" {
+		j, err := core.OpenJournal(cfg.Journal)
+		if err != nil {
+			return nil, err
+		}
+		recs, _, err := core.LoadJournal(cfg.Journal)
+		if err != nil {
+			j.Close()
+			return nil, err
+		}
+		s.journal = j
+		s.recovered = s.sched.Resume(recs)
+		if s.recovered > 0 {
+			s.probes.CellsRecovered.Add(uint64(s.recovered))
+		}
+		s.sched.SetJournal(j)
+	}
+
+	// Scheduler fan-out: cell events route provenance to watching jobs and
+	// feed the global /progress stream; results feed rolling summaries.
+	s.unsub = append(s.unsub, s.sched.SubscribeCells(s.onSchedulerCell))
+	s.unsub = append(s.unsub, s.sched.SubscribeResults(s.onSchedulerResult))
+
+	s.buildMux()
+	go s.dispatch()
+	return s, nil
+}
+
+// Scheduler returns the shared scheduler, for tests that stub the compute
+// seams or inspect cache stats directly.
+func (s *Server) Scheduler() *core.Scheduler { return s.sched }
+
+// Metrics returns the server's metrics hub.
+func (s *Server) Metrics() *obs.Metrics { return s.metrics }
+
+// Recovered returns how many journal records were replayed at startup.
+func (s *Server) Recovered() int { return s.recovered }
+
+// Handler returns the server's HTTP API (jobs, health, metrics, pprof,
+// progress), ready to mount on any http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Progress returns the global progress broker feeding /progress.
+func (s *Server) Progress() *obs.ProgressBroker { return s.progress }
+
+// onSchedulerCell receives every scheduler cell event (all jobs, all
+// tenants). It records compute provenance on the job cells watching the
+// key and mirrors the event to the global /progress stream. Runs on the
+// scheduler's emit mutex: it must stay non-blocking.
+func (s *Server) onSchedulerCell(cs core.CellStatus) {
+	detail := ""
+	switch cs.State {
+	case core.CellStart:
+		detail = "computing"
+	case core.CellRetried:
+		detail = "retrying"
+	case core.CellDone:
+		detail = "computed"
+	case core.CellCached:
+		detail = "cached"
+	case core.CellResumed:
+		detail = "resumed"
+	case core.CellQuarantined:
+		detail = "quarantined"
+	case core.CellFailed:
+		detail = "failed"
+	}
+	if detail != "" {
+		s.mu.Lock()
+		for _, c := range s.watch[cs.Key] {
+			// A later cache hit must not overwrite the terminal provenance
+			// ("computed" stays "computed" when another job hits the cache).
+			if !c.terminal() {
+				c.detail = detail
+			}
+		}
+		s.mu.Unlock()
+	}
+	payload := map[string]any{
+		"scenario": cs.Scenario,
+		"n":        cs.N,
+		"state":    cs.State.String(),
+	}
+	if cs.Err != nil {
+		payload["err"] = cs.Err.Error()
+	}
+	s.progress.Publish("cell", payload)
+}
+
+// onSchedulerResult mirrors per-cell results onto the global /progress
+// stream as compact summaries.
+func (s *Server) onSchedulerResult(cs core.CellStatus, res *core.Result) {
+	s.progress.Publish("result", map[string]any{
+		"scenario":      cs.Scenario,
+		"n":             cs.N,
+		"total_updates": res.TotalUpdates,
+		"peak_rate":     res.PeakRate,
+	})
+}
+
+// Drain performs a graceful shutdown: stop admitting (submissions get 503,
+// /readyz flips), dispatch nothing new, shed every undispatched cell, and
+// let in-flight cells run to completion — each is journaled as it lands, so
+// nothing finished is lost. When ctx expires first, remaining in-flight
+// cells are hard-cancelled (they were never journaled, so a restart simply
+// recomputes them). The journal is closed once quiesced. Idempotent; safe
+// to race with Close.
+func (s *Server) Drain(ctx context.Context) error {
+	start := time.Now()
+	s.mu.Lock()
+	if s.closed || s.draining {
+		s.mu.Unlock()
+		<-s.drained
+		return nil
+	}
+	s.draining = true
+	var finished []*Job
+	for _, j := range s.jobs {
+		if j.state == JobQueued || j.state == JobRunning {
+			s.shedPendingLocked(j, "shed by drain")
+			if j.remaining == 0 {
+				s.finishJobLocked(j)
+				finished = append(finished, j)
+			}
+		}
+	}
+	if s.inflight == 0 {
+		s.drainOnce.Do(func() { close(s.drained) })
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	for _, j := range finished {
+		s.publishFinished(j)
+	}
+
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-s.drained:
+	case <-ctx.Done():
+		// Grace exceeded: abort the stragglers. Their singleflight entries
+		// are dropped, never cached or journaled.
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			if j.state == JobRunning {
+				j.cancel(fmt.Errorf("serve: drain deadline exceeded"))
+			}
+		}
+		s.mu.Unlock()
+		<-s.drained
+	}
+	if s.journal != nil {
+		s.journal.Close()
+	}
+	s.probes.ObserveDrain(time.Since(start))
+	return nil
+}
+
+// Close stops the server immediately: every job is cancelled, nothing is
+// waited for beyond in-flight cell goroutines noticing their contexts, and
+// the journal is closed. Finished cells already journaled survive — Close
+// is the in-process stand-in for a crash in tests, minus the torn tail.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for _, j := range s.jobs {
+		if j.state == JobQueued || j.state == JobRunning {
+			j.cancel(fmt.Errorf("serve: server closed"))
+			s.shedPendingLocked(j, "server closed")
+		}
+	}
+	s.drainOnce.Do(func() { close(s.drained) })
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	for _, u := range s.unsub {
+		u()
+	}
+	s.progress.Close()
+	if s.journal != nil {
+		s.journal.Close()
+	}
+	return nil
+}
